@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Fmt Instance List Measure Option Ps_models Psc Staged String Sys Test Time Toolkit Unix Util_bench

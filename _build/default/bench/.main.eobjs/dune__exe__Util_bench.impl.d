@@ -1,0 +1,1 @@
+bench/util_bench.ml: Psc

@@ -1,0 +1,19 @@
+(* Shared helpers for the benchmark harness. *)
+
+let project src = Psc.load_string src
+
+(* Three element-wise stages over one range: the fusion ablation. *)
+let pipeline_src =
+  {|
+Pipe: module (X: array[I] of real; N: int): [W: array[I] of real];
+type
+  I = 1 .. N;
+var
+  Y: array[I] of real;
+  Z: array[I] of real;
+define
+  Y[I] = X[I] * 2.0 + 1.0;
+  Z[I] = Y[I] * Y[I];
+  W[I] = Z[I] - Y[I];
+end Pipe;
+|}

@@ -1,0 +1,380 @@
+(* psc — command-line driver for the PS compiler.
+
+   Subcommands mirror the pipeline: parse, check, graph, schedule,
+   transform, emit-c, run, demo.  `psc demo` regenerates every figure of
+   the paper from the built-in Relaxation modules. *)
+
+open Cmdliner
+
+let read_source file =
+  if String.equal file "-" then In_channel.input_all In_channel.stdin
+  else (
+    let ic = open_in_bin file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s)
+
+let load file =
+  try Psc.load_string (read_source file)
+  with Psc.Error m ->
+    Fmt.epr "psc: %s@." m;
+    exit 1
+
+let handle f = try f () with Psc.Error m -> Fmt.epr "psc: %s@." m; exit 1
+
+let print_warnings t =
+  List.iter
+    (fun d -> Fmt.epr "%a@." Psc.Sa_check.pp_diagnostic d)
+    (Psc.warnings t)
+
+(* Common arguments *)
+
+let file_arg =
+  let doc = "PS source file ('-' for standard input)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let module_arg =
+  let doc = "Module to operate on (default: the first in the file)." in
+  Arg.(value & opt (some string) None & info [ "m"; "module" ] ~docv:"NAME" ~doc)
+
+let sink_arg =
+  let doc =
+    "Run the extraction-sinking pass after scheduling (fuses post-loop \
+     reads of windowed arrays into the producing loop)."
+  in
+  Arg.(value & flag & info [ "sink" ] ~doc)
+
+let fuse_arg =
+  let doc = "Merge adjacent compatible loops after scheduling." in
+  Arg.(value & flag & info [ "fuse" ] ~doc)
+
+let trim_arg =
+  let doc =
+    "Tighten loop bounds from out-of-lattice guards (exact hyperplane \
+     wavefront bounds)."
+  in
+  Arg.(value & flag & info [ "trim" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let parse_cmd =
+  let run file =
+    handle (fun () ->
+        let t = load file in
+        print_warnings t;
+        print_endline (Psc.Pretty.program_to_string t.Psc.ast))
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse a PS program and print it back.")
+    Term.(const run $ file_arg)
+
+let check_cmd =
+  let run file =
+    handle (fun () ->
+        let t = load file in
+        List.iter
+          (fun d -> Fmt.pr "%a@." Psc.Sa_check.pp_diagnostic d)
+          t.Psc.diagnostics;
+        List.iter
+          (fun name ->
+            let em = Psc.find_module t name in
+            Fmt.pr "module %s: %d equations, %d locals@." name
+              (List.length em.Psc.Elab.em_eqs)
+              (List.length em.Psc.Elab.em_locals))
+          (Psc.modules t))
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Elaborate and type-check a PS program.")
+    Term.(const run $ file_arg)
+
+let graph_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of a listing.")
+  in
+  let run file name dot =
+    handle (fun () ->
+        let t = load file in
+        let em = Psc.the_module ?name t in
+        let g = Psc.dep_graph em in
+        if dot then print_string (Psc.Render.to_dot g)
+        else print_string (Psc.Render.listing g))
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Print the dependency graph (paper Fig. 3).")
+    Term.(const run $ file_arg $ module_arg $ dot)
+
+let schedule_cmd =
+  let compact =
+    Arg.(value & flag & info [ "compact" ] ~doc:"One-line flowchart format.")
+  in
+  let run file name sink fuse trim compact =
+    handle (fun () ->
+        let t = load file in
+        let em = Psc.the_module ?name t in
+        let sc = Psc.schedule ~sink ~fuse ~trim em in
+        Fmt.pr "Components (Fig. 5):@.%s@.@." (Psc.components_string sc);
+        Fmt.pr "Flowchart (Fig. 6/7):@.%s@.@."
+          (Psc.flowchart_string ~tree:(not compact) sc);
+        if fuse then Fmt.pr "Merged loops: %d@." sc.Psc.sc_merged;
+        if trim then Fmt.pr "Trimmed bounds: %d@." sc.Psc.sc_trimmed;
+        Fmt.pr "Storage windows (sec. 3.4):@.%s@." (Psc.windows_string sc))
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Schedule a module: components, flowchart, storage windows.")
+    Term.(const run $ file_arg $ module_arg $ sink_arg $ fuse_arg $ trim_arg $ compact)
+
+let transform_cmd =
+  let target =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "target" ] ~docv:"ARRAY"
+          ~doc:"Recursively defined local array to transform.")
+  in
+  let run file name target =
+    handle (fun () ->
+        let t = load file in
+        let t', tr = Psc.hyperplane ?name ~target t in
+        print_endline (Psc.Transform.derivation_to_string tr);
+        Fmt.pr "@.Transformed module:@.";
+        print_endline (Psc.Pretty.module_to_string tr.Psc.Transform.tr_module);
+        let em = Psc.find_module t' tr.Psc.Transform.tr_module.Psc.Ast.m_name in
+        let sc = Psc.schedule ~sink:true em in
+        Fmt.pr "@.Schedule after transformation:@.%s@."
+          (Psc.flowchart_string sc);
+        Fmt.pr "@.Storage windows:@.%s@." (Psc.windows_string sc))
+  in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:"Apply the hyperplane restructuring transformation (paper sec. 4).")
+    Term.(const run $ file_arg $ module_arg $ target)
+
+let scalar_assoc =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i ->
+      let k = String.sub s 0 i
+      and v = String.sub s (i + 1) (String.length s - i - 1) in
+      (match int_of_string_opt v with
+       | Some n -> Ok (k, n)
+       | None -> Error (`Msg (Printf.sprintf "%s is not an integer" v)))
+    | None -> Error (`Msg "expected NAME=INT")
+  in
+  let print ppf (k, v) = Fmt.pf ppf "%s=%d" k v in
+  Arg.conv (parse, print)
+
+let inputs_arg =
+  let doc =
+    "Scalar input NAME=INT (repeatable).  Array inputs are filled with the \
+     deterministic generator shared with the emitted C harness."
+  in
+  Arg.(value & opt_all scalar_assoc [] & info [ "i"; "input" ] ~docv:"NAME=INT" ~doc)
+
+let emit_c_cmd =
+  let main =
+    Arg.(
+      value & flag
+      & info [ "main" ]
+          ~doc:"Also emit a main() harness that fills inputs and prints checksums \
+                (requires every scalar input via --input).")
+  in
+  let run file name sink main inputs =
+    handle (fun () ->
+        let t = load file in
+        if main then print_string (Psc.emit_c_main ?name ~sink ~scalars:inputs t)
+        else print_string (Psc.emit_c ?name ~sink t))
+  in
+  Cmd.v
+    (Cmd.info "emit-c" ~doc:"Generate C code for a module.")
+    Term.(const run $ file_arg $ module_arg $ sink_arg $ main $ inputs_arg)
+
+(* Fill array inputs with the shared deterministic generator. *)
+let default_inputs _t em (scalars : (string * int) list) =
+  let open Psc in
+  List.map
+    (fun (d : Elab.data) ->
+      let dims = Stypes.dims d.Elab.d_ty in
+      if dims = [] then (
+        match List.assoc_opt d.Elab.d_name scalars with
+        | Some v -> (d.Elab.d_name, Exec.scalar_int v)
+        | None -> raise (Psc.Error (Printf.sprintf "missing --input %s=INT" d.Elab.d_name)))
+      else begin
+        (* Evaluate the bounds with the scalar inputs we have. *)
+        let env v = List.assoc_opt v scalars in
+        let bounds =
+          List.map
+            (fun (sr : Stypes.subrange) ->
+              let eval e =
+                match Linexpr.of_expr e with
+                | Some l -> Linexpr.eval env l
+                | None ->
+                  raise (Psc.Error (Printf.sprintf "non-linear bound on input %s" d.Elab.d_name))
+              in
+              (eval sr.Stypes.sr_lo, eval sr.Stypes.sr_hi))
+            dims
+        in
+        let extents = List.map (fun (lo, hi) -> hi - lo + 1) bounds in
+        let strides =
+          let rec go = function
+            | [] -> []
+            | _ :: rest as l ->
+              (List.fold_left ( * ) 1 (List.tl l)) :: go rest
+          in
+          go extents
+        in
+        let lows = List.map fst bounds in
+        ( d.Elab.d_name,
+          Exec.array_real ~dims:bounds (fun ix ->
+              let flat = ref 0 in
+              List.iteri
+                (fun p s -> flat := !flat + ((ix.(p) - List.nth lows p) * s))
+                strides;
+              Ps_models.Models.fill_value !flat) )
+      end)
+    em.Psc.Elab.em_params
+
+let run_cmd =
+  let par =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "par" ] ~docv:"N" ~doc:"Execute DOALL loops on a pool of N domains.")
+  in
+  let no_windows =
+    Arg.(value & flag & info [ "no-windows" ] ~doc:"Disable virtual-dimension storage windows.")
+  in
+  let run file name sink fuse trim inputs par no_windows =
+    handle (fun () ->
+        let t = load file in
+        let em = Psc.the_module ?name t in
+        let ins = default_inputs t em inputs in
+        let exec pool =
+          Psc.run ?name ~sink ~fuse ~trim ~use_windows:(not no_windows) ?pool t
+            ~inputs:ins
+        in
+        let r =
+          match par with
+          | Some n -> Psc.Pool.with_pool n (fun pool -> exec (Some pool))
+          | None -> exec None
+        in
+        List.iter
+          (fun (nm, v) ->
+            match v with
+            | Psc.Value.Vscalar sc -> Fmt.pr "%s = %a@." nm Psc.Value.pp_scalar sc
+            | Psc.Value.Varray s ->
+              (* Checksum, as the C harness prints. *)
+              let acc = ref 0.0 in
+              let n = Psc.Value.ndims s in
+              let idx = Array.make n 0 in
+              let rec go p =
+                if p = n then
+                  acc := !acc +. Psc.Value.(as_float (get_scalar s idx))
+                else
+                  let di = s.Psc.Value.s_dims.(p) in
+                  for v = di.Psc.Value.di_lo to di.Psc.Value.di_lo + di.Psc.Value.di_extent - 1 do
+                    idx.(p) <- v;
+                    go (p + 1)
+                  done
+              in
+              go 0;
+              Fmt.pr "%s checksum = %.17g@." nm !acc)
+          r.Psc.Exec.outputs;
+        Fmt.pr "--- storage ---@.";
+        List.iter
+          (fun (nm, words) -> Fmt.pr "%s: %d words@." nm words)
+          r.Psc.Exec.allocated)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Schedule and execute a module on the interpreter substrate.")
+    Term.(const run $ file_arg $ module_arg $ sink_arg $ fuse_arg $ trim_arg
+          $ inputs_arg $ par $ no_windows)
+
+let eqn_cmd =
+  let ps_only =
+    Arg.(value & flag
+         & info [ "ps" ] ~doc:"Print only the generated PS module and stop.")
+  in
+  let run file ps_only =
+    handle (fun () ->
+        let t =
+          try Psc.load_equations (read_source file)
+          with Psc.Error m -> Fmt.epr "psc: %s@." m; exit 1
+        in
+        let em = Psc.default_module t in
+        Fmt.pr "%s@." (Psc.Pretty.module_to_string em.Psc.Elab.em_ast);
+        if not ps_only then begin
+          let sc = Psc.schedule em in
+          Fmt.pr "@.Schedule:@.%s@.@." (Psc.flowchart_string sc);
+          Fmt.pr "Storage windows:@.%s@." (Psc.windows_string sc)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "eqn"
+       ~doc:
+         "Translate equation notation (A_{k-1,i,j} subscripts, a 'where' \
+          clause for ranges) into a PS module and schedule it.")
+    Term.(const run $ file_arg $ ps_only)
+
+let analyze_cmd =
+  let run file name sink fuse trim inputs =
+    handle (fun () ->
+        let t = load file in
+        let em = Psc.the_module ?name t in
+        let sc = Psc.schedule ~sink ~fuse ~trim em in
+        let cost = Psc.Analysis.of_flowchart ~env:inputs sc.Psc.sc_flowchart in
+        Fmt.pr "module %s@." em.Psc.Elab.em_name;
+        Fmt.pr "work        = %.0f equation evaluations@." cost.Psc.Analysis.work;
+        Fmt.pr "span        = %.0f (critical path, DOALL = 1 step)@."
+          cost.Psc.Analysis.span;
+        Fmt.pr "parallelism = %.2f@." (Psc.Analysis.parallelism cost);
+        Fmt.pr "schedule    = %s@." (Psc.flowchart_string ~tree:false sc))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Work/span analysis of a schedule: available loop-level parallelism \
+          under given scalar inputs.")
+    Term.(const run $ file_arg $ module_arg $ sink_arg $ fuse_arg $ trim_arg
+          $ inputs_arg)
+
+let demo_cmd =
+  let run () =
+    handle (fun () ->
+        let t = Psc.load_string Ps_models.Models.jacobi in
+        let em = Psc.default_module t in
+        Fmt.pr "=== Fig. 1: the Relaxation module ===@.%s@.@."
+          (Psc.Pretty.module_to_string em.Psc.Elab.em_ast);
+        let g = Psc.dep_graph em in
+        Fmt.pr "=== Fig. 3: dependency graph ===@.%s@." (Psc.Render.listing g);
+        let sc = Psc.schedule em in
+        Fmt.pr "=== Fig. 5: components ===@.%s@.@." (Psc.components_string sc);
+        Fmt.pr "=== Fig. 6: flowchart ===@.%s@.@." (Psc.flowchart_string sc);
+        Fmt.pr "=== Sec. 3.4: storage windows ===@.%s@.@." (Psc.windows_string sc);
+        let t2 = Psc.load_string Ps_models.Models.seidel in
+        let em2 = Psc.default_module t2 in
+        let sc2 = Psc.schedule em2 in
+        Fmt.pr "=== Fig. 7: flowchart of the revised relaxation ===@.%s@.@."
+          (Psc.flowchart_string sc2);
+        let t3, tr = Psc.hyperplane ~target:"A" t2 in
+        Fmt.pr "=== Sec. 4: hyperplane derivation ===@.%s@."
+          (Psc.Transform.derivation_to_string tr);
+        let em3 = Psc.find_module t3 tr.Psc.Transform.tr_module.Psc.Ast.m_name in
+        let sc3 = Psc.schedule ~sink:true em3 in
+        Fmt.pr "@.=== Sec. 4: schedule after transformation ===@.%s@.@."
+          (Psc.flowchart_string sc3);
+        Fmt.pr "=== Sec. 4: storage windows after transformation ===@.%s@."
+          (Psc.windows_string sc3))
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Reproduce every figure of the paper from built-in sources.")
+    Term.(const run $ const ())
+
+let main_cmd =
+  let doc = "compiler for the PS nonprocedural dataflow language" in
+  Cmd.group
+    (Cmd.info "psc" ~version:"1.0.0" ~doc)
+    [ parse_cmd; check_cmd; graph_cmd; schedule_cmd; transform_cmd; emit_c_cmd;
+      run_cmd; analyze_cmd; eqn_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/codegen_demo.ml: Filename Float Fmt List Printf Ps_models Psc String Sys Unix

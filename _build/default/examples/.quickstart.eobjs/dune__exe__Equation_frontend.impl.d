@@ -1,0 +1,1 @@
+examples/equation_frontend.ml: Fmt List Ps_models Psc

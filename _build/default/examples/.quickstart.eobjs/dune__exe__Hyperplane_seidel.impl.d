@@ -1,0 +1,1 @@
+examples/hyperplane_seidel.ml: Fmt List Ps_models Psc Sys

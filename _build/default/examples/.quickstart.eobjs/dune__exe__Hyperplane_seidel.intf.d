@@ -1,0 +1,1 @@
+examples/hyperplane_seidel.mli:

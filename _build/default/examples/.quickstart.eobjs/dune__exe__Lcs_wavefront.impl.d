@@ -1,0 +1,1 @@
+examples/lcs_wavefront.ml: Array Fmt List Option Ps_models Psc Sys

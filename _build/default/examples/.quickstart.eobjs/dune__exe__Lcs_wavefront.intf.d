@@ -1,0 +1,1 @@
+examples/lcs_wavefront.mli:

@@ -1,0 +1,1 @@
+examples/matmul.ml: Array Fmt List Ps_models Psc Sys

@@ -1,0 +1,1 @@
+examples/relaxation.ml: Array Fmt List Ps_models Psc Sys Unix

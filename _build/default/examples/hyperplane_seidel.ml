@@ -1,0 +1,70 @@
+(* The restructuring transformation of paper §4, end to end.
+
+     dune exec examples/hyperplane_seidel.exe -- [M] [maxK]
+
+   The revised relaxation reads west/north neighbours from the *current*
+   sweep, so every dimension carries a dependence and the schedule is
+   fully iterative (Fig. 7) — parallelism 1.  Solving the dependence
+   inequalities gives the time equation 2K + I + J; changing coordinates
+   with the unimodular matrix T re-parallelizes the two inner loops, and
+   the extraction-sinking pass ("unrotate") restores a 3-plane storage
+   window.  We verify bit-for-bit equivalence with the untransformed
+   module and report work/span for both. *)
+
+let m, maxk =
+  match Sys.argv with
+  | [| _; a; b |] -> (int_of_string a, int_of_string b)
+  | _ -> (64, 50)
+
+let () =
+  let project = Psc.load_string Ps_models.Models.seidel in
+  let em = Psc.default_module project in
+
+  (* 1. The natural schedule: all loops iterative (paper Fig. 7). *)
+  let sc = Psc.schedule em in
+  Fmt.pr "Schedule before transformation (Fig. 7):@.%s@.@."
+    (Psc.flowchart_string sc);
+
+  (* 2. The derivation of §4. *)
+  let project', tr = Psc.hyperplane ~target:"A" project in
+  Fmt.pr "%s@." (Psc.Transform.derivation_to_string tr);
+  let hyper_name = tr.Psc.Transform.tr_module.Psc.Ast.m_name in
+  let em' = Psc.find_module project' hyper_name in
+
+  (* 3. Re-schedule with extraction sinking: outer DO, inner DOALLs,
+     window back to three planes. *)
+  let sc' = Psc.schedule ~sink:true em' in
+  Fmt.pr "@.Schedule after transformation:@.%s@.@." (Psc.flowchart_string sc');
+  Fmt.pr "Windows: %s@.@." (Psc.windows_string sc');
+
+  (* 4. Semantics preserved, including under the window. *)
+  let inputs = Ps_models.Models.relaxation_inputs ~m ~maxk in
+  let r_orig = Psc.run project ~inputs in
+  let r_hyper = Psc.run ~name:hyper_name ~sink:true project' ~inputs in
+  let o1 = List.assoc "newA" r_orig.Psc.Exec.outputs in
+  let o2 = List.assoc "newA" r_hyper.Psc.Exec.outputs in
+  let maxdiff = ref 0.0 in
+  for i = 0 to m + 1 do
+    for j = 0 to m + 1 do
+      maxdiff :=
+        max !maxdiff
+          (abs_float
+             (Psc.Exec.read_real o1 [| i; j |] -. Psc.Exec.read_real o2 [| i; j |]))
+    done
+  done;
+  Fmt.pr "max |original - transformed| = %g@." !maxdiff;
+
+  (* 5. Storage: the paper's 3 x maxK x M vs 2 x M x M comparison. *)
+  let words r name = List.assoc name r.Psc.Exec.allocated in
+  Fmt.pr "storage: original A (window 2) = %d words; transformed %s (window 3) = %d words@."
+    (words r_orig "A") tr.Psc.Transform.tr_new_name
+    (words r_hyper tr.Psc.Transform.tr_new_name);
+
+  (* 6. Available parallelism before and after. *)
+  let env = [ ("M", m); ("maxK", maxk) ] in
+  let c_before = Psc.work_span project ~env in
+  let c_after = Psc.work_span ~name:hyper_name ~sink:true project' ~env in
+  Fmt.pr "parallelism: before %.2f, after %.1f (work %.0f -> %.0f)@."
+    (Psc.Analysis.parallelism c_before)
+    (Psc.Analysis.parallelism c_after)
+    c_before.Psc.Analysis.work c_after.Psc.Analysis.work

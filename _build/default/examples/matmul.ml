@@ -1,0 +1,54 @@
+(* Matrix product written as PS equations.
+
+     dune exec examples/matmul.exe -- [N]
+
+   PS has no reduction construct: the dot product is a recursive
+   accumulation S[K,I,J] = S[K-1,I,J] + A[I,K]*B[K,J].  The scheduler
+   discovers that the accumulation axis is the only iterative one —
+   the schedule is DO K (DOALL I (DOALL J (...))) — and windows S down to
+   two planes. *)
+
+let n = match Sys.argv with [| _; a |] -> int_of_string a | _ -> 48
+
+let () =
+  let project = Psc.load_string Ps_models.Models.matmul in
+  let em = Psc.default_module project in
+  let sc = Psc.schedule em in
+  Fmt.pr "Schedule:@.%s@.@." (Psc.flowchart_string sc);
+  Fmt.pr "Windows: %s@.@." (Psc.windows_string sc);
+
+  let a = Ps_models.Models.square_input n in
+  let b =
+    Psc.Exec.array_real
+      ~dims:[ (1, n); (1, n) ]
+      (fun ix -> Ps_models.Models.fill_value ((ix.(0) * 131) + ix.(1)))
+  in
+  let inputs = [ ("A", a); ("B", b); ("N", Psc.Exec.scalar_int n) ] in
+  let r = Psc.run project ~inputs in
+  let c = List.assoc "C" r.Psc.Exec.outputs in
+
+  (* Native reference. *)
+  let av = Array.init (n + 1) (fun i -> Array.init (n + 1) (fun j ->
+      if i = 0 || j = 0 then 0.0
+      else Ps_models.Models.fill_value (((i - 1) * n) + (j - 1))))
+  in
+  let bv = Array.init (n + 1) (fun i -> Array.init (n + 1) (fun j ->
+      if i = 0 || j = 0 then 0.0 else Ps_models.Models.fill_value ((i * 131) + j)))
+  in
+  let maxdiff = ref 0.0 in
+  for i = 1 to n do
+    for j = 1 to n do
+      let acc = ref 0.0 in
+      for k = 1 to n do
+        acc := !acc +. (av.(i).(k) *. bv.(k).(j))
+      done;
+      maxdiff := max !maxdiff (abs_float (Psc.Exec.read_real c [| i; j |] -. !acc))
+    done
+  done;
+  Fmt.pr "max |PS - native| = %g@." !maxdiff;
+  let words = List.assoc "S" r.Psc.Exec.allocated in
+  Fmt.pr "accumulator S: %d words (window 2 of %d planes)@." words (n + 1);
+  let cost = Psc.work_span project ~env:[ ("N", n) ] in
+  Fmt.pr "work = %.0f, span = %.0f, parallelism = %.0f@." cost.Psc.Analysis.work
+    cost.Psc.Analysis.span
+    (Psc.Analysis.parallelism cost)

@@ -1,0 +1,47 @@
+(* Quickstart: compile and run a small PS module.
+
+     dune exec examples/quickstart.exe
+
+   A PS module is a set of equations in any order; the compiler finds an
+   execution order, decides which loops are parallel (DOALL) and which
+   must stay iterative (DO), and the interpreter runs the result. *)
+
+let source =
+  {|
+Smooth: module (X: array[I] of real; N: int): [Y: array[I] of real];
+type
+  I = 0 .. N+1;
+define
+  Y[I] = if (I = 0) or (I = N+1)
+         then X[I]
+         else (X[I-1] + X[I] + X[I+1]) / 3;
+end Smooth;
+|}
+
+let () =
+  (* 1. Parse + elaborate + single-assignment check. *)
+  let project = Psc.load_string source in
+  let m = Psc.default_module project in
+
+  (* 2. Schedule: every dimension of Y is parallel. *)
+  let sc = Psc.schedule m in
+  Fmt.pr "Schedule:@.%s@.@." (Psc.flowchart_string sc);
+
+  (* 3. Run on the interpreter substrate. *)
+  let n = 10 in
+  let x =
+    Psc.Exec.array_real ~dims:[ (0, n + 1) ] (fun ix -> float_of_int ix.(0))
+  in
+  let result =
+    Psc.run project
+      ~inputs:[ ("X", x); ("N", Psc.Exec.scalar_int n) ]
+  in
+  let y = List.assoc "Y" result.Psc.Exec.outputs in
+  Fmt.pr "Y = [";
+  for i = 0 to n + 1 do
+    Fmt.pr "%s%g" (if i > 0 then "; " else "") (Psc.Exec.read_real y [| i |])
+  done;
+  Fmt.pr "]@.";
+
+  (* 4. The same module, emitted as C. *)
+  Fmt.pr "@.Generated C:@.%s" (Psc.emit_c project)

@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Buffer Elab Fmt List Printf Ps_lang Ps_sched Ps_sem String Stypes

@@ -1,0 +1,1 @@
+lib/codegen/emit.mli: Ps_sched Ps_sem

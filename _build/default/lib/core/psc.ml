@@ -1,0 +1,241 @@
+(* Public API of the PS compiler.
+
+   This facade ties the pipeline together:
+
+     source --parse--> AST --elaborate--> typed module
+            --graph--> dependency graph --schedule--> flowchart + windows
+            --[hyperplane]--> transformed module (re-enters the pipeline)
+            --emit_c--> C text      --run--> results (sequential or DOALL)
+
+   Every component exception is converted to a single located [Error], so
+   drivers (CLI, examples, tests) handle one exception type. *)
+
+module Ast = Ps_lang.Ast
+module Loc = Ps_lang.Loc
+module Parser = Ps_lang.Parser
+module Pretty = Ps_lang.Pretty
+module Stypes = Ps_sem.Stypes
+module Linexpr = Ps_sem.Linexpr
+module Elab = Ps_sem.Elab
+module Sa_check = Ps_sem.Sa_check
+module Dgraph = Ps_graph.Dgraph
+module Label = Ps_graph.Label
+module Build = Ps_graph.Build
+module Scc = Ps_graph.Scc
+module Render = Ps_graph.Render
+module Flowchart = Ps_sched.Flowchart
+module Schedule = Ps_sched.Schedule
+module Sink = Ps_sched.Sink
+module Analysis = Ps_sched.Analysis
+module Fuse = Ps_sched.Fuse
+module Trim = Ps_sched.Trim
+module Imatrix = Ps_hyper.Imatrix
+module Ineq = Ps_hyper.Ineq
+module Solve = Ps_hyper.Solve
+module Transform = Ps_hyper.Transform
+module Eqn = Ps_eqn.Eqn
+module Emit = Ps_codegen.Emit
+module Value = Ps_interp.Value
+module Eval = Ps_interp.Eval
+module Exec = Ps_interp.Exec
+module Pool = Ps_runtime.Pool
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun m -> raise (Error m)) fmt
+
+let wrap f =
+  try f () with
+  | Ps_lang.Lexer.Error (m, span) ->
+    error "lexical error: %s (%s)" m (Loc.to_string span)
+  | Ps_lang.Parser.Error (m, span) ->
+    error "syntax error: %s (%s)" m (Loc.to_string span)
+  | Ps_eqn.Eqn.Error (m, span) ->
+    error "equation notation: %s (%s)" m (Loc.to_string span)
+  | Ps_sem.Elab.Error (m, span) ->
+    error "semantic error: %s (%s)" m (Loc.to_string span)
+  | Ps_sched.Schedule.Unschedulable { reason; component } ->
+    error
+      "the equations cannot be scheduled: %s (component {%s}); the hyperplane \
+       transformation of section 4 may apply"
+      reason
+      (String.concat ", " component)
+  | Ps_sched.Analysis.Unsupported m -> error "analysis: %s" m
+  | Ps_hyper.Ineq.Not_applicable m -> error "hyperplane transformation: %s" m
+  | Ps_hyper.Solve.No_schedule m -> error "hyperplane transformation: %s" m
+  | Ps_codegen.Emit.Unsupported m -> error "C back end: %s" m
+  | Ps_interp.Eval.Runtime_error m -> error "runtime error: %s" m
+  | Ps_interp.Value.Bounds m -> error "subscript out of bounds: %s" m
+  | Ps_interp.Compile.Cannot_compile m -> error "compilation error: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Projects *)
+
+type t = {
+  ast : Ast.program;
+  prog : Elab.eprogram;
+  diagnostics : Sa_check.diagnostic list;
+}
+
+let load_string src =
+  wrap (fun () ->
+      let ast = Parser.program_of_string src in
+      let prog = Elab.elab_program ast in
+      let diagnostics = Sa_check.check_program prog in
+      (match Sa_check.errors diagnostics with
+       | [] -> ()
+       | e :: _ -> error "%s" (Fmt.str "%a" Sa_check.pp_diagnostic e));
+      { ast; prog; diagnostics })
+
+(* Translate equation notation (the paper's "ultimate goal" front end)
+   and load the resulting module as a project. *)
+let load_equations src =
+  wrap (fun () ->
+      let m = Eqn.translate src in
+      let ast = [ m ] in
+      let prog = Elab.elab_program ast in
+      let diagnostics = Sa_check.check_program prog in
+      (match Sa_check.errors diagnostics with
+       | [] -> ()
+       | e :: _ -> error "%s" (Fmt.str "%a" Sa_check.pp_diagnostic e));
+      { ast; prog; diagnostics })
+
+let load_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  load_string src
+
+let warnings t =
+  List.filter (fun d -> d.Sa_check.d_severity = Sa_check.Wwarning) t.diagnostics
+
+let modules t = List.map (fun m -> m.Elab.em_name) t.prog.Elab.ep_modules
+
+let find_module t name =
+  match Elab.find_module t.prog name with
+  | Some m -> m
+  | None -> error "no module named %s" name
+
+let default_module t =
+  match t.prog.Elab.ep_modules with
+  | [] -> error "empty program"
+  | m :: _ -> m
+
+let the_module ?name t =
+  match name with Some n -> find_module t n | None -> default_module t
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline stages *)
+
+let dep_graph em = wrap (fun () -> Build.build em)
+
+(* A scheduled module: flowchart, storage windows, component table, and
+   what the optional passes did. *)
+type scheduled = {
+  sc_module : Elab.emodule;
+  sc_result : Schedule.result;
+  sc_flowchart : Flowchart.t;
+  sc_windows : Schedule.window list;
+  sc_sunk : Sink.sunk list;
+  sc_merged : int;   (* loops merged by the fusion pass *)
+  sc_trimmed : int;  (* bounds tightened by the trimming pass *)
+}
+
+let schedule ?(sink = false) ?(fuse = false) ?(trim = false) em =
+  wrap (fun () ->
+      let r = Schedule.schedule em in
+      let fc, windows, sunk =
+        if sink then
+          let s = Sink.apply em r in
+          (s.Sink.s_flowchart, s.Sink.s_windows, s.Sink.s_sunk)
+        else (r.Schedule.r_flowchart, r.Schedule.r_windows, [])
+      in
+      let fc, merged =
+        if fuse then Fuse.apply em r.Schedule.r_graph fc else (fc, 0)
+      in
+      let fc, trimmed = if trim then Trim.apply em fc else (fc, 0) in
+      { sc_module = em;
+        sc_result = r;
+        sc_flowchart = fc;
+        sc_windows = windows;
+        sc_sunk = sunk;
+        sc_merged = merged;
+        sc_trimmed = trimmed })
+
+(* Apply the hyperplane transformation to [target] inside module
+   [?name]; returns the extended project (transformed module appended)
+   and the transform record for inspection. *)
+let hyperplane ?name ~target t =
+  wrap (fun () ->
+      let em = the_module ?name t in
+      let tr = Transform.apply em ~target in
+      let ast = t.ast @ [ tr.Transform.tr_module ] in
+      let prog = Elab.elab_program ast in
+      let diagnostics = Sa_check.check_program prog in
+      ({ ast; prog; diagnostics }, tr))
+
+let emit_c ?name ?(sink = false) ?(fuse = false) ?(trim = false) t =
+  wrap (fun () ->
+      let em = the_module ?name t in
+      let sc = schedule ~sink ~fuse ~trim em in
+      Emit.emit_module ~windows:sc.sc_windows em sc.sc_flowchart)
+
+let emit_c_main ?name ?(sink = false) ?(fuse = false) ?(trim = false) ~scalars t =
+  wrap (fun () ->
+      let em = the_module ?name t in
+      let sc = schedule ~sink ~fuse ~trim em in
+      Emit.emit_main ~windows:sc.sc_windows em sc.sc_flowchart ~scalars)
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let run ?name ?(sink = false) ?(fuse = false) ?(trim = false)
+    ?(use_windows = true) ?pool ?(check = true) ?(stats = false) t ~inputs =
+  wrap (fun () ->
+      let em = the_module ?name t in
+      let sc = schedule ~sink ~fuse ~trim em in
+      let opts =
+        { Exec.default_opts with pool; check; use_windows; collect_stats = stats }
+      in
+      Exec.run ~opts
+        ~flowchart:sc.sc_flowchart
+        ~windows:(if use_windows then sc.sc_windows else [])
+        ~prog:t.prog em ~inputs)
+
+let work_span ?name ?(sink = false) ?(fuse = false) ?(trim = false) t ~env =
+  wrap (fun () ->
+      let em = the_module ?name t in
+      let sc = schedule ~sink ~fuse ~trim em in
+      Analysis.of_flowchart ~env sc.sc_flowchart)
+
+(* ------------------------------------------------------------------ *)
+(* Display helpers *)
+
+let flowchart_string ?(tree = true) sc =
+  let em = sc.sc_module in
+  if tree then Flowchart.to_tree_string em sc.sc_flowchart
+  else Flowchart.to_compact_string em sc.sc_flowchart
+
+let components_string sc =
+  let em = sc.sc_module in
+  String.concat "\n"
+    (List.mapi
+       (fun i (ct : Schedule.component_trace) ->
+         Printf.sprintf "Component %d: {%s}  ->  %s" (i + 1)
+           (String.concat ", " ct.Schedule.ct_nodes)
+           (match ct.Schedule.ct_flowchart with
+            | [] -> "null"
+            | fc -> Flowchart.to_compact_string em fc))
+       sc.sc_result.Schedule.r_components)
+
+let windows_string sc =
+  match sc.sc_windows with
+  | [] -> "(no virtual dimensions)"
+  | ws ->
+    String.concat "\n"
+      (List.map
+         (fun (w : Schedule.window) ->
+           Printf.sprintf "%s: dimension %d is virtual, window = %d"
+             w.Schedule.w_data (w.Schedule.w_dim + 1) w.Schedule.w_size)
+         ws)

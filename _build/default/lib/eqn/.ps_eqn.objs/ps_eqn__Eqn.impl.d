@@ -1,0 +1,1 @@
+lib/eqn/eqn.ml: Ast Fmt List Loc Option Pretty Ps_lang Ps_sem String

@@ -1,0 +1,1 @@
+lib/eqn/eqn.mli: Ps_lang

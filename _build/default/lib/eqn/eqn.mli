@@ -1,0 +1,59 @@
+(** Equation-notation front end — the paper's stated ultimate goal (§1):
+    "a translator of equations in the form of (1) ... to modules in this
+    language".
+
+    The notation is the paper's display mathematics, linearized:
+
+    {v
+relaxation(InitialA[i,j], M, maxK) -> newA[i,j]
+where i, j = 0 .. M+1; k = 2 .. maxK
+A_{1,i,j}  = InitialA_{i,j}
+A_{k,i,j}  = if i = 0 or j = 0 or i = M+1 or j = M+1
+             then A_{k-1,i,j}
+             else (A_{k-1,i,j-1} + A_{k-1,i-1,j}
+                 + A_{k-1,i,j+1} + A_{k-1,i+1,j}) / 4
+newA_{i,j} = A_{maxK,i,j}
+    v}
+
+    Subscripts and superscripts are all written as subscripts, exactly as
+    §2 prescribes for PS itself.  The [where] clause declares the index
+    ranges; array parameters/results list their index names; every other
+    defined name becomes a local array whose extent at each position is
+    the convex hull of the ranges and constants used there (so [A] above
+    is allocated over [1 .. maxK]).  Scalars used in range bounds are
+    [int]; everything else is [real].  [#] starts a line comment. *)
+
+exception Error of string * Ps_lang.Loc.span
+
+type range = {
+  r_names : string list;
+  r_lo : Ps_lang.Ast.expr;
+  r_hi : Ps_lang.Ast.expr;
+}
+
+type io = { io_name : string; io_subs : string list }
+
+type eqn = {
+  eqn_name : string;
+  eqn_subs : Ps_lang.Ast.expr list;
+  eqn_rhs : Ps_lang.Ast.expr;
+  eqn_loc : Ps_lang.Loc.span;
+}
+
+type document = {
+  doc_name : string;
+  doc_inputs : io list;
+  doc_outputs : io list;
+  doc_ranges : range list;
+  doc_eqns : eqn list;
+}
+
+val parse_document : string -> document
+(** @raise Error on malformed notation. *)
+
+val to_module : document -> Ps_lang.Ast.pmodule
+(** @raise Error when ranges are missing or array extents cannot be
+    ordered symbolically. *)
+
+val translate : string -> Ps_lang.Ast.pmodule
+(** [parse_document] followed by [to_module]. *)

@@ -1,0 +1,1 @@
+lib/graph/build.ml: Array Dgraph Elab Hashtbl Label List Ps_lang Ps_sem String Stypes

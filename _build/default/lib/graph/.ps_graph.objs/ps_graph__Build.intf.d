@@ -1,0 +1,1 @@
+lib/graph/build.mli: Dgraph Label Ps_lang Ps_sem

@@ -1,0 +1,1 @@
+lib/graph/dgraph.ml: Fmt Int Label List Map Ps_sem Set String

@@ -1,0 +1,1 @@
+lib/graph/dgraph.mli: Fmt Label Map Ps_sem Set

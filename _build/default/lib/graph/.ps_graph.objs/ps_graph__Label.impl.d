@@ -1,0 +1,1 @@
+lib/graph/label.ml: Elab Fmt Linexpr List Option Ps_lang Ps_sem String Stypes

@@ -1,0 +1,1 @@
+lib/graph/label.mli: Fmt Ps_lang Ps_sem

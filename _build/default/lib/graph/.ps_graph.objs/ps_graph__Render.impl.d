@@ -1,0 +1,1 @@
+lib/graph/render.ml: Array Buffer Dgraph Fmt Label List Printf Ps_sem Scc String

@@ -1,0 +1,1 @@
+lib/graph/scc.ml: Dgraph Hashtbl List Node NodeSet

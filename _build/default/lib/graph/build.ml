@@ -1,0 +1,151 @@
+(* Dependency-graph construction from an elaborated module (paper §3.1,
+   Fig. 3 for the Relaxation example). *)
+
+open Ps_sem
+open Dgraph
+
+let dims_of em name = Stypes.dims (Elab.data_exn em name).Elab.d_ty
+
+let is_data em name = Elab.find_data em name <> None
+
+(* Classify a reference [name[subs]] made inside equation [q].  Missing
+   trailing subscripts are whole-slice dimensions. *)
+let classify_ref em (q : Elab.eq) name (subs : Ps_lang.Ast.expr list) :
+    Label.sub_exp array =
+  let dims = dims_of em name in
+  let n = List.length dims in
+  let arr = Array.make n Label.Slice in
+  List.iteri
+    (fun i sub -> if i < n then arr.(i) <- Label.classify q (List.nth dims i) sub)
+    subs;
+  arr
+
+(* Collect every data reference in an expression: (name, subscripts).
+   A bare variable is a reference with no subscripts; subscript
+   expressions are themselves searched (e.g. [A[B[I], J]] uses B). *)
+let rec collect_refs em (e : Ps_lang.Ast.expr) acc =
+  let open Ps_lang.Ast in
+  match e.e with
+  | Int _ | Real _ | Bool _ -> acc
+  | Var x -> if is_data em x then (x, []) :: acc else acc
+  | Index ({ e = Var x; _ }, subs) when is_data em x ->
+    let acc = List.fold_left (fun acc s -> collect_refs em s acc) acc subs in
+    (x, subs) :: acc
+  | Index (b, subs) ->
+    let acc = collect_refs em b acc in
+    List.fold_left (fun acc s -> collect_refs em s acc) acc subs
+  | Field (b, _) -> collect_refs em b acc
+  | Call (_, args) -> List.fold_left (fun acc a -> collect_refs em a acc) acc args
+  | Unop (_, a) -> collect_refs em a acc
+  | Binop (_, a, b) -> collect_refs em b (collect_refs em a acc)
+  | If (c, t, f) -> collect_refs em f (collect_refs em t (collect_refs em c acc))
+
+let def_subs em (q : Elab.eq) (df : Elab.def) : Label.sub_exp array =
+  let dims = dims_of em df.Elab.df_data in
+  let classify_lhs (sub : Elab.lhs_sub) (sr : Stypes.subrange) =
+    match sub with
+    | Elab.Sub_index ix ->
+      let target_pos =
+        let rec find i = function
+          | [] -> 0
+          | j :: rest -> if String.equal j.Elab.ix_var ix.Elab.ix_var then i else find (i + 1) rest
+        in
+        find 0 q.Elab.q_indices
+      in
+      Label.Affine { var = ix.Elab.ix_var; offset = 0; target_pos }
+    | Elab.Sub_fixed e -> (
+      match Label.classify q sr e with
+      | Label.Affine _ as a -> a
+      | c -> c)
+  in
+  let n = List.length dims in
+  let arr = Array.make n Label.Slice in
+  List.iteri
+    (fun i sub -> if i < n then arr.(i) <- classify_lhs sub (List.nth dims i))
+    df.Elab.df_subs;
+  arr
+
+(* Variables appearing in the subrange bounds of a data item's dimensions. *)
+let bound_vars em name =
+  let dims = dims_of em name in
+  List.concat_map
+    (fun (sr : Stypes.subrange) ->
+      Ps_lang.Ast.free_vars sr.Stypes.sr_lo @ Ps_lang.Ast.free_vars sr.Stypes.sr_hi)
+    dims
+  |> List.sort_uniq String.compare
+  |> List.filter (is_data em)
+
+let build (em : Elab.emodule) : t =
+  let datas = em.Elab.em_params @ em.Elab.em_results @ em.Elab.em_locals in
+  let data_nodes = List.map (fun (d : Elab.data) -> Data d.Elab.d_name) datas in
+  let eq_nodes = List.map (fun (q : Elab.eq) -> Eq q.Elab.q_id) em.Elab.em_eqs in
+  let edges = ref [] in
+  let add e = edges := e :: !edges in
+  (* Equation edges. *)
+  List.iter
+    (fun (q : Elab.eq) ->
+      (* Uses: every data referenced in the RHS feeds the equation. *)
+      let refs = collect_refs em q.Elab.q_rhs [] in
+      List.iter
+        (fun (name, subs) ->
+          add
+            { e_src = Data name;
+              e_dst = Eq q.Elab.q_id;
+              e_kind = Use;
+              e_subs = classify_ref em q name subs })
+        (List.rev refs);
+      (* Defs: the equation feeds the data items on its left-hand sides. *)
+      List.iter
+        (fun (df : Elab.def) ->
+          add
+            { e_src = Eq q.Elab.q_id;
+              e_dst = Data df.Elab.df_data;
+              e_kind = Def;
+              e_subs = def_subs em q df })
+        q.Elab.q_defs;
+      (* Bound edges into the equation: loop bounds must be available
+         before the equation's loops run. *)
+      List.iter
+        (fun (ix : Elab.index) ->
+          let vars =
+            Ps_lang.Ast.free_vars ix.Elab.ix_range.Stypes.sr_lo
+            @ Ps_lang.Ast.free_vars ix.Elab.ix_range.Stypes.sr_hi
+          in
+          List.iter
+            (fun v ->
+              if is_data em v then
+                add
+                  { e_src = Data v; e_dst = Eq q.Elab.q_id; e_kind = Bound;
+                    e_subs = [||] })
+            (List.sort_uniq String.compare vars))
+        q.Elab.q_indices)
+    em.Elab.em_eqs;
+  (* Bound edges between data items: "a data dependency edge is drawn from
+     M to InitialA, to A, and to NewA, since the bounds of these arrays
+     depend on M" (§3.1). *)
+  List.iter
+    (fun (d : Elab.data) ->
+      List.iter
+        (fun v ->
+          add { e_src = Data v; e_dst = Data d.Elab.d_name; e_kind = Bound; e_subs = [||] })
+        (bound_vars em d.Elab.d_name))
+    datas;
+  (* Deduplicate Bound edges and scalar Use edges (a variable may occur
+     several times in bounds or in one right-hand side); array Use edges
+     stay distinct per reference since each carries its own subscripts. *)
+  let seen = Hashtbl.create 64 in
+  let edges =
+    List.filter
+      (fun e ->
+        match e.e_kind with
+        | Bound | Use when Array.length e.e_subs = 0 ->
+          let key = (e.e_kind, e.e_src, e.e_dst) in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end
+        | Bound | Use | Def -> true)
+      (List.rev !edges)
+  in
+  { g_nodes = data_nodes @ eq_nodes; g_edges = edges; g_module = em }

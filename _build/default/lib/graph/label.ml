@@ -1,0 +1,88 @@
+(* Edge label attributes (paper Fig. 2).
+
+   Every edge into or out of an array data node carries, per dimension of
+   that array, the class of the subscript expression used there:
+
+   - "I"              — the aligned index variable itself;
+   - "I - constant"   — the index variable plus a constant offset (the
+                        paper's class covers negative offsets; we keep the
+                        signed offset and let the scheduler decide);
+   - bound constants  — a subscript provably equal to the dimension's lower
+                        or upper declared bound, e.g. [A[maxK]]; the upper
+                        bound case drives virtual-dimension rule 2 (§3.4);
+   - whole slices     — the dimension is not subscripted at all;
+   - anything else    — "any other expression".
+
+   The "position in target" attribute of Fig. 2 is [target_pos]: the index
+   of the variable within the equation's loop-index list. *)
+
+open Ps_sem
+
+type sub_exp =
+  | Affine of { var : string; offset : int; target_pos : int }
+      (* var + offset, where var is the equation index at [target_pos] *)
+  | Const_low                (* equals the dimension's lower bound *)
+  | Const_high               (* equals the dimension's upper bound *)
+  | Slice                    (* dimension left unsubscripted *)
+  | Opaque                   (* any other expression *)
+
+(* Classify one subscript expression [e] appearing at a dimension with
+   subrange [sr], inside equation [q]. *)
+let classify (q : Elab.eq) (sr : Stypes.subrange) (e : Ps_lang.Ast.expr) : sub_exp =
+  let index_pos v =
+    let rec find i = function
+      | [] -> None
+      | ix :: rest ->
+        if String.equal ix.Elab.ix_var v then Some i else find (i + 1) rest
+    in
+    find 0 q.Elab.q_indices
+  in
+  match Linexpr.of_expr e with
+  | None -> Opaque
+  | Some l -> (
+    (* Split the linear form into index-variable terms and the rest. *)
+    let index_terms, param_terms =
+      List.partition (fun (v, _) -> index_pos v <> None) l.Linexpr.terms
+    in
+    match index_terms with
+    | [ (v, 1) ] when param_terms = [] ->
+      let target_pos = Option.get (index_pos v) in
+      Affine { var = v; offset = l.Linexpr.const; target_pos }
+    | [] -> (
+      (* No index variables: compare against the declared bounds. *)
+      let cmp bound =
+        match Linexpr.of_expr bound with
+        | Some b -> Linexpr.diff_const l b = Some 0
+        | None -> false
+      in
+      if cmp sr.Stypes.sr_lo then Const_low
+      else if cmp sr.Stypes.sr_hi then Const_high
+      else Opaque)
+    | _ -> Opaque)
+
+let is_identity = function Affine { offset = 0; _ } -> true | _ -> false
+
+let is_minus_const = function Affine { offset; _ } -> offset < 0 | _ -> false
+
+let offset = function Affine { offset; _ } -> Some offset | _ -> None
+
+let pp ppf = function
+  | Affine { var; offset = 0; _ } -> Fmt.pf ppf "%s" var
+  | Affine { var; offset; _ } when offset < 0 -> Fmt.pf ppf "%s - %d" var (-offset)
+  | Affine { var; offset; _ } -> Fmt.pf ppf "%s + %d" var offset
+  | Const_low -> Fmt.string ppf "<low bound>"
+  | Const_high -> Fmt.string ppf "<high bound>"
+  | Slice -> Fmt.string ppf "<slice>"
+  | Opaque -> Fmt.string ppf "<other>"
+
+let to_string s = Fmt.str "%a" pp s
+
+(* The paper's three-way classification, for display (Fig. 2). *)
+let class_name = function
+  | Affine { offset = 0; _ } -> "I"
+  | Affine { offset; _ } when offset < 0 -> "I - constant"
+  | Affine _ -> "other (I + constant)"
+  | Const_low -> "other (lower bound)"
+  | Const_high -> "other (upper bound)"
+  | Slice -> "slice"
+  | Opaque -> "other"

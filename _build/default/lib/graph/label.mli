@@ -1,0 +1,37 @@
+(** Edge label attributes (paper Fig. 2).
+
+    Each edge touching an array data node carries, per dimension, the
+    class of the subscript expression used at that dimension. *)
+
+type sub_exp =
+  | Affine of { var : string; offset : int; target_pos : int }
+      (** [var + offset], where [var] is the equation index at
+          [target_pos] — the paper's "I" (offset 0) and "I - constant"
+          (offset < 0) classes, plus "I + constant" (offset > 0), which
+          step 3 of the scheduler rejects *)
+  | Const_low   (** provably equals the dimension's lower bound *)
+  | Const_high  (** provably equals the upper bound, e.g. [A[maxK]];
+                    drives virtual-dimension rule 2 (§3.4) *)
+  | Slice       (** dimension left unsubscripted (whole-slice reference) *)
+  | Opaque      (** "any other expression" *)
+
+val classify :
+  Ps_sem.Elab.eq -> Ps_sem.Stypes.subrange -> Ps_lang.Ast.expr -> sub_exp
+(** Classify one subscript appearing at a dimension with the given
+    subrange, inside the given equation. *)
+
+val is_identity : sub_exp -> bool
+(** The class "I". *)
+
+val is_minus_const : sub_exp -> bool
+(** The class "I - constant" with a non-zero offset. *)
+
+val offset : sub_exp -> int option
+(** The affine offset, when there is one. *)
+
+val pp : sub_exp Fmt.t
+
+val to_string : sub_exp -> string
+
+val class_name : sub_exp -> string
+(** The paper's Fig. 2 vocabulary ("I", "I - constant", "other", ...). *)

@@ -1,0 +1,15 @@
+(** Renderers for dependency graphs: an ASCII listing (the textual
+    equivalent of Fig. 3) and Graphviz DOT. *)
+
+val pp_edge : Dgraph.t -> Dgraph.edge Fmt.t
+
+val pp_listing : Dgraph.t Fmt.t
+
+val listing : Dgraph.t -> string
+(** Nodes with their dimensions, edges with their labels. *)
+
+val to_dot : Dgraph.t -> string
+(** Graphviz source: ellipses for data, boxes for equations, dashed
+    edges for bound dependencies. *)
+
+val pp_components : Dgraph.t -> Scc.component list Fmt.t

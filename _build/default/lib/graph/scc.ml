@@ -1,0 +1,97 @@
+(* Maximal strongly connected components via Tarjan's algorithm, returned
+   as the condensation in topological order (producers before consumers).
+   The scheduler repeatedly re-runs this on edge-filtered subgraphs
+   (paper §3.3, steps 4 and 7). *)
+
+open Dgraph
+
+(* A subgraph: a node subset together with the surviving edges (both
+   endpoints inside the subset). *)
+type subgraph = {
+  sg_nodes : node list;  (* in stable (declaration) order *)
+  sg_edges : edge list;
+}
+
+let full_subgraph (g : t) = { sg_nodes = nodes g; sg_edges = edges g }
+
+let restrict (sg : subgraph) (keep : NodeSet.t) =
+  { sg_nodes = List.filter (fun n -> NodeSet.mem n keep) sg.sg_nodes;
+    sg_edges =
+      List.filter
+        (fun e -> NodeSet.mem e.e_src keep && NodeSet.mem e.e_dst keep)
+        sg.sg_edges }
+
+let remove_edges (sg : subgraph) (dead : edge list) =
+  { sg with sg_edges = List.filter (fun e -> not (List.memq e dead)) sg.sg_edges }
+
+type component = {
+  c_nodes : node list;   (* in stable order *)
+  c_edges : edge list;   (* intra-component edges *)
+}
+
+(* Tarjan over the subgraph.  Tarjan emits an SCC only after every SCC it
+   can reach has been emitted, i.e. consumers first; reversing the output
+   gives producers-first (topological) order. *)
+let components (sg : subgraph) : component list =
+  let adj = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let cur = try Hashtbl.find adj e.e_src with Not_found -> [] in
+      Hashtbl.replace adj e.e_src (e.e_dst :: cur))
+    sg.sg_edges;
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    let succs = try Hashtbl.find adj v with Not_found -> [] in
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w && Hashtbl.find on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      succs;
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      (* v is the root of an SCC: pop it. *)
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if Node.equal w v then w :: acc else pop (w :: acc)
+      in
+      let comp = pop [] in
+      sccs := comp :: !sccs
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) sg.sg_nodes;
+  (* !sccs is already producers-first: Tarjan emits consumers first and we
+     prepended each component as it completed. *)
+  List.map
+    (fun comp_nodes ->
+      let comp_set = NodeSet.of_list comp_nodes in
+      let c_nodes = List.filter (fun n -> NodeSet.mem n comp_set) sg.sg_nodes in
+      let c_edges =
+        List.filter
+          (fun e -> NodeSet.mem e.e_src comp_set && NodeSet.mem e.e_dst comp_set)
+          sg.sg_edges
+      in
+      { c_nodes; c_edges })
+    !sccs
+
+let component_subgraph (sg : subgraph) (c : component) =
+  let keep = NodeSet.of_list c.c_nodes in
+  restrict sg keep

@@ -1,0 +1,28 @@
+(** Maximal strongly connected components (Tarjan), as the condensation
+    in topological order — producers before consumers.  The scheduler
+    re-runs this repeatedly on edge-filtered subgraphs (paper §3.3,
+    steps 4 and 7). *)
+
+type subgraph = {
+  sg_nodes : Dgraph.node list;  (** in stable (declaration) order *)
+  sg_edges : Dgraph.edge list;  (** both endpoints inside the node set *)
+}
+
+val full_subgraph : Dgraph.t -> subgraph
+
+val restrict : subgraph -> Dgraph.NodeSet.t -> subgraph
+(** Keep only the given nodes and the edges between them. *)
+
+val remove_edges : subgraph -> Dgraph.edge list -> subgraph
+(** Remove the given edges (by physical identity). *)
+
+type component = {
+  c_nodes : Dgraph.node list;  (** in stable order *)
+  c_edges : Dgraph.edge list;  (** intra-component edges *)
+}
+
+val components : subgraph -> component list
+(** The MSCCs, topologically ordered: if an edge runs from component [a]
+    to component [b], [a] is listed first. *)
+
+val component_subgraph : subgraph -> component -> subgraph

@@ -1,0 +1,1 @@
+lib/hyper/imatrix.ml: Array Fmt List

@@ -1,0 +1,1 @@
+lib/hyper/ineq.ml: Array Char Elab Fmt Linexpr List Option Printf Ps_lang Ps_sem String Stypes

@@ -1,0 +1,1 @@
+lib/hyper/ineq.mli: Fmt Ps_lang Ps_sem

@@ -1,0 +1,1 @@
+lib/hyper/solve.ml: Array Fun Imatrix List Printf

@@ -1,0 +1,1 @@
+lib/hyper/transform.ml: Array Ast Elab Fmt Fun Imatrix Ineq Linexpr List Loc Pretty Printf Ps_lang Ps_sem Solve String Stypes

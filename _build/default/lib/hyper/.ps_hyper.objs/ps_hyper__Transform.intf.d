@@ -1,0 +1,1 @@
+lib/hyper/transform.mli: Fmt Imatrix Ps_lang Ps_sem

@@ -1,0 +1,165 @@
+(* Least-coefficient solver for the time equation (paper §4, after [10]).
+
+   Given difference vectors {d}, find the least non-negative integer
+   vector a with a·d > 0 for every d.  "Least" follows the paper's
+   example: smallest coefficient sum, ties broken lexicographically, which
+   yields a = (2, 1, 1) for the revised relaxation.  The search is exact
+   for the constant-offset class the paper treats; symbolic offsets
+   (reference [14]) are out of scope. *)
+
+exception No_schedule of string
+
+(* Enumerate vectors of length [n] with non-negative entries summing to
+   [total], in lexicographic order. *)
+let rec enumerate n total k =
+  if n = 0 then (if total = 0 then k [] )
+  else
+    for first = 0 to total do
+      enumerate (n - 1) (total - first) (fun rest -> k (first :: rest))
+    done
+
+let dot a d =
+  let acc = ref 0 in
+  Array.iteri (fun i c -> acc := !acc + (c * d.(i))) a;
+  !acc
+
+let satisfies a vectors = List.for_all (fun d -> dot a d > 0) vectors
+
+(* An upper bound on the coefficient sum worth searching: if no schedule
+   exists with sum below this, the dependences almost certainly admit no
+   linear schedule at all (e.g. both d and -d present). *)
+let default_limit vectors =
+  let n = match vectors with v :: _ -> Array.length v | [] -> 1 in
+  let maxc =
+    List.fold_left
+      (fun acc v -> Array.fold_left (fun acc c -> max acc (abs c)) acc v)
+      1 vectors
+  in
+  (4 * n * maxc) + 8
+
+let solve ?limit (vectors : int array list) : int array =
+  match vectors with
+  | [] -> raise (No_schedule "no dependence vectors")
+  | v0 :: _ ->
+    let n = Array.length v0 in
+    if List.exists (fun v -> Array.length v <> n) vectors then
+      invalid_arg "Solve.solve: inconsistent vector lengths";
+    let limit = match limit with Some l -> l | None -> default_limit vectors in
+    let found = ref None in
+    (try
+       for total = 1 to limit do
+         enumerate n total (fun coeffs ->
+             let a = Array.of_list coeffs in
+             if satisfies a vectors then begin
+               found := Some a;
+               raise Exit
+             end)
+       done
+     with Exit -> ());
+    (match !found with
+     | Some a -> a
+     | None ->
+       raise
+         (No_schedule
+            (Printf.sprintf
+               "no linear schedule with coefficient sum <= %d; the dependences \
+                are cyclic"
+               limit)))
+
+(* ------------------------------------------------------------------ *)
+(* Unimodular completion: extend the time row to a square matrix with
+   |det| = 1.  The paper's choice (I' = K, J' = I) corresponds to
+   completing with unit vectors and dropping the last position whose
+   coefficient is +-1; we reproduce that and fall back to an extended-gcd
+   construction when no coefficient is +-1. *)
+
+let unit_row n j = Array.init n (fun i -> if i = j then 1 else 0)
+
+let complete_with_units (t : int array) : Imatrix.t option =
+  let n = Array.length t in
+  (* Dropping position k leaves det = +- t_k; pick the last k with
+     |t_k| = 1 so that the earlier axes survive as the new inner
+     dimensions, matching the paper's I' = K, J' = I. *)
+  let k = ref (-1) in
+  Array.iteri (fun i c -> if abs c = 1 then k := i) t;
+  if !k < 0 then None
+  else
+    let rows =
+      Array.to_list t
+      :: List.filter_map
+           (fun j -> if j = !k then None else Some (Array.to_list (unit_row n j)))
+           (List.init n Fun.id)
+    in
+    let m = Imatrix.of_rows rows in
+    if abs (Imatrix.det m) = 1 then Some m else None
+
+(* General completion via row-operation accumulation: find P with
+   P tᵀ = e1; then t is the first row of (P⁻¹)ᵀ, which is unimodular. *)
+let complete_general (t : int array) : Imatrix.t =
+  let n = Array.length t in
+  let v = Array.copy t in
+  (* q accumulates P⁻¹ (start from identity, apply inverse elementary row
+     operations on the right as we apply the operations to v). *)
+  let q = Array.map Array.copy (Imatrix.identity n) in
+  (* Row op: v.(i) <- v.(i) - f * v.(j)  ==>  q <- q * E⁻¹ where E⁻¹ adds
+     f * (column i) to ... accumulate on columns: col j of q += f * col i. *)
+  let add_rows i j f =
+    (* v := E v with E: row i -= f * row j;  q := q E⁻¹ with E⁻¹: row i += f * row j,
+       acting on columns of q: column j += f * column i. *)
+    v.(i) <- v.(i) - (f * v.(j));
+    for r = 0 to n - 1 do
+      q.(r).(j) <- q.(r).(j) + (f * q.(r).(i))
+    done
+  in
+  let swap i j =
+    let tmp = v.(i) in
+    v.(i) <- v.(j);
+    v.(j) <- tmp;
+    for r = 0 to n - 1 do
+      let tmp = q.(r).(i) in
+      q.(r).(i) <- q.(r).(j);
+      q.(r).(j) <- tmp
+    done
+  in
+  let negate i =
+    v.(i) <- -v.(i);
+    for r = 0 to n - 1 do
+      q.(r).(i) <- -q.(r).(i)
+    done
+  in
+  (* Euclidean reduction of v to (g, 0, ..., 0). *)
+  let rec reduce () =
+    (* Find the smallest non-zero |v_i| and move it to front. *)
+    let best = ref (-1) in
+    for i = 0 to n - 1 do
+      if v.(i) <> 0 && (!best < 0 || abs v.(i) < abs v.(!best)) then best := i
+    done;
+    if !best < 0 then invalid_arg "Solve.complete_general: zero vector";
+    if !best <> 0 then swap 0 !best;
+    if v.(0) < 0 then negate 0;
+    let others = ref false in
+    for i = 1 to n - 1 do
+      if v.(i) <> 0 then begin
+        others := true;
+        let f = v.(i) / v.(0) in
+        add_rows i 0 f
+      end
+    done;
+    if !others && Array.exists (fun x -> x <> 0) (Array.sub v 1 (n - 1)) then
+      reduce ()
+  in
+  reduce ();
+  if v.(0) <> 1 then
+    raise
+      (No_schedule
+         (Printf.sprintf "time coefficients have gcd %d; cannot complete" v.(0)));
+  (* q = P⁻¹ with P tᵀ = e1, so T = qᵀ has first row t. *)
+  let tr = Imatrix.make n (fun i j -> q.(j).(i)) in
+  assert (Imatrix.row tr 0 = t);
+  assert (abs (Imatrix.det tr) = 1);
+  tr
+
+let complete (t : int array) : Imatrix.t =
+  match complete_with_units t with
+  | Some m -> m
+  | None -> complete_general t

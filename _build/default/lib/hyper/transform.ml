@@ -1,0 +1,405 @@
+(* The restructuring transformation of paper §4.
+
+   Given a recursively defined array A whose natural schedule is fully
+   iterative, change coordinates with the unimodular matrix T whose first
+   row is the least time vector: a new array A' with A'[T·x] = A[x] is
+   introduced, every definition of A is folded into a single guarded
+   equation defining A', and every reference A[e] anywhere in the module
+   is rewritten to A'[T·e].  Because uses of a recurrence are A[x - d],
+   the rewritten self-references are A'[y - T·d]: constant offsets again,
+   but now carried only by the first (time) axis — so re-scheduling the
+   transformed module produces an outer DO over the time axis and DOALL
+   loops inside (the paper's Fig. 6 shape for the revised relaxation). *)
+
+open Ps_lang
+open Ps_sem
+
+exception Not_applicable = Ineq.Not_applicable
+
+let fail fmt = Fmt.kstr (fun m -> raise (Not_applicable m)) fmt
+
+type t = {
+  tr_target : string;            (* the original array A *)
+  tr_new_name : string;          (* the transformed array A' *)
+  tr_time : int array;           (* least time coefficients a *)
+  tr_vectors : int array list;   (* dependence difference vectors *)
+  tr_matrix : Imatrix.t;         (* T : old coords -> new coords *)
+  tr_inverse : Imatrix.t;        (* T⁻¹ *)
+  tr_old_indices : string list;  (* K, I, J *)
+  tr_new_indices : string list;  (* K', I', J' (ASCII names) *)
+  tr_module : Ast.pmodule;       (* the transformed module *)
+}
+
+(* ------------------------------------------------------------------ *)
+
+let fresh_name base used =
+  let rec go candidate =
+    if List.mem candidate used then go (candidate ^ "p") else candidate
+  in
+  go base
+
+let used_names (em : Elab.emodule) =
+  List.map (fun (d : Elab.data) -> d.Elab.d_name)
+    (em.Elab.em_params @ em.Elab.em_results @ em.Elab.em_locals)
+  @ List.map fst em.Elab.em_subranges
+  @ List.map fst em.Elab.em_enums
+  @ List.concat_map snd em.Elab.em_enums
+
+(* Linear form of an expression, or fail. *)
+let linexpr_of e =
+  match Linexpr.of_expr e with
+  | Some l -> l
+  | None -> fail "expression %s is not linear" (Pretty.expr_to_string e)
+
+(* Apply an integer matrix to a vector of linear forms. *)
+let apply_matrix (m : Imatrix.t) (v : Linexpr.t array) : Linexpr.t array =
+  let n = Imatrix.dim m in
+  Array.init n (fun i ->
+      let row = Imatrix.row m i in
+      let acc = ref Linexpr.zero in
+      Array.iteri (fun j c -> acc := Linexpr.add !acc (Linexpr.scale c v.(j))) row;
+      !acc)
+
+(* Rewrite every full reference [target[subs]] in [e] into
+   [new_name[T·subs]].  Partial (slice) references are rejected. *)
+let rec rewrite_refs ~target ~new_name ~matrix ~ndims (e : Ast.expr) : Ast.expr =
+  let recur = rewrite_refs ~target ~new_name ~matrix ~ndims in
+  let node =
+    match e.Ast.e with
+    | Ast.Var x when String.equal x target ->
+      fail "whole-array reference to %s cannot be transformed" target
+    | Ast.Index ({ e = Ast.Var x; _ } as base, subs) when String.equal x target ->
+      if List.length subs <> ndims then
+        fail "partial reference to %s cannot be transformed" target;
+      let subs = List.map recur subs in
+      let v = Array.of_list (List.map linexpr_of subs) in
+      let v' = apply_matrix matrix v in
+      Ast.Index
+        ( { base with Ast.e = Ast.Var new_name },
+          Array.to_list (Array.map Linexpr.to_expr v') )
+    | Ast.Int _ | Ast.Real _ | Ast.Bool _ | Ast.Var _ -> e.Ast.e
+    | Ast.Index (b, subs) -> Ast.Index (recur b, List.map recur subs)
+    | Ast.Field (b, f) -> Ast.Field (recur b, f)
+    | Ast.Call (f, args) -> Ast.Call (f, List.map recur args)
+    | Ast.Unop (op, a) -> Ast.Unop (op, recur a)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, recur a, recur b)
+    | Ast.If (c, t, f) -> Ast.If (recur c, recur t, recur f)
+  in
+  { e with Ast.e = node }
+
+(* Rebuild a surface equation from an elaborated one. *)
+let ast_equation_of (q : Elab.eq) rhs : Ast.equation =
+  let lhs =
+    List.map
+      (fun (df : Elab.def) ->
+        { Ast.l_name = df.Elab.df_data;
+          l_path = df.Elab.df_path;
+          l_subs =
+            List.map
+              (function
+                | Elab.Sub_index ix -> Ast.var_e ix.Elab.ix_var
+                | Elab.Sub_fixed e -> e)
+              df.Elab.df_subs;
+          l_loc = q.Elab.q_loc })
+      q.Elab.q_defs
+  in
+  { Ast.eq_lhs = lhs; eq_rhs = rhs; eq_loc = q.Elab.q_loc }
+
+let conj cs =
+  match cs with
+  | [] -> None
+  | c :: rest ->
+    Some (List.fold_left (fun acc c -> Ast.mk (Ast.Binop (Ast.Or, acc, c))) c rest)
+
+let and_chain cs =
+  match cs with
+  | [] -> None
+  | c :: rest ->
+    Some (List.fold_left (fun acc c -> Ast.mk (Ast.Binop (Ast.And, acc, c))) c rest)
+
+(* ------------------------------------------------------------------ *)
+
+let apply (em : Elab.emodule) ~(target : string) : t =
+  let deps = Ineq.extract em ~target in
+  let time = Solve.solve deps.Ineq.dep_vectors in
+  let matrix = Solve.complete time in
+  let inverse = Imatrix.inverse matrix in
+  let n = Array.length time in
+  let data = Elab.data_exn em target in
+  let dims = Stypes.dims data.Elab.d_ty in
+  let elem = Stypes.elem_ty data.Elab.d_ty in
+  let dummy_value =
+    match elem with
+    | Stypes.Scalar Stypes.Sreal -> Ast.mk (Ast.Real 0.0)
+    | Stypes.Scalar Stypes.Sint -> Ast.int_e 0
+    | Stypes.Scalar Stypes.Sbool -> Ast.mk (Ast.Bool false)
+    | _ -> fail "%s has a non-numeric element type" target
+  in
+  if data.Elab.d_kind <> Elab.Local then
+    fail "%s is not a local array" target;
+  (* Extents of the old dimensions as linear forms. *)
+  let old_lo =
+    Array.of_list (List.map (fun (sr : Stypes.subrange) -> linexpr_of sr.Stypes.sr_lo) dims)
+  in
+  let old_hi =
+    Array.of_list (List.map (fun (sr : Stypes.subrange) -> linexpr_of sr.Stypes.sr_hi) dims)
+  in
+  (* Bounds of the new axes by interval arithmetic over y = T·x. *)
+  let new_lo =
+    Array.init n (fun r ->
+        let row = Imatrix.row matrix r in
+        let acc = ref Linexpr.zero in
+        Array.iteri
+          (fun j c ->
+            acc :=
+              Linexpr.add !acc
+                (Linexpr.scale c (if c >= 0 then old_lo.(j) else old_hi.(j))))
+          row;
+        !acc)
+  in
+  let new_hi =
+    Array.init n (fun r ->
+        let row = Imatrix.row matrix r in
+        let acc = ref Linexpr.zero in
+        Array.iteri
+          (fun j c ->
+            acc :=
+              Linexpr.add !acc
+                (Linexpr.scale c (if c >= 0 then old_hi.(j) else old_lo.(j))))
+          row;
+        !acc)
+  in
+  (* Fresh names. *)
+  let used = ref (used_names em) in
+  let fresh base =
+    let name = fresh_name base !used in
+    used := name :: !used;
+    name
+  in
+  let new_name = fresh (target ^ "p") in
+  let old_index_names =
+    List.map (fun (ix : Elab.index) -> ix.Elab.ix_var) deps.Ineq.dep_indices
+  in
+  let new_index_names = List.map (fun v -> fresh (v ^ "p")) old_index_names in
+  let new_ranges =
+    List.mapi
+      (fun r name ->
+        (name, Linexpr.to_expr new_lo.(r), Linexpr.to_expr new_hi.(r)))
+      new_index_names
+  in
+  (* Old coordinates reconstructed from the new index variables. *)
+  let y_vec =
+    Array.of_list (List.map (fun v -> Linexpr.of_var v) new_index_names)
+  in
+  let x_of = apply_matrix inverse y_vec in
+  let x_expr = Array.map Linexpr.to_expr x_of in
+  (* Does new axis r coincide exactly with old dimension j (unit row of
+     T⁻¹ at j picking axis r, with identical ranges)?  Then its guard is
+     redundant. *)
+  let axis_exact j =
+    let row = Imatrix.row inverse j in
+    let unit_at = ref None in
+    let ok = ref true in
+    Array.iteri
+      (fun r c ->
+        if c = 1 && !unit_at = None then unit_at := Some r
+        else if c <> 0 then ok := false)
+      row;
+    match !unit_at, !ok with
+    | Some r, true ->
+      Linexpr.equal new_lo.(r) old_lo.(j) && Linexpr.equal new_hi.(r) old_hi.(j)
+    | _ -> false
+  in
+  let cmp op a b = Ast.mk (Ast.Binop (op, a, b)) in
+  let out_of_lattice =
+    List.filteri (fun j _ -> not (axis_exact j)) (List.init n Fun.id)
+    |> List.map (fun j ->
+           Ast.mk
+             (Ast.Binop
+                ( Ast.Or,
+                  cmp Ast.Lt x_expr.(j) (Linexpr.to_expr old_lo.(j)),
+                  cmp Ast.Gt x_expr.(j) (Linexpr.to_expr old_hi.(j)) )))
+    |> conj
+  in
+  (* All definitions of the target, recursive one last. *)
+  let defining =
+    List.filter
+      (fun (q : Elab.eq) ->
+        List.exists (fun df -> String.equal df.Elab.df_data target) q.Elab.q_defs)
+      em.Elab.em_eqs
+  in
+  let recursive_id = deps.Ineq.dep_eq.Elab.q_id in
+  let defining =
+    List.filter (fun (q : Elab.eq) -> q.Elab.q_id <> recursive_id) defining
+    @ [ deps.Ineq.dep_eq ]
+  in
+  let rewrite = rewrite_refs ~target ~new_name ~matrix ~ndims:n in
+  (* Build one branch per definition: (region condition, transformed rhs). *)
+  let branch (q : Elab.eq) =
+    if List.length q.Elab.q_defs <> 1 then
+      fail "multi-result equation defines %s; not supported" target;
+    let df = List.hd q.Elab.q_defs in
+    let conds = ref [] in
+    let subst = ref [] in
+    List.iteri
+      (fun j (sub : Elab.lhs_sub) ->
+        match sub with
+        | Elab.Sub_fixed e -> conds := cmp Ast.Eq x_expr.(j) e :: !conds
+        | Elab.Sub_index ix ->
+          subst := (ix.Elab.ix_var, { (x_expr.(j)) with Ast.e_loc = Loc.dummy }) :: !subst;
+          let ilo = linexpr_of ix.Elab.ix_range.Stypes.sr_lo in
+          let ihi = linexpr_of ix.Elab.ix_range.Stypes.sr_hi in
+          if not (Linexpr.equal ilo old_lo.(j)) then
+            conds :=
+              cmp Ast.Ge x_expr.(j) (Linexpr.to_expr ilo) :: !conds;
+          if not (Linexpr.equal ihi old_hi.(j)) then
+            conds :=
+              cmp Ast.Le x_expr.(j) (Linexpr.to_expr ihi) :: !conds)
+      df.Elab.df_subs;
+    let rhs = Ast.subst_vars !subst q.Elab.q_rhs in
+    let rhs = rewrite rhs in
+    (and_chain (List.rev !conds), rhs)
+  in
+  let branches = List.map branch defining in
+  (* Assemble the guarded right-hand side. *)
+  let body =
+    let rec chain = function
+      | [] -> dummy_value
+      | [ (None, rhs) ] -> rhs
+      | (None, rhs) :: _ -> rhs (* unconditioned branch absorbs the rest *)
+      | (Some c, rhs) :: rest -> Ast.mk (Ast.If (c, rhs, chain rest))
+    in
+    chain branches
+  in
+  let new_rhs =
+    match out_of_lattice with
+    | None -> body
+    | Some guard -> Ast.mk (Ast.If (guard, dummy_value, body))
+  in
+  let merged_eq =
+    { Ast.eq_lhs =
+        [ { Ast.l_name = new_name;
+            l_subs = List.map Ast.var_e new_index_names;
+            l_path = [];
+            l_loc = Loc.dummy } ];
+      eq_rhs = new_rhs;
+      eq_loc = deps.Ineq.dep_eq.Elab.q_loc }
+  in
+  (* Remaining equations: drop definitions of the target, rewrite its
+     uses everywhere else. *)
+  let other_eqs =
+    List.filter_map
+      (fun (q : Elab.eq) ->
+        if List.exists (fun df -> String.equal df.Elab.df_data target) q.Elab.q_defs
+        then None
+        else Some (ast_equation_of q (rewrite q.Elab.q_rhs)))
+      em.Elab.em_eqs
+  in
+  (* New surface module. *)
+  let m = em.Elab.em_ast in
+  let new_types =
+    m.Ast.m_types
+    @ List.map
+        (fun (name, lo, hi) ->
+          { Ast.td_names = [ name ];
+            td_def = Ast.mk_t (Ast.Tsubrange (lo, hi));
+            td_loc = Loc.dummy })
+        new_ranges
+  in
+  let elem_type_expr =
+    match elem with
+    | Stypes.Scalar Stypes.Sreal -> Ast.mk_t Ast.Treal
+    | Stypes.Scalar Stypes.Sint -> Ast.mk_t Ast.Tint
+    | Stypes.Scalar Stypes.Sbool -> Ast.mk_t Ast.Tbool
+    | _ -> assert false
+  in
+  let new_vars =
+    List.filter_map
+      (fun (vd : Ast.var_decl) ->
+        let names = List.filter (fun nm -> not (String.equal nm target)) vd.Ast.vd_names in
+        if names = [] then None else Some { vd with Ast.vd_names = names })
+      m.Ast.m_vars
+    @ [ { Ast.vd_names = [ new_name ];
+          vd_type =
+            Ast.mk_t
+              (Ast.Tarray
+                 ( List.map (fun (nm, _, _) -> Ast.mk_t (Ast.Tname nm)) new_ranges,
+                   elem_type_expr ));
+          vd_loc = Loc.dummy } ]
+  in
+  let tr_module =
+    { m with
+      Ast.m_name = m.Ast.m_name ^ "_hyper";
+      m_types = new_types;
+      m_vars = new_vars;
+      m_eqs = other_eqs @ [ merged_eq ] }
+  in
+  { tr_target = target;
+    tr_new_name = new_name;
+    tr_time = time;
+    tr_vectors = deps.Ineq.dep_vectors;
+    tr_matrix = matrix;
+    tr_inverse = inverse;
+    tr_old_indices = old_index_names;
+    tr_new_indices = new_index_names;
+    tr_module }
+
+(* ------------------------------------------------------------------ *)
+(* Derivation display, as in the paper's §4 narrative. *)
+
+let pp_derivation ppf (tr : t) =
+  let time_poly =
+    String.concat " + "
+      (List.filteri (fun i _ -> tr.tr_time.(i) <> 0) tr.tr_old_indices
+       |> List.mapi (fun _ v -> v)
+       |> fun _ ->
+       List.mapi
+         (fun i v ->
+           if tr.tr_time.(i) = 1 then Some v
+           else if tr.tr_time.(i) = 0 then None
+           else Some (Printf.sprintf "%d%s" tr.tr_time.(i) v))
+         tr.tr_old_indices
+       |> List.filter_map Fun.id)
+  in
+  Fmt.pf ppf "@[<v>Dependence inequalities (a·d > 0):@,";
+  List.iter (fun d -> Fmt.pf ppf "  %a@," Ineq.pp_inequality d) tr.tr_vectors;
+  Fmt.pf ppf "Least solution: a = (%a)@,"
+    (Fmt.array ~sep:(Fmt.any ", ") Fmt.int)
+    tr.tr_time;
+  Fmt.pf ppf "Time equation: t(%s[%s]) = %s@," tr.tr_target
+    (String.concat ", " tr.tr_old_indices)
+    time_poly;
+  Fmt.pf ppf "Coordinate change T =@,%a@," Imatrix.pp tr.tr_matrix;
+  List.iteri
+    (fun r name ->
+      let terms =
+        List.mapi
+          (fun j v ->
+            let c = tr.tr_matrix.(r).(j) in
+            if c = 0 then None
+            else if c = 1 then Some v
+            else Some (Printf.sprintf "%d%s" c v))
+          tr.tr_old_indices
+        |> List.filter_map Fun.id
+      in
+      Fmt.pf ppf "  %s = %s@," name (String.concat " + " terms))
+    tr.tr_new_indices;
+  Fmt.pf ppf "Inverse (old coordinates):@,";
+  List.iteri
+    (fun j v ->
+      let terms =
+        List.mapi
+          (fun r name ->
+            let c = tr.tr_inverse.(j).(r) in
+            if c = 0 then None
+            else if c = 1 then Some name
+            else if c = -1 then Some ("- " ^ name)
+            else Some (Printf.sprintf "%+d%s" c name))
+          tr.tr_new_indices
+        |> List.filter_map Fun.id
+      in
+      Fmt.pf ppf "  %s = %s@," v (String.concat " " terms))
+    tr.tr_old_indices;
+  Fmt.pf ppf "@]"
+
+let derivation_to_string tr = Fmt.str "%a" pp_derivation tr

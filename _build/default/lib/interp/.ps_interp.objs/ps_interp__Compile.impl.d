@@ -1,0 +1,1 @@
+lib/interp/compile.ml: Array Bytes Elab Eval Float Fmt Int List Printf Ps_lang Ps_sem String Stypes Value

@@ -1,0 +1,1 @@
+lib/interp/compile.mli: Ps_lang Ps_sem Value

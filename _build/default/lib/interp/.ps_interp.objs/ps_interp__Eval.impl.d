@@ -1,0 +1,1 @@
+lib/interp/eval.ml: Array Bool Elab Float Fmt Int List Ps_lang Ps_sem String Stypes Value

@@ -1,0 +1,1 @@
+lib/interp/eval.mli: Ps_lang Ps_sem Value

@@ -1,0 +1,1 @@
+lib/interp/exec.ml: Array Atomic Bytes Compile Elab Eval Fmt Hashtbl List Option Ps_lang Ps_runtime Ps_sched Ps_sem String Stypes Value

@@ -1,0 +1,1 @@
+lib/interp/exec.mli: Ps_runtime Ps_sched Ps_sem Value

@@ -1,0 +1,1 @@
+lib/interp/value.ml: Array Bool Bytes Float Fmt List Printf Ps_sem String Stypes

@@ -1,0 +1,297 @@
+(* Closure compiler for equation right-hand sides.
+
+   Equations execute once per point of a (possibly large) iteration
+   space, so the inner loop must not walk the AST.  Expressions are
+   compiled bottom-up into unboxed closures over a [frame] — a flat
+   [int array] holding the values of the enclosing loop variables — with
+   the scalar type resolved at compile time, so the hot stencil path runs
+   with no allocation.
+
+   Module inputs and already-computed scalar locals are read from their
+   store slabs at compile time or run time as appropriate; anything
+   exotic (records, module calls) falls back to the tree-walk evaluator
+   through the [boxed] case.  The test suite checks closure-compiled
+   results against [Eval] on random expressions. *)
+
+open Ps_sem
+open Value
+
+type frame = int array
+
+type comp =
+  | CInt of (frame -> int)
+  | CReal of (frame -> float)
+  | CBool of (frame -> bool)
+  | CBoxed of (frame -> scalar)
+
+type cctx = {
+  k_em : Elab.emodule;
+  k_slab : string -> slab;          (* resolve/allocate a data slab *)
+  k_slot : string -> int option;    (* loop variable -> frame slot *)
+  k_call : string -> value list -> value list;
+  k_check : bool;
+}
+
+exception Cannot_compile of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Cannot_compile m)) fmt
+
+let as_real = function
+  | CReal f -> f
+  | CInt f -> fun fr -> float_of_int (f fr)
+  | CBoxed f -> fun fr -> as_float (f fr)
+  | CBool _ -> fail "boolean used as a number"
+
+let as_int_c = function
+  | CInt f -> f
+  | CReal f -> fun fr -> int_of_float (f fr)
+  | CBoxed f -> fun fr -> as_int (f fr)
+  | CBool _ -> fail "boolean used as an integer"
+
+let as_bool_c = function
+  | CBool f -> f
+  | CBoxed f -> fun fr -> as_bool (f fr)
+  | CInt _ | CReal _ -> fail "number used as a boolean"
+
+let as_scalar_c = function
+  | CInt f -> fun fr -> Sc_int (f fr)
+  | CReal f -> fun fr -> Sc_real (f fr)
+  | CBool f -> fun fr -> Sc_bool (f fr)
+  | CBoxed f -> f
+
+(* An evaluation context whose index lookups read the current frame; used
+   for the boxed fallback path. *)
+let eval_ctx ctx (fr : frame) : Eval.ctx =
+  { Eval.c_em = ctx.k_em;
+    c_slab = ctx.k_slab;
+    c_index =
+      (fun v ->
+        match ctx.k_slot v with Some s -> Some fr.(s) | None -> None);
+    c_call = ctx.k_call;
+    c_check = ctx.k_check }
+
+let enum_ordinal ctx name =
+  let rec find = function
+    | [] -> None
+    | (ename, ctors) :: rest -> (
+      let rec pos i = function
+        | [] -> None
+        | c :: cs -> if String.equal c name then Some (ename, i) else pos (i + 1) cs
+      in
+      match pos 0 ctors with Some r -> Some r | None -> find rest)
+  in
+  find ctx.k_em.Elab.em_enums
+
+(* Allocation-free offset computation for a compiled subscript vector;
+   shared by reads here and by the equation writers in [Exec]. *)
+let offset_closure ~check (s : slab) (sub_fns : (frame -> int) array) :
+    frame -> int =
+  let n = ndims s in
+  if Array.length sub_fns <> n then
+    fail "reference to %s has %d subscripts for %d dimensions" s.s_name
+      (Array.length sub_fns) n;
+  fun fr ->
+    let off = ref 0 in
+    for p = 0 to n - 1 do
+      let di = Array.unsafe_get s.s_dims p in
+      let v = (Array.unsafe_get sub_fns p) fr in
+      if check && (v < di.di_lo || v >= di.di_lo + di.di_extent) then
+        raise
+          (Bounds
+             (Printf.sprintf "%s: subscript %d = %d outside %d..%d" s.s_name
+                (p + 1) v di.di_lo (di.di_lo + di.di_extent - 1)));
+      let rel = v - di.di_lo in
+      let rel = if di.di_window = di.di_extent then rel else rel mod di.di_window in
+      off := !off + (rel * Array.unsafe_get s.s_strides p)
+    done;
+    !off
+
+(* Compile an array read: resolve the slab now, compile the subscripts,
+   and emit a kind-specialized closure. *)
+let compile_read ctx (s : slab) (sub_fns : (frame -> int) array) : comp =
+  let offset_of = offset_closure ~check:ctx.k_check s sub_fns in
+  match s.s_data with
+  | PFloat a -> CReal (fun fr -> Array.unsafe_get a (offset_of fr))
+  | PInt a -> (
+    match s.s_kind with
+    | KEnum e -> CBoxed (fun fr -> Sc_enum (e, Array.unsafe_get a (offset_of fr)))
+    | _ -> CInt (fun fr -> Array.unsafe_get a (offset_of fr)))
+  | PBool b -> CBool (fun fr -> Bytes.unsafe_get b (offset_of fr) <> '\000')
+  | PBox a ->
+    CBoxed
+      (fun fr ->
+        match Array.unsafe_get a (offset_of fr) with
+        | Brecord fields -> Sc_record fields
+        | Bnone -> Sc_record [])
+
+let rec compile (ctx : cctx) (e : Ps_lang.Ast.expr) : comp =
+  let open Ps_lang.Ast in
+  match e.e with
+  | Int n -> CInt (fun _ -> n)
+  | Real f -> CReal (fun _ -> f)
+  | Bool b -> CBool (fun _ -> b)
+  | Var x -> (
+    match ctx.k_slot x with
+    | Some slot -> CInt (fun fr -> Array.unsafe_get fr slot)
+    | None -> (
+      match Elab.find_data ctx.k_em x with
+      | Some d when Stypes.dims d.Elab.d_ty = [] ->
+        (* Scalar data: read its 0-dimensional slab at run time (it may
+           not be computed yet at compile time). *)
+        compile_read ctx (ctx.k_slab x) [||]
+      | Some _ -> fail "whole-array value %s in a scalar position" x
+      | None -> (
+        match enum_ordinal ctx x with
+        | Some (ename, ord) -> CBoxed (fun _ -> Sc_enum (ename, ord))
+        | None -> fail "unbound identifier %s" x)))
+  | Index ({ e = Var x; _ }, subs) when Elab.find_data ctx.k_em x <> None ->
+    let s = ctx.k_slab x in
+    if List.length subs <> ndims s then
+      (* Slice value: cold path. *)
+      boxed_fallback ctx e
+    else
+      let sub_fns =
+        Array.of_list (List.map (fun sub -> as_int_c (compile ctx sub)) subs)
+      in
+      compile_read ctx s sub_fns
+  | Index _ | Field _ -> boxed_fallback ctx e
+  | Call (f, args) -> compile_call ctx e f args
+  | Unop (Neg, a) -> (
+    match compile ctx a with
+    | CInt f -> CInt (fun fr -> -f fr)
+    | c -> let f = as_real c in CReal (fun fr -> -.f fr))
+  | Unop (Not, a) ->
+    let f = as_bool_c (compile ctx a) in
+    CBool (fun fr -> not (f fr))
+  | Binop (op, a, b) -> compile_binop ctx op a b
+  | If (c, t, f) -> (
+    let cf = as_bool_c (compile ctx c) in
+    let tc = compile ctx t and fc = compile ctx f in
+    match tc, fc with
+    | CInt tf, CInt ff -> CInt (fun fr -> if cf fr then tf fr else ff fr)
+    | CBool tf, CBool ff -> CBool (fun fr -> if cf fr then tf fr else ff fr)
+    | (CReal _ | CInt _), (CReal _ | CInt _) ->
+      let tf = as_real tc and ff = as_real fc in
+      CReal (fun fr -> if cf fr then tf fr else ff fr)
+    | _ ->
+      let tf = as_scalar_c tc and ff = as_scalar_c fc in
+      CBoxed (fun fr -> if cf fr then tf fr else ff fr))
+
+and compile_binop ctx op a b =
+  let open Ps_lang.Ast in
+  match op with
+  | And ->
+    let fa = as_bool_c (compile ctx a) and fb = as_bool_c (compile ctx b) in
+    CBool (fun fr -> fa fr && fb fr)
+  | Or ->
+    let fa = as_bool_c (compile ctx a) and fb = as_bool_c (compile ctx b) in
+    CBool (fun fr -> fa fr || fb fr)
+  | Add | Sub | Mul -> (
+    match compile ctx a, compile ctx b with
+    | CInt fa, CInt fb ->
+      CInt
+        (match op with
+         | Add -> fun fr -> fa fr + fb fr
+         | Sub -> fun fr -> fa fr - fb fr
+         | Mul -> fun fr -> fa fr * fb fr
+         | _ -> assert false)
+    | ca, cb ->
+      let fa = as_real ca and fb = as_real cb in
+      CReal
+        (match op with
+         | Add -> fun fr -> fa fr +. fb fr
+         | Sub -> fun fr -> fa fr -. fb fr
+         | Mul -> fun fr -> fa fr *. fb fr
+         | _ -> assert false))
+  | Div ->
+    let fa = as_real (compile ctx a) and fb = as_real (compile ctx b) in
+    CReal (fun fr -> fa fr /. fb fr)
+  | Idiv ->
+    let fa = as_int_c (compile ctx a) and fb = as_int_c (compile ctx b) in
+    CInt (fun fr -> fa fr / fb fr)
+  | Imod ->
+    let fa = as_int_c (compile ctx a) and fb = as_int_c (compile ctx b) in
+    CInt (fun fr -> fa fr mod fb fr)
+  | Eq | Ne | Lt | Le | Gt | Ge -> (
+    let mk cmp = CBool cmp in
+    match compile ctx a, compile ctx b with
+    | CInt fa, CInt fb ->
+      mk
+        (match op with
+         | Eq -> fun fr -> fa fr = fb fr
+         | Ne -> fun fr -> fa fr <> fb fr
+         | Lt -> fun fr -> fa fr < fb fr
+         | Le -> fun fr -> fa fr <= fb fr
+         | Gt -> fun fr -> fa fr > fb fr
+         | Ge -> fun fr -> fa fr >= fb fr
+         | _ -> assert false)
+    | CBool fa, CBool fb ->
+      mk
+        (match op with
+         | Eq -> fun fr -> fa fr = fb fr
+         | Ne -> fun fr -> fa fr <> fb fr
+         | _ -> fail "ordering on booleans")
+    | CBoxed fa, CBoxed fb ->
+      mk
+        (match op with
+         | Eq -> fun fr -> equal_scalar (fa fr) (fb fr)
+         | Ne -> fun fr -> not (equal_scalar (fa fr) (fb fr))
+         | _ ->
+           fun fr ->
+             let c = Int.compare (as_int (fa fr)) (as_int (fb fr)) in
+             (match op with
+              | Lt -> c < 0 | Le -> c <= 0 | Gt -> c > 0 | Ge -> c >= 0
+              | _ -> assert false))
+    | ca, cb ->
+      let fa = as_real ca and fb = as_real cb in
+      mk
+        (match op with
+         | Eq -> fun fr -> Float.equal (fa fr) (fb fr)
+         | Ne -> fun fr -> not (Float.equal (fa fr) (fb fr))
+         | Lt -> fun fr -> fa fr < fb fr
+         | Le -> fun fr -> fa fr <= fb fr
+         | Gt -> fun fr -> fa fr > fb fr
+         | Ge -> fun fr -> fa fr >= fb fr
+         | _ -> assert false))
+
+and compile_call ctx e f args =
+  match f, args with
+  | "sqrt", [ a ] -> un_real ctx sqrt a
+  | "sin", [ a ] -> un_real ctx sin a
+  | "cos", [ a ] -> un_real ctx cos a
+  | "exp", [ a ] -> un_real ctx exp a
+  | "ln", [ a ] -> un_real ctx log a
+  | "abs", [ a ] -> (
+    match compile ctx a with
+    | CInt fa -> CInt (fun fr -> abs (fa fr))
+    | c -> let fa = as_real c in CReal (fun fr -> abs_float (fa fr)))
+  | "intpart", [ a ] ->
+    let fa = as_real (compile ctx a) in
+    CInt (fun fr -> int_of_float (fa fr))
+  | "min", [ a; b ] -> minmax ctx min min a b
+  | "max", [ a; b ] -> minmax ctx max max a b
+  | _ -> boxed_fallback ctx e
+
+and un_real ctx g a =
+  let fa = as_real (compile ctx a) in
+  CReal (fun fr -> g (fa fr))
+
+and minmax ctx gi gf a b =
+  match compile ctx a, compile ctx b with
+  | CInt fa, CInt fb -> CInt (fun fr -> gi (fa fr) (fb fr))
+  | ca, cb ->
+    let fa = as_real ca and fb = as_real cb in
+    CReal (fun fr -> gf (fa fr) (fb fr))
+
+and boxed_fallback ctx e =
+  CBoxed (fun fr -> Eval.eval_scalar (eval_ctx ctx fr) e)
+
+(* Public entry points. *)
+
+let compile_int ctx e = as_int_c (compile ctx e)
+
+let compile_real ctx e = as_real (compile ctx e)
+
+let compile_bool ctx e = as_bool_c (compile ctx e)
+
+let compile_scalar ctx e = as_scalar_c (compile ctx e)

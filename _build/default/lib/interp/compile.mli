@@ -1,0 +1,41 @@
+(** Closure compiler for equation right-hand sides.
+
+    Expressions are compiled bottom-up into unboxed closures over a
+    {!frame} — a flat int array of enclosing loop-variable values — with
+    the scalar type resolved at compile time, so the hot stencil path
+    runs without allocation.  Anything exotic (records, module calls,
+    slices) falls back to the tree-walk evaluator; the test suite checks
+    agreement with {!Eval} on random expressions. *)
+
+type frame = int array
+
+type comp =
+  | CInt of (frame -> int)
+  | CReal of (frame -> float)
+  | CBool of (frame -> bool)
+  | CBoxed of (frame -> Value.scalar)
+
+type cctx = {
+  k_em : Ps_sem.Elab.emodule;
+  k_slab : string -> Value.slab;       (** resolve/allocate a data slab *)
+  k_slot : string -> int option;       (** loop variable -> frame slot *)
+  k_call : string -> Value.value list -> Value.value list;
+  k_check : bool;
+}
+
+exception Cannot_compile of string
+
+val compile : cctx -> Ps_lang.Ast.expr -> comp
+
+val compile_int : cctx -> Ps_lang.Ast.expr -> frame -> int
+
+val compile_real : cctx -> Ps_lang.Ast.expr -> frame -> float
+
+val compile_bool : cctx -> Ps_lang.Ast.expr -> frame -> bool
+
+val compile_scalar : cctx -> Ps_lang.Ast.expr -> frame -> Value.scalar
+
+val offset_closure :
+  check:bool -> Value.slab -> (frame -> int) array -> frame -> int
+(** Allocation-free flat-offset computation for compiled subscripts;
+    shared with the equation writers in {!Exec}. *)

@@ -1,0 +1,538 @@
+(* Flowchart execution.
+
+   The scheduler's flowchart is compiled into nested closures: iterative
+   (DO) loops run on the calling domain in index order; parallel (DOALL)
+   loops are handed to the domain pool, chunked, with a private frame per
+   chunk.  Only the outermost DOALL of a nest is parallelized (inner
+   DOALLs run sequentially inside each worker), the standard flattening
+   for loop-level parallelism.
+
+   Compilation of each top-level component is deferred until the moment
+   it executes, so arrays whose bounds depend on computed scalar locals
+   allocate only after those scalars exist — the topological component
+   order produced by the scheduler (with the bound edges of §3.1)
+   guarantees this is sound. *)
+
+open Ps_sem
+open Value
+
+exception Runtime_error = Eval.Runtime_error
+
+let fail fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
+
+type opts = {
+  pool : Ps_runtime.Pool.t option;  (* None: fully sequential *)
+  check : bool;                     (* subscript bounds checking *)
+  use_windows : bool;               (* honor virtual-dimension windows *)
+  min_par : int;                    (* smallest trip count worth forking *)
+  collect_stats : bool;             (* count equation evaluations *)
+}
+
+let default_opts =
+  { pool = None; check = true; use_windows = true; min_par = 4;
+    collect_stats = false }
+
+type run_result = {
+  outputs : (string * value) list;
+  allocated : (string * int) list;  (* words allocated per data item *)
+  evaluations : int option;         (* equation evaluations, if counted *)
+}
+
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  st_prog : Elab.eprogram;
+  st_em : Elab.emodule;
+  st_opts : opts;
+  st_windows : Ps_sched.Schedule.window list;
+  st_slabs : (string, slab) Hashtbl.t;
+  st_sched_cache : (string, Ps_sched.Schedule.result) Hashtbl.t;
+  st_evals : int Atomic.t;
+}
+
+let window_of st name dim =
+  if not st.st_opts.use_windows then None
+  else
+    List.find_map
+      (fun (w : Ps_sched.Schedule.window) ->
+        if String.equal w.Ps_sched.Schedule.w_data name && w.Ps_sched.Schedule.w_dim = dim
+        then Some w.Ps_sched.Schedule.w_size
+        else None)
+      st.st_windows
+
+let rec slab_of st name : slab =
+  match Hashtbl.find_opt st.st_slabs name with
+  | Some s -> s
+  | None ->
+    let data =
+      match Elab.find_data st.st_em name with
+      | Some d -> d
+      | None -> fail "unknown data item %s" name
+    in
+    let dims = Stypes.dims data.Elab.d_ty in
+    let elem = Stypes.elem_ty data.Elab.d_ty in
+    let ectx = eval_ctx st (fun _ -> None) in
+    let dim_specs =
+      List.mapi
+        (fun p (sr : Stypes.subrange) ->
+          let lo = Eval.eval_int ectx sr.Stypes.sr_lo in
+          let hi = Eval.eval_int ectx sr.Stypes.sr_hi in
+          let extent = hi - lo + 1 in
+          if extent < 0 then
+            fail "dimension %d of %s has negative extent (%d..%d)" (p + 1) name lo hi;
+          let window =
+            match window_of st name p with
+            | Some w -> min w extent
+            | None -> extent
+          in
+          (lo, extent, window))
+        dims
+    in
+    let s = make_slab ~name ~elem ~dims:dim_specs in
+    Hashtbl.add st.st_slabs name s;
+    s
+
+and eval_ctx st index : Eval.ctx =
+  { Eval.c_em = st.st_em;
+    c_slab = slab_of st;
+    c_index = index;
+    c_call = call st;
+    c_check = st.st_opts.check }
+
+and call st fname (args : value list) : value list =
+  match Elab.find_module st.st_prog fname with
+  | None -> fail "call to unknown module %s" fname
+  | Some callee ->
+    let sched =
+      match Hashtbl.find_opt st.st_sched_cache fname with
+      | Some r -> r
+      | None ->
+        let r = Ps_sched.Schedule.schedule callee in
+        Hashtbl.add st.st_sched_cache fname r;
+        r
+    in
+    let inputs =
+      try
+        List.map2
+          (fun (d : Elab.data) v -> (d.Elab.d_name, v))
+          callee.Elab.em_params args
+      with Invalid_argument _ ->
+        fail "call to %s: expected %d arguments, got %d" fname
+          (List.length callee.Elab.em_params)
+          (List.length args)
+    in
+    (* Nested module bodies run sequentially: the caller may already be
+       inside a parallel region. *)
+    let opts = { st.st_opts with pool = None } in
+    let r = run_scheduled ~opts ~prog:st.st_prog callee ~sched ~inputs in
+    List.map snd r.outputs
+
+(* ------------------------------------------------------------------ *)
+(* Input seeding *)
+
+and seed_inputs st (inputs : (string * value) list) =
+  (* Scalars first: array extents may depend on them. *)
+  let scalar_first =
+    List.stable_sort
+      (fun (_, a) (_, b) ->
+        match a, b with
+        | Vscalar _, Varray _ -> -1
+        | Varray _, Vscalar _ -> 1
+        | _ -> 0)
+      inputs
+  in
+  List.iter
+    (fun (name, v) ->
+      let data =
+        match Elab.find_data st.st_em name with
+        | Some d when d.Elab.d_kind = Elab.Input -> d
+        | Some _ -> fail "%s is not an input parameter" name
+        | None -> fail "unknown input %s" name
+      in
+      match v with
+      | Vscalar sc ->
+        let s =
+          make_slab ~name ~elem:data.Elab.d_ty ~dims:[]
+        in
+        set_scalar s [||] sc;
+        Hashtbl.replace st.st_slabs name s
+      | Varray given ->
+        (* Validate shape against the declared dimensions. *)
+        let dims = Stypes.dims data.Elab.d_ty in
+        if List.length dims <> ndims given then
+          fail "input %s: expected %d dimensions, got %d" name (List.length dims)
+            (ndims given);
+        let ectx = eval_ctx st (fun _ -> None) in
+        List.iteri
+          (fun p (sr : Stypes.subrange) ->
+            let lo = Eval.eval_int ectx sr.Stypes.sr_lo in
+            let hi = Eval.eval_int ectx sr.Stypes.sr_hi in
+            let di = given.s_dims.(p) in
+            if di.di_lo <> lo || di.di_extent <> hi - lo + 1 then
+              fail "input %s: dimension %d is %d..%d but %d..%d was declared"
+                name (p + 1) di.di_lo
+                (di.di_lo + di.di_extent - 1)
+                lo hi)
+          dims;
+        Hashtbl.replace st.st_slabs name { given with s_name = name })
+    scalar_first;
+  (* Every parameter must be supplied. *)
+  List.iter
+    (fun (d : Elab.data) ->
+      if not (Hashtbl.mem st.st_slabs d.Elab.d_name) then
+        fail "missing input %s" d.Elab.d_name)
+    st.st_em.Elab.em_params
+
+(* ------------------------------------------------------------------ *)
+(* Descriptor compilation *)
+
+and compile_descs st (benv : (string * int) list) ~par (descs : Ps_sched.Flowchart.t)
+    ~(max_slot : int ref) : Compile.frame -> unit =
+  let fns = Array.of_list (List.map (compile_desc st benv ~par ~max_slot) descs) in
+  fun fr -> Array.iter (fun f -> f fr) fns
+
+and compile_desc st benv ~par ~max_slot (d : Ps_sched.Flowchart.descriptor) :
+    Compile.frame -> unit =
+  match d with
+  | Ps_sched.Flowchart.D_data name ->
+    (* Ensure allocation at the scheduled point. *)
+    fun _ -> ignore (slab_of st name)
+  | Ps_sched.Flowchart.D_eq { er_id; er_aliases } ->
+    let w = compile_equation st benv ~aliases:er_aliases er_id in
+    if st.st_opts.collect_stats then (
+      let c = st.st_evals in
+      fun fr ->
+        Atomic.incr c;
+        w fr)
+    else w
+  | Ps_sched.Flowchart.D_solve s ->
+    (* A solved subscript: compute the index value from the enclosing
+       loop variables; run the body only when it lands in range. *)
+    let slot = List.length benv in
+    if slot + 1 > !max_slot then max_slot := slot + 1;
+    let cctx = compile_ctx st benv in
+    let rhs_f = Compile.compile_int cctx s.Ps_sched.Flowchart.sv_rhs in
+    let lo_f = Compile.compile_int cctx s.Ps_sched.Flowchart.sv_range.Stypes.sr_lo in
+    let hi_f = Compile.compile_int cctx s.Ps_sched.Flowchart.sv_range.Stypes.sr_hi in
+    let benv' = (s.Ps_sched.Flowchart.sv_var, slot) :: benv in
+    let body = compile_descs st benv' ~par ~max_slot s.Ps_sched.Flowchart.sv_body in
+    fun fr ->
+      let v = rhs_f fr in
+      if v >= lo_f fr && v <= hi_f fr then begin
+        fr.(slot) <- v;
+        body fr
+      end
+  | Ps_sched.Flowchart.D_loop l ->
+    let slot = List.length benv in
+    if slot + 1 > !max_slot then max_slot := slot + 1;
+    let cctx = compile_ctx st benv in
+    let lo_f = Compile.compile_int cctx l.Ps_sched.Flowchart.lp_range.Stypes.sr_lo in
+    let hi_f = Compile.compile_int cctx l.Ps_sched.Flowchart.lp_range.Stypes.sr_hi in
+    let benv' = (l.Ps_sched.Flowchart.lp_var, slot) :: benv in
+    (match l.Ps_sched.Flowchart.lp_kind with
+     | Ps_sched.Flowchart.Iterative ->
+       let body = compile_descs st benv' ~par ~max_slot l.Ps_sched.Flowchart.lp_body in
+       fun fr ->
+         let lo = lo_f fr and hi = hi_f fr in
+         for v = lo to hi do
+           fr.(slot) <- v;
+           body fr
+         done
+     | Ps_sched.Flowchart.Parallel -> (
+       match st.st_opts.pool with
+       | Some pool when par ->
+         (* Parallelize this DOALL; inner DOALLs run sequentially. *)
+         let body = compile_descs st benv' ~par:false ~max_slot l.Ps_sched.Flowchart.lp_body in
+         let min_par = st.st_opts.min_par in
+         fun fr ->
+           let lo = lo_f fr and hi = hi_f fr in
+           if hi - lo + 1 < min_par then
+             for v = lo to hi do
+               fr.(slot) <- v;
+               body fr
+             done
+           else
+             Ps_runtime.Pool.parallel_for pool ~lo ~hi (fun clo chi ->
+                 let fr' = Array.copy fr in
+                 for v = clo to chi do
+                   fr'.(slot) <- v;
+                   body fr'
+                 done)
+       | _ ->
+         let body = compile_descs st benv' ~par ~max_slot l.Ps_sched.Flowchart.lp_body in
+         fun fr ->
+           let lo = lo_f fr and hi = hi_f fr in
+           for v = lo to hi do
+             fr.(slot) <- v;
+             body fr
+           done))
+
+and compile_ctx st (benv : (string * int) list) : Compile.cctx =
+  { Compile.k_em = st.st_em;
+    k_slab = slab_of st;
+    k_slot = (fun v -> List.assoc_opt v benv);
+    k_call = call st;
+    k_check = st.st_opts.check }
+
+and compile_equation st benv ~aliases er_id : Compile.frame -> unit =
+  let q = Elab.eq_exn st.st_em er_id in
+  (* Resolve the frame slot of an equation index variable, following the
+     scheduler's renamings. *)
+  let slot_of v =
+    let v' = match List.assoc_opt v aliases with Some l -> l | None -> v in
+    match List.assoc_opt v' benv with
+    | Some s -> Some s
+    | None -> List.assoc_opt v benv
+  in
+  List.iter
+    (fun (ix : Elab.index) ->
+      if slot_of ix.Elab.ix_var = None then
+        fail "%s: index %s is not bound by an enclosing loop" q.Elab.q_name
+          ix.Elab.ix_var)
+    q.Elab.q_indices;
+  let cctx = { (compile_ctx st benv) with Compile.k_slot = slot_of } in
+  let compile_subs (df : Elab.def) (s : slab) =
+    Array.of_list
+      (List.map
+         (function
+           | Elab.Sub_index ix ->
+             let slot = Option.get (slot_of ix.Elab.ix_var) in
+             fun (fr : Compile.frame) -> Array.unsafe_get fr slot
+           | Elab.Sub_fixed e -> Compile.compile_int cctx e)
+         df.Elab.df_subs)
+    |> fun fns -> Compile.offset_closure ~check:st.st_opts.check s fns
+  in
+  match q.Elab.q_defs, q.Elab.q_rhs.Ps_lang.Ast.e with
+  | [ df ], _
+    when df.Elab.df_path <> []
+         && List.length df.Elab.df_subs
+            = List.length
+                (Stypes.dims (Elab.data_exn st.st_em df.Elab.df_data).Elab.d_ty) ->
+    (* Per-field record definition: read-modify-write the record box.
+       Distinct fields of one element are written by distinct equations,
+       which the scheduler orders sequentially, so there is no race. *)
+    let s = slab_of st df.Elab.df_data in
+    let off_f = compile_subs df s in
+    let rhs = Compile.compile_scalar cctx q.Elab.q_rhs in
+    let rec update fields path v =
+      match path with
+      | [] -> fail "empty field path"
+      | [ f ] -> (f, v) :: List.remove_assoc f fields
+      | f :: rest ->
+        let sub =
+          match List.assoc_opt f fields with
+          | Some (Sc_record inner) -> inner
+          | _ -> []
+        in
+        (f, Sc_record (update sub rest v)) :: List.remove_assoc f fields
+    in
+    (match s.s_data with
+     | PBox arr ->
+       fun fr ->
+         let off = off_f fr in
+         let current =
+           match Array.unsafe_get arr off with
+           | Brecord fields -> fields
+           | Bnone -> []
+         in
+         Array.unsafe_set arr off
+           (Brecord (update current df.Elab.df_path (rhs fr)))
+     | _ -> fail "field definition on a non-record %s" df.Elab.df_data)
+  | [ df ], _
+    when List.length df.Elab.df_subs
+         = List.length (Stypes.dims (Elab.data_exn st.st_em df.Elab.df_data).Elab.d_ty)
+    -> (
+    let s = slab_of st df.Elab.df_data in
+    let off_f = compile_subs df s in
+    match s.s_data with
+    | PFloat a ->
+      let rhs = Compile.compile_real cctx q.Elab.q_rhs in
+      fun fr -> Array.unsafe_set a (off_f fr) (rhs fr)
+    | PInt arr ->
+      let rhs = Compile.compile_int cctx q.Elab.q_rhs in
+      fun fr -> Array.unsafe_set arr (off_f fr) (rhs fr)
+    | PBool b ->
+      let rhs = Compile.compile_bool cctx q.Elab.q_rhs in
+      fun fr ->
+        Bytes.unsafe_set b (off_f fr) (if rhs fr then '\001' else '\000')
+    | PBox arr ->
+      let rhs = Compile.compile_scalar cctx q.Elab.q_rhs in
+      fun fr ->
+        (match rhs fr with
+         | Sc_record fields -> Array.unsafe_set arr (off_f fr) (Brecord fields)
+         | _ -> fail "record equation produced a non-record"))
+  | defs, Ps_lang.Ast.Call (fname, args) ->
+    (* Module call: multi-result, or whole-array assignment. *)
+    let writers =
+      List.map
+        (fun (df : Elab.def) ->
+          let s = slab_of st df.Elab.df_data in
+          let off_f =
+            if List.length df.Elab.df_subs = ndims s then Some (compile_subs df s)
+            else None
+          in
+          (s, off_f))
+        defs
+    in
+    fun fr ->
+      let ectx =
+        eval_ctx st (fun v ->
+            match slot_of v with Some s -> Some fr.(s) | None -> None)
+      in
+      let vargs = List.map (Eval.eval ectx) args in
+      let results = call st fname vargs in
+      (try
+         List.iter2
+           (fun (s, off_f) v ->
+             match v, off_f with
+             | Vscalar sc, Some off_f -> (
+               let off = off_f fr in
+               match s.s_data, sc with
+               | PFloat a, _ -> a.(off) <- as_float sc
+               | PInt a, _ -> a.(off) <- as_int sc
+               | PBool b, Sc_bool x -> Bytes.set b off (if x then '\001' else '\000')
+               | PBox a, Sc_record fields -> a.(off) <- Brecord fields
+               | _ -> fail "result kind mismatch writing %s" s.s_name)
+             | Vscalar _, None -> fail "scalar result for array %s" s.s_name
+             | Varray src, _ ->
+               (* Whole-array result assigned to a whole-array LHS. *)
+               copy_into ~src ~dst:s)
+           writers results
+       with Invalid_argument _ ->
+         fail "module %s returned %d results for %d variables" fname
+           (List.length results) (List.length writers))
+  | _ ->
+    fail "%s: equation defines several variables but is not a module call"
+      q.Elab.q_name
+
+and copy_into ~src ~dst =
+  if ndims src <> ndims dst then fail "array shape mismatch writing %s" dst.s_name;
+  let n = ndims src in
+  let idx = Array.make n 0 in
+  let rec fill p =
+    if p = n then set_scalar dst idx (get_scalar src idx)
+    else
+      let di = src.s_dims.(p) in
+      for v = di.di_lo to di.di_lo + di.di_extent - 1 do
+        idx.(p) <- v;
+        fill (p + 1)
+      done
+  in
+  if n = 0 then set_scalar dst [||] (get_scalar src [||]) else fill 0
+
+(* ------------------------------------------------------------------ *)
+
+and run_scheduled ~opts ~prog (em : Elab.emodule)
+    ~(sched : Ps_sched.Schedule.result) ~inputs : run_result =
+  run_flowchart ~opts ~prog em ~flowchart:sched.Ps_sched.Schedule.r_flowchart
+    ~windows:sched.Ps_sched.Schedule.r_windows ~inputs
+
+and run_flowchart ~opts ~prog (em : Elab.emodule)
+    ~(flowchart : Ps_sched.Flowchart.t) ~(windows : Ps_sched.Schedule.window list)
+    ~inputs : run_result =
+  let st =
+    { st_prog = prog;
+      st_em = em;
+      st_opts = opts;
+      st_windows = windows;
+      st_slabs = Hashtbl.create 16;
+      st_sched_cache = Hashtbl.create 4;
+      st_evals = Atomic.make 0 }
+  in
+  seed_inputs st inputs;
+  (* Compile and execute each top-level descriptor in turn, so that data
+     allocation happens after the scalars its bounds depend on. *)
+  List.iter
+    (fun d ->
+      let max_slot = ref 0 in
+      let f = compile_desc st [] ~par:true ~max_slot d in
+      let frame = Array.make (max 1 !max_slot) 0 in
+      f frame)
+    flowchart;
+  let outputs =
+    List.map
+      (fun (d : Elab.data) ->
+        let s = slab_of st d.Elab.d_name in
+        if ndims s = 0 then (d.Elab.d_name, Vscalar (get_scalar s [||]))
+        else (d.Elab.d_name, Varray s))
+      em.Elab.em_results
+  in
+  let allocated =
+    Hashtbl.fold (fun name s acc -> (name, allocated_words s) :: acc) st.st_slabs []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { outputs;
+    allocated;
+    evaluations =
+      (if opts.collect_stats then Some (Atomic.get st.st_evals) else None) }
+
+(* Top-level entry point: schedule (if needed) and run. *)
+let run ?(opts = default_opts) ?flowchart ?windows ~(prog : Elab.eprogram)
+    (em : Elab.emodule) ~(inputs : (string * value) list) : run_result =
+  match flowchart with
+  | Some fc ->
+    run_flowchart ~opts ~prog em ~flowchart:fc
+      ~windows:(Option.value windows ~default:[])
+      ~inputs
+  | None ->
+    let sched = Ps_sched.Schedule.schedule em in
+    let windows = Option.value windows ~default:sched.Ps_sched.Schedule.r_windows in
+    run_flowchart ~opts ~prog em ~flowchart:sched.Ps_sched.Schedule.r_flowchart
+      ~windows ~inputs
+
+(* Convenience input builders. *)
+
+let scalar_int n = Vscalar (Sc_int n)
+
+let scalar_real f = Vscalar (Sc_real f)
+
+let scalar_bool b = Vscalar (Sc_bool b)
+
+let array_real ~dims (f : int array -> float) : value =
+  let slab =
+    make_slab ~name:"<input>" ~elem:(Stypes.Scalar Stypes.Sreal)
+      ~dims:(List.map (fun (lo, hi) -> (lo, hi - lo + 1, hi - lo + 1)) dims)
+  in
+  let n = List.length dims in
+  let idx = Array.make n 0 in
+  let rec fill p =
+    if p = n then set_scalar slab idx (Sc_real (f idx))
+    else
+      let di = slab.s_dims.(p) in
+      for v = di.di_lo to di.di_lo + di.di_extent - 1 do
+        idx.(p) <- v;
+        fill (p + 1)
+      done
+  in
+  if n = 0 then set_scalar slab [||] (Sc_real (f [||])) else fill 0;
+  Varray slab
+
+let array_int ~dims (f : int array -> int) : value =
+  let slab =
+    make_slab ~name:"<input>" ~elem:(Stypes.Scalar Stypes.Sint)
+      ~dims:(List.map (fun (lo, hi) -> (lo, hi - lo + 1, hi - lo + 1)) dims)
+  in
+  let n = List.length dims in
+  let idx = Array.make n 0 in
+  let rec fill p =
+    if p = n then set_scalar slab idx (Sc_int (f idx))
+    else
+      let di = slab.s_dims.(p) in
+      for v = di.di_lo to di.di_lo + di.di_extent - 1 do
+        idx.(p) <- v;
+        fill (p + 1)
+      done
+  in
+  if n = 0 then set_scalar slab [||] (Sc_int (f [||])) else fill 0;
+  Varray slab
+
+(* Read a scalar out of an output array value. *)
+let read_real v idx =
+  match v with
+  | Varray s -> as_float (get_scalar s idx)
+  | Vscalar sc -> as_float sc
+
+let read_int v idx =
+  match v with
+  | Varray s -> as_int (get_scalar s idx)
+  | Vscalar sc -> as_int sc

@@ -1,0 +1,61 @@
+(** Flowchart execution.
+
+    The schedule is compiled into nested closures: DO loops run on the
+    calling domain in index order; DOALL loops go to the domain pool,
+    chunked, with a private frame per chunk (only the outermost DOALL of
+    a nest is parallelized).  Compilation of each top-level component is
+    deferred to just before it executes, so arrays whose bounds depend on
+    computed scalar locals allocate after those scalars exist — sound by
+    the scheduler's topological component order. *)
+
+exception Runtime_error of string
+
+type opts = {
+  pool : Ps_runtime.Pool.t option;  (** [None]: fully sequential *)
+  check : bool;                     (** subscript bounds checking *)
+  use_windows : bool;               (** honor virtual-dimension windows *)
+  min_par : int;                    (** smallest trip count worth forking *)
+  collect_stats : bool;             (** count equation evaluations *)
+}
+
+val default_opts : opts
+(** Sequential, checked, windowed, no statistics. *)
+
+type run_result = {
+  outputs : (string * Value.value) list;  (** module results, in order *)
+  allocated : (string * int) list;        (** words per data item, sorted *)
+  evaluations : int option;               (** equation evaluations, if counted *)
+}
+
+val run :
+  ?opts:opts ->
+  ?flowchart:Ps_sched.Flowchart.t ->
+  ?windows:Ps_sched.Schedule.window list ->
+  prog:Ps_sem.Elab.eprogram ->
+  Ps_sem.Elab.emodule ->
+  inputs:(string * Value.value) list ->
+  run_result
+(** Execute a module.  Without [flowchart] the module is scheduled first
+    (and the schedule's windows used unless [windows] overrides them).
+    [prog] supplies callee modules.  Inputs are validated against the
+    declared shapes.
+    @raise Runtime_error on missing/ill-shaped inputs or evaluation
+    faults; @raise Value.Bounds on a checked subscript violation. *)
+
+(** {1 Input builders and output readers} *)
+
+val scalar_int : int -> Value.value
+
+val scalar_real : float -> Value.value
+
+val scalar_bool : bool -> Value.value
+
+val array_real : dims:(int * int) list -> (int array -> float) -> Value.value
+(** [array_real ~dims f] builds an array over the inclusive bounds
+    [dims], filling each point from [f]. *)
+
+val array_int : dims:(int * int) list -> (int array -> int) -> Value.value
+
+val read_real : Value.value -> int array -> float
+
+val read_int : Value.value -> int array -> int

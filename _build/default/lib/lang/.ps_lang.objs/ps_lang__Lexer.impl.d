@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Char List Loc Printf String Token

@@ -1,0 +1,451 @@
+(* Recursive-descent parser for PS.
+
+   The grammar is LL(1) except for one spot: inside a type position, '('
+   may open either an enumeration '(red, green)' or a parenthesized
+   subrange bound '(M + 1) .. N'.  We resolve it with lexer backtracking. *)
+
+exception Error of string * Loc.span
+
+type t = { lx : Lexer.t }
+
+let create src = { lx = Lexer.create src }
+
+let error_at span msg = raise (Error (msg, span))
+
+let peek p = Lexer.peek p.lx
+
+let next p = Lexer.next p.lx
+
+let peek_tok p = fst (peek p)
+
+let expect p tok =
+  let got, span = next p in
+  if Token.equal got tok then span
+  else
+    error_at span
+      (Printf.sprintf "expected %s but found %s" (Token.to_string tok)
+         (Token.to_string got))
+
+let expect_ident p =
+  match next p with
+  | Token.IDENT s, span -> (s, span)
+  | got, span ->
+    error_at span
+      (Printf.sprintf "expected an identifier but found %s" (Token.to_string got))
+
+let accept p tok =
+  match peek p with
+  | got, _ when Token.equal got tok ->
+    ignore (next p);
+    true
+  | _ -> false
+
+(* --- expressions --------------------------------------------------- *)
+
+let rec parse_expr p : Ast.expr =
+  match peek p with
+  | Token.KW_IF, start ->
+    ignore (next p);
+    let cond = parse_expr p in
+    ignore (expect p Token.KW_THEN);
+    let e_then = parse_expr p in
+    ignore (expect p Token.KW_ELSE);
+    let e_else = parse_expr p in
+    { e = Ast.If (cond, e_then, e_else); e_loc = Loc.merge start e_else.e_loc }
+  | _ -> parse_or p
+
+and parse_or p =
+  let lhs = parse_and p in
+  if accept p Token.KW_OR then
+    let rhs = parse_or_rhs p lhs Ast.Or in
+    rhs
+  else lhs
+
+and parse_or_rhs p lhs op =
+  let rhs = parse_and p in
+  let e =
+    { Ast.e = Ast.Binop (op, lhs, rhs); e_loc = Loc.merge lhs.Ast.e_loc rhs.Ast.e_loc }
+  in
+  if accept p Token.KW_OR then parse_or_rhs p e Ast.Or else e
+
+and parse_and p =
+  let lhs = parse_rel p in
+  if accept p Token.KW_AND then parse_and_rhs p lhs else lhs
+
+and parse_and_rhs p lhs =
+  let rhs = parse_rel p in
+  let e =
+    { Ast.e = Ast.Binop (Ast.And, lhs, rhs);
+      e_loc = Loc.merge lhs.Ast.e_loc rhs.Ast.e_loc }
+  in
+  if accept p Token.KW_AND then parse_and_rhs p e else e
+
+and parse_rel p =
+  let lhs = parse_add p in
+  let op =
+    match peek_tok p with
+    | Token.EQ -> Some Ast.Eq
+    | Token.NE -> Some Ast.Ne
+    | Token.LT -> Some Ast.Lt
+    | Token.LE -> Some Ast.Le
+    | Token.GT -> Some Ast.Gt
+    | Token.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    ignore (next p);
+    let rhs = parse_add p in
+    { e = Ast.Binop (op, lhs, rhs); e_loc = Loc.merge lhs.Ast.e_loc rhs.Ast.e_loc }
+
+and parse_add p =
+  let rec loop lhs =
+    match peek_tok p with
+    | Token.PLUS ->
+      ignore (next p);
+      let rhs = parse_mul p in
+      loop
+        { Ast.e = Ast.Binop (Ast.Add, lhs, rhs);
+          e_loc = Loc.merge lhs.Ast.e_loc rhs.Ast.e_loc }
+    | Token.MINUS ->
+      ignore (next p);
+      let rhs = parse_mul p in
+      loop
+        { Ast.e = Ast.Binop (Ast.Sub, lhs, rhs);
+          e_loc = Loc.merge lhs.Ast.e_loc rhs.Ast.e_loc }
+    | _ -> lhs
+  in
+  loop (parse_mul p)
+
+and parse_mul p =
+  let rec loop lhs =
+    let op =
+      match peek_tok p with
+      | Token.STAR -> Some Ast.Mul
+      | Token.SLASH -> Some Ast.Div
+      | Token.KW_DIV -> Some Ast.Idiv
+      | Token.KW_MOD -> Some Ast.Imod
+      | _ -> None
+    in
+    match op with
+    | None -> lhs
+    | Some op ->
+      ignore (next p);
+      let rhs = parse_unary p in
+      loop
+        { Ast.e = Ast.Binop (op, lhs, rhs);
+          e_loc = Loc.merge lhs.Ast.e_loc rhs.Ast.e_loc }
+  in
+  loop (parse_unary p)
+
+and parse_unary p =
+  match peek p with
+  | Token.MINUS, start ->
+    ignore (next p);
+    let e = parse_unary p in
+    { e = Ast.Unop (Ast.Neg, e); e_loc = Loc.merge start e.Ast.e_loc }
+  | Token.KW_NOT, start ->
+    ignore (next p);
+    let e = parse_unary p in
+    { e = Ast.Unop (Ast.Not, e); e_loc = Loc.merge start e.Ast.e_loc }
+  | _ -> parse_postfix p
+
+and parse_postfix p =
+  let rec loop e =
+    match peek p with
+    | Token.LBRACKET, _ ->
+      ignore (next p);
+      let subs = parse_expr_list p in
+      let close = expect p Token.RBRACKET in
+      loop { Ast.e = Ast.Index (e, subs); e_loc = Loc.merge e.Ast.e_loc close }
+    | Token.DOT, _ ->
+      ignore (next p);
+      let field, fspan = expect_ident p in
+      loop { Ast.e = Ast.Field (e, field); e_loc = Loc.merge e.Ast.e_loc fspan }
+    | _ -> e
+  in
+  loop (parse_primary p)
+
+and parse_primary p =
+  match next p with
+  | Token.INT_LIT n, span -> { e = Ast.Int n; e_loc = span }
+  | Token.REAL_LIT f, span -> { e = Ast.Real f; e_loc = span }
+  | Token.KW_TRUE, span -> { e = Ast.Bool true; e_loc = span }
+  | Token.KW_FALSE, span -> { e = Ast.Bool false; e_loc = span }
+  | Token.IDENT name, span -> (
+    match peek p with
+    | Token.LPAREN, _ ->
+      ignore (next p);
+      let args = if Token.equal (peek_tok p) Token.RPAREN then [] else parse_expr_list p in
+      let close = expect p Token.RPAREN in
+      { e = Ast.Call (name, args); e_loc = Loc.merge span close }
+    | _ -> { e = Ast.Var name; e_loc = span })
+  | Token.LPAREN, _ ->
+    let e = parse_expr p in
+    ignore (expect p Token.RPAREN);
+    e
+  | got, span ->
+    error_at span
+      (Printf.sprintf "expected an expression but found %s" (Token.to_string got))
+
+and parse_expr_list p =
+  let e = parse_expr p in
+  if accept p Token.COMMA then e :: parse_expr_list p else [ e ]
+
+(* --- types ---------------------------------------------------------- *)
+
+let rec parse_type p : Ast.type_expr =
+  match peek p with
+  | Token.KW_INT, span -> ignore (next p); { t = Ast.Tint; t_loc = span }
+  | Token.KW_REAL, span -> ignore (next p); { t = Ast.Treal; t_loc = span }
+  | Token.KW_BOOL, span -> ignore (next p); { t = Ast.Tbool; t_loc = span }
+  | Token.KW_ARRAY, start ->
+    ignore (next p);
+    ignore (expect p Token.LBRACKET);
+    let dims = parse_index_types p in
+    ignore (expect p Token.RBRACKET);
+    ignore (expect p Token.KW_OF);
+    let elem = parse_type p in
+    { t = Ast.Tarray (dims, elem); t_loc = Loc.merge start elem.Ast.t_loc }
+  | Token.KW_RECORD, start ->
+    ignore (next p);
+    let fields = parse_record_fields p in
+    let close = expect p Token.KW_END in
+    { t = Ast.Trecord fields; t_loc = Loc.merge start close }
+  | Token.LPAREN, start -> parse_paren_type p start
+  | _, start ->
+    (* Either a type name used alone, or the start of a subrange
+       expression such as [0 .. M + 1] or [M - 1 .. N].  A bare
+       identifier not followed by '..' is a type name. *)
+    let snap = Lexer.save p.lx in
+    (match next p with
+     | Token.IDENT name, span when not (Token.equal (peek_tok p) Token.DOTDOT)
+                                   && not (is_expr_continuation (peek_tok p)) ->
+       { t = Ast.Tname name; t_loc = span }
+     | _ ->
+       Lexer.restore p.lx snap;
+       let lo = parse_add p in
+       ignore (expect p Token.DOTDOT);
+       let hi = parse_add p in
+       { t = Ast.Tsubrange (lo, hi); t_loc = Loc.merge start hi.Ast.e_loc })
+
+and is_expr_continuation = function
+  | Token.PLUS | Token.MINUS | Token.STAR | Token.SLASH | Token.KW_DIV
+  | Token.KW_MOD | Token.LBRACKET ->
+    true
+  | _ -> false
+
+and parse_paren_type p start =
+  (* '(' in type position: enumeration or parenthesized subrange bound. *)
+  let snap = Lexer.save p.lx in
+  ignore (expect p Token.LPAREN);
+  let rec idents acc =
+    match next p with
+    | Token.IDENT s, _ -> (
+      match next p with
+      | Token.COMMA, _ -> idents (s :: acc)
+      | Token.RPAREN, span -> Some (List.rev (s :: acc), span)
+      | _ -> None)
+    | _ -> None
+  in
+  match idents [] with
+  | Some (constructors, close) when not (Token.equal (peek_tok p) Token.DOTDOT) ->
+    { t = Ast.Tenum constructors; t_loc = Loc.merge start close }
+  | _ ->
+    Lexer.restore p.lx snap;
+    let lo = parse_add p in
+    ignore (expect p Token.DOTDOT);
+    let hi = parse_add p in
+    { t = Ast.Tsubrange (lo, hi); t_loc = Loc.merge start hi.Ast.e_loc }
+
+and parse_index_types p =
+  (* Index positions inside array [...]: a type name, or an inline
+     subrange.  'array [I, J]' means two named dimensions. *)
+  let one () =
+    let start = snd (peek p) in
+    let snap = Lexer.save p.lx in
+    match next p with
+    | Token.IDENT name, span
+      when Token.equal (peek_tok p) Token.COMMA
+           || Token.equal (peek_tok p) Token.RBRACKET ->
+      { Ast.t = Ast.Tname name; t_loc = span }
+    | _ ->
+      Lexer.restore p.lx snap;
+      let lo = parse_add p in
+      ignore (expect p Token.DOTDOT);
+      let hi = parse_add p in
+      { Ast.t = Ast.Tsubrange (lo, hi); t_loc = Loc.merge start hi.Ast.e_loc }
+  in
+  let rec loop acc =
+    let d = one () in
+    if accept p Token.COMMA then loop (d :: acc) else List.rev (d :: acc)
+  in
+  loop []
+
+and parse_record_fields p =
+  let rec loop acc =
+    match peek p with
+    | Token.KW_END, _ -> List.rev acc
+    | Token.IDENT _, _ ->
+      let names = parse_ident_list p in
+      ignore (expect p Token.COLON);
+      let ty = parse_type p in
+      ignore (accept p Token.SEMI);
+      let acc = List.fold_left (fun acc n -> (n, ty) :: acc) acc names in
+      loop acc
+    | got, span ->
+      error_at span
+        (Printf.sprintf "expected a record field or 'end' but found %s"
+           (Token.to_string got))
+  in
+  loop []
+
+and parse_ident_list p =
+  let x, _ = expect_ident p in
+  if accept p Token.COMMA then x :: parse_ident_list p else [ x ]
+
+(* --- declarations ---------------------------------------------------- *)
+
+let parse_param_group p : Ast.param list =
+  let start = snd (peek p) in
+  let names = parse_ident_list p in
+  ignore (expect p Token.COLON);
+  let ty = parse_type p in
+  List.map
+    (fun n -> { Ast.p_name = n; p_type = ty; p_loc = Loc.merge start ty.Ast.t_loc })
+    names
+
+let parse_params p ~closing =
+  let rec loop acc =
+    if Token.equal (peek_tok p) closing then List.rev acc
+    else
+      let group = parse_param_group p in
+      let acc = List.rev_append group acc in
+      if accept p Token.SEMI || accept p Token.COMMA then loop acc
+      else List.rev acc
+  in
+  loop []
+
+let parse_type_section p : Ast.type_decl list =
+  let rec loop acc =
+    match peek p with
+    | Token.IDENT _, start ->
+      let names = parse_ident_list p in
+      ignore (expect p Token.EQ);
+      let def = parse_type p in
+      ignore (expect p Token.SEMI);
+      loop ({ Ast.td_names = names; td_def = def; td_loc = start } :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+let parse_var_section p : Ast.var_decl list =
+  let rec loop acc =
+    match peek p with
+    | Token.IDENT _, start ->
+      let names = parse_ident_list p in
+      ignore (expect p Token.COLON);
+      let ty = parse_type p in
+      ignore (expect p Token.SEMI);
+      loop ({ Ast.vd_names = names; vd_type = ty; vd_loc = start } :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+let parse_lhs p : Ast.lhs =
+  let name, span = expect_ident p in
+  let subs, span =
+    if accept p Token.LBRACKET then begin
+      let subs = parse_expr_list p in
+      let close = expect p Token.RBRACKET in
+      (subs, Loc.merge span close)
+    end
+    else ([], span)
+  in
+  (* Optional record-field path: s.x or S[I].pos . *)
+  let rec path acc span =
+    if accept p Token.DOT then
+      let f, fspan = expect_ident p in
+      path (f :: acc) (Loc.merge span fspan)
+    else (List.rev acc, span)
+  in
+  let l_path, span = path [] span in
+  { l_name = name; l_subs = subs; l_path; l_loc = span }
+
+let parse_equation p : Ast.equation =
+  let start = snd (peek p) in
+  let rec lhss acc =
+    let l = parse_lhs p in
+    if accept p Token.COMMA then lhss (l :: acc) else List.rev (l :: acc)
+  in
+  let eq_lhs = lhss [] in
+  ignore (expect p Token.EQ);
+  let eq_rhs = parse_expr p in
+  ignore (expect p Token.SEMI);
+  { eq_lhs; eq_rhs; eq_loc = Loc.merge start eq_rhs.Ast.e_loc }
+
+let parse_define_section p : Ast.equation list =
+  let rec loop acc =
+    match peek p with
+    | Token.IDENT _, _ -> loop (parse_equation p :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+let parse_module p : Ast.pmodule =
+  let m_name, start = expect_ident p in
+  ignore (expect p Token.COLON);
+  ignore (expect p Token.KW_MODULE);
+  ignore (expect p Token.LPAREN);
+  let m_params = parse_params p ~closing:Token.RPAREN in
+  ignore (expect p Token.RPAREN);
+  ignore (expect p Token.COLON);
+  ignore (expect p Token.LBRACKET);
+  let m_results = parse_params p ~closing:Token.RBRACKET in
+  ignore (expect p Token.RBRACKET);
+  ignore (accept p Token.SEMI);
+  let m_types = if accept p Token.KW_TYPE then parse_type_section p else [] in
+  let m_vars = if accept p Token.KW_VAR then parse_var_section p else [] in
+  ignore (expect p Token.KW_DEFINE);
+  let m_eqs = parse_define_section p in
+  let close = expect p Token.KW_END in
+  (* Optional trailing module name, as in 'end Relaxation;'. *)
+  let close =
+    match peek p with
+    | Token.IDENT n, span when String.equal n m_name ->
+      ignore (next p);
+      span
+    | _ -> close
+  in
+  ignore (accept p Token.SEMI);
+  { m_name; m_params; m_results; m_types; m_vars; m_eqs;
+    m_loc = Loc.merge start close }
+
+let parse_program p : Ast.program =
+  let rec loop acc =
+    match peek p with
+    | Token.EOF, _ -> List.rev acc
+    | _ -> loop (parse_module p :: acc)
+  in
+  loop []
+
+(* --- entry points ----------------------------------------------------- *)
+
+let program_of_string src = parse_program (create src)
+
+let module_of_string src =
+  match program_of_string src with
+  | [ m ] -> m
+  | [] -> error_at Loc.dummy "empty program"
+  | m :: _ -> m
+
+let expr_of_string src =
+  let p = create src in
+  let e = parse_expr p in
+  (match peek p with
+   | Token.EOF, _ -> ()
+   | got, span ->
+     error_at span
+       (Printf.sprintf "trailing input after expression: %s" (Token.to_string got)));
+  e

@@ -1,0 +1,111 @@
+(* Tokens of the PS surface syntax. *)
+
+type t =
+  | IDENT of string
+  | INT_LIT of int
+  | REAL_LIT of float
+  (* keywords *)
+  | KW_MODULE
+  | KW_TYPE
+  | KW_VAR
+  | KW_DEFINE
+  | KW_END
+  | KW_OF
+  | KW_ARRAY
+  | KW_RECORD
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_AND
+  | KW_OR
+  | KW_NOT
+  | KW_DIV
+  | KW_MOD
+  | KW_INT
+  | KW_REAL
+  | KW_BOOL
+  | KW_TRUE
+  | KW_FALSE
+  (* punctuation and operators *)
+  | COLON
+  | SEMI
+  | COMMA
+  | DOT
+  | DOTDOT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+let keyword_table =
+  [ ("module", KW_MODULE); ("type", KW_TYPE); ("var", KW_VAR);
+    ("define", KW_DEFINE); ("end", KW_END); ("of", KW_OF);
+    ("array", KW_ARRAY); ("record", KW_RECORD); ("if", KW_IF);
+    ("then", KW_THEN); ("else", KW_ELSE); ("and", KW_AND); ("or", KW_OR);
+    ("not", KW_NOT); ("div", KW_DIV); ("mod", KW_MOD); ("int", KW_INT);
+    ("real", KW_REAL); ("bool", KW_BOOL); ("true", KW_TRUE);
+    ("false", KW_FALSE) ]
+
+let keyword_of_string s =
+  (* Keywords are recognized case-insensitively, matching the paper's mixed
+     usage ("If", "module"). *)
+  List.assoc_opt (String.lowercase_ascii s) keyword_table
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT_LIT n -> Printf.sprintf "integer %d" n
+  | REAL_LIT f -> Printf.sprintf "real %g" f
+  | KW_MODULE -> "'module'"
+  | KW_TYPE -> "'type'"
+  | KW_VAR -> "'var'"
+  | KW_DEFINE -> "'define'"
+  | KW_END -> "'end'"
+  | KW_OF -> "'of'"
+  | KW_ARRAY -> "'array'"
+  | KW_RECORD -> "'record'"
+  | KW_IF -> "'if'"
+  | KW_THEN -> "'then'"
+  | KW_ELSE -> "'else'"
+  | KW_AND -> "'and'"
+  | KW_OR -> "'or'"
+  | KW_NOT -> "'not'"
+  | KW_DIV -> "'div'"
+  | KW_MOD -> "'mod'"
+  | KW_INT -> "'int'"
+  | KW_REAL -> "'real'"
+  | KW_BOOL -> "'bool'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | COLON -> "':'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | DOTDOT -> "'..'"
+  | EQ -> "'='"
+  | NE -> "'<>'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | EOF -> "end of input"
+
+let equal (a : t) (b : t) = a = b

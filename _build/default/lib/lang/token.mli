@@ -1,0 +1,56 @@
+(** Tokens of the PS surface syntax. *)
+
+type t =
+  | IDENT of string       (** identifier (case-sensitive) *)
+  | INT_LIT of int
+  | REAL_LIT of float
+  | KW_MODULE
+  | KW_TYPE
+  | KW_VAR
+  | KW_DEFINE
+  | KW_END
+  | KW_OF
+  | KW_ARRAY
+  | KW_RECORD
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_AND
+  | KW_OR
+  | KW_NOT
+  | KW_DIV
+  | KW_MOD
+  | KW_INT
+  | KW_REAL
+  | KW_BOOL
+  | KW_TRUE
+  | KW_FALSE
+  | COLON
+  | SEMI
+  | COMMA
+  | DOT
+  | DOTDOT      (** the [..] of subranges *)
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+val keyword_of_string : string -> t option
+(** Recognize a keyword, case-insensitively (the paper mixes "If" and
+    "if"); [None] for ordinary identifiers. *)
+
+val to_string : t -> string
+(** Human-readable form for error messages. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/models/models.ml: Array Int64 Ps_interp

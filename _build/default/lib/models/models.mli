@@ -1,0 +1,65 @@
+(** PS source of the paper's worked examples and additional workloads,
+    shared by the CLI demo, the examples, the tests and the benchmark
+    harness. *)
+
+val jacobi : string
+(** Fig. 1 verbatim: Jacobi-style relaxation — every stencil read from
+    iteration K-1.  Schedules to Fig. 6; A's first dimension windows to
+    2 planes. *)
+
+val seidel : string
+(** §4's "more standard relaxation": west/north neighbours read from the
+    current sweep.  Schedules to the fully iterative Fig. 7; the
+    hyperplane transformation re-parallelizes it. *)
+
+val heat1d : string
+(** 1-D heat diffusion: one time axis (DO), one space axis (DOALL). *)
+
+val matmul : string
+(** Matrix product as a recursive accumulation: the reduction axis is
+    the only iterative loop. *)
+
+val binomial : string
+(** Pascal's triangle: one iterative level axis, one DOALL row axis. *)
+
+val prefix_sum : string
+(** First-order linear recurrence: no parallel dimension at all. *)
+
+val two_module : string
+(** Three modules: a Driver calling Relaxation and Scale — whole-array
+    module-call equations. *)
+
+val classify : string
+(** Enumerations: classify reals into buckets, count one bucket with a
+    recursive accumulator; a multi-result module. *)
+
+val particles : string
+(** Record states advanced through time, one equation per field
+    ([S[T,P].x = ...]); the time dimension still windows to 2 planes. *)
+
+val lcs : string
+(** Longest common subsequence: a 2-D recurrence carrying dependences in
+    both dimensions; the hyperplane method finds t = I + J (anti-diagonal
+    wavefronts). *)
+
+val skewed : string
+(** A stencil whose reads mix I+1 / J-1 offsets but stay on iteration
+    K-1: still a DOALL nest under an iterative K. *)
+
+(** {1 Deterministic inputs} *)
+
+val fill_value : int -> float
+(** The LCG fill shared bit-for-bit with the generated-C harness
+    ({!Ps_codegen.Emit.emit_main}): flat index to a value in [0, 1). *)
+
+val grid_input : int -> Ps_interp.Value.value
+(** [(M+2) x (M+2)] real grid, row-major {!fill_value}. *)
+
+val line_input : int -> Ps_interp.Value.value
+(** [0 .. N+1] real line. *)
+
+val square_input : ?lo:int -> int -> Ps_interp.Value.value
+(** [lo..N x lo..N] real matrix (default [lo = 1]). *)
+
+val relaxation_inputs : m:int -> maxk:int -> (string * Ps_interp.Value.value) list
+(** The full input binding for {!jacobi} / {!seidel}. *)

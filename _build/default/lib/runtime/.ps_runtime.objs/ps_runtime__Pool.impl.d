@@ -1,0 +1,1 @@
+lib/runtime/pool.ml: Atomic Condition Domain Fun List Mutex

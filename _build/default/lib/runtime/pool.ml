@@ -1,0 +1,152 @@
+(* A fixed pool of worker domains executing parallel for-loops.
+
+   This is the MIMD substrate the scheduler's DOALL loops target.  The
+   design is deliberately simple and allocation-free on the hot path:
+
+   - [size] worker domains are spawned once and parked on a condition
+     variable;
+   - [parallel_for] publishes a job (function + index range), wakes the
+     workers, and participates itself;
+   - iterations are handed out in contiguous chunks via an atomic
+     fetch-and-add, so uneven iteration costs (e.g. boundary vs interior
+     points) still balance;
+   - the caller returns when every chunk has completed.
+
+   Exceptions raised by the body are caught per-worker, the loop is
+   drained, and the first exception is re-raised at the caller. *)
+
+type job = {
+  j_lo : int;
+  j_hi : int;             (* inclusive *)
+  j_chunk : int;
+  j_body : int -> int -> unit;  (* [body lo hi] runs indices lo..hi *)
+  j_next : int Atomic.t;        (* next unclaimed index *)
+  j_pending : int Atomic.t;     (* chunks not yet finished *)
+  j_error : exn option Atomic.t;
+}
+
+type t = {
+  p_size : int;                 (* total workers including the caller *)
+  p_mutex : Mutex.t;
+  p_wake : Condition.t;
+  p_busy : bool Atomic.t;       (* a job is in flight: re-entrant calls run inline *)
+  mutable p_job : job option;
+  mutable p_epoch : int;        (* bumped for every new job *)
+  mutable p_shutdown : bool;
+  mutable p_domains : unit Domain.t list;
+}
+
+let run_chunks (job : job) =
+  let rec loop () =
+    let lo = Atomic.fetch_and_add job.j_next job.j_chunk in
+    if lo <= job.j_hi then begin
+      let hi = min job.j_hi (lo + job.j_chunk - 1) in
+      (try job.j_body lo hi
+       with exn ->
+         (* Record the first failure; keep draining so the caller can
+            finish deterministically. *)
+         ignore (Atomic.compare_and_set job.j_error None (Some exn)));
+      ignore (Atomic.fetch_and_add job.j_pending (-1));
+      loop ()
+    end
+  in
+  loop ()
+
+let worker pool =
+  let rec wait epoch =
+    Mutex.lock pool.p_mutex;
+    while (not pool.p_shutdown) && pool.p_epoch = epoch do
+      Condition.wait pool.p_wake pool.p_mutex
+    done;
+    let job = pool.p_job and epoch' = pool.p_epoch in
+    let stop = pool.p_shutdown in
+    Mutex.unlock pool.p_mutex;
+    if stop then ()
+    else begin
+      (match job with Some j -> run_chunks j | None -> ());
+      wait epoch'
+    end
+  in
+  wait 0
+
+let create size =
+  let size = max 1 size in
+  let pool =
+    { p_size = size;
+      p_mutex = Mutex.create ();
+      p_wake = Condition.create ();
+      p_busy = Atomic.make false;
+      p_job = None;
+      p_epoch = 0;
+      p_shutdown = false;
+      p_domains = [] }
+  in
+  pool.p_domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let size pool = pool.p_size
+
+let shutdown pool =
+  Mutex.lock pool.p_mutex;
+  pool.p_shutdown <- true;
+  Condition.broadcast pool.p_wake;
+  Mutex.unlock pool.p_mutex;
+  List.iter Domain.join pool.p_domains;
+  pool.p_domains <- []
+
+let sequential_for lo hi body = if lo <= hi then body lo hi
+
+(* Default chunk size: aim for several chunks per worker so that uneven
+   iteration costs still balance, without making chunks so small that the
+   fetch-and-add dominates. *)
+let chunk_for pool lo hi =
+  let span = hi - lo + 1 in
+  max 1 (span / (pool.p_size * 4))
+
+let parallel_for ?chunk pool ~lo ~hi (body : int -> int -> unit) =
+  if lo > hi then ()
+  else if hi = lo then body lo hi
+  else if not (Atomic.compare_and_set pool.p_busy false true) then
+    (* Re-entrant call (e.g. a nested DOALL reached dynamically): run
+       inline rather than deadlock on the single job slot. *)
+    body lo hi
+  else begin
+    let chunk = match chunk with Some c -> max 1 c | None -> chunk_for pool lo hi in
+    let nchunks = ((hi - lo) / chunk) + 1 in
+    let job =
+      { j_lo = lo;
+        j_hi = hi;
+        j_chunk = chunk;
+        j_body = body;
+        j_next = Atomic.make lo;
+        j_pending = Atomic.make nchunks;
+        j_error = Atomic.make None }
+    in
+    ignore job.j_lo;
+    Mutex.lock pool.p_mutex;
+    pool.p_job <- Some job;
+    pool.p_epoch <- pool.p_epoch + 1;
+    Condition.broadcast pool.p_wake;
+    Mutex.unlock pool.p_mutex;
+    (* The caller works too. *)
+    run_chunks job;
+    (* Wait for stragglers (busy-wait is fine: chunks are short-lived and
+       the caller just finished helping). *)
+    while Atomic.get job.j_pending > 0 do
+      Domain.cpu_relax ()
+    done;
+    Mutex.lock pool.p_mutex;
+    pool.p_job <- None;
+    Mutex.unlock pool.p_mutex;
+    Atomic.set pool.p_busy false;
+    match Atomic.get job.j_error with
+    | Some exn -> raise exn
+    | None -> ()
+  end
+
+(* Run [f] with a temporary pool of [size] workers. *)
+let with_pool size f =
+  let pool = create size in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let recommended_size () = Domain.recommended_domain_count ()

@@ -1,0 +1,36 @@
+(** A fixed pool of worker domains executing parallel for loops — the
+    MIMD substrate the scheduler's DOALL loops target.
+
+    Workers are spawned once and parked; {!parallel_for} publishes a job,
+    participates itself, and hands out contiguous chunks through an
+    atomic fetch-and-add so uneven iteration costs still balance. *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns a pool of [n] workers total (including the calling
+    domain); clamped to at least 1. *)
+
+val size : t -> int
+
+val shutdown : t -> unit
+(** Terminate and join the workers.  The pool must not be used after. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** Run with a temporary pool, shutting it down on exit (also on
+    exceptions). *)
+
+val parallel_for : ?chunk:int -> t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi body] runs [body a b] over disjoint chunks
+    covering [lo..hi] (inclusive), concurrently.  Empty ranges do
+    nothing.  A re-entrant call from inside a running job executes
+    inline.  If bodies raise, the loop is drained and the first exception
+    re-raised at the caller.  [chunk] overrides the chunk size (default:
+    span / (4 * size), at least 1). *)
+
+val sequential_for : int -> int -> (int -> int -> unit) -> unit
+(** [sequential_for lo hi body] is [body lo hi] when the range is
+    non-empty — the degenerate substrate used when no pool is given. *)
+
+val recommended_size : unit -> int
+(** [Domain.recommended_domain_count ()]. *)

@@ -1,0 +1,1 @@
+lib/sched/analysis.ml: Flowchart Linexpr List Ps_lang Ps_sem String Stypes

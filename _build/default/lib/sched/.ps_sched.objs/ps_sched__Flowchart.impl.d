@@ -1,0 +1,1 @@
+lib/sched/flowchart.ml: Elab Fmt List Ps_lang Ps_sem Stypes

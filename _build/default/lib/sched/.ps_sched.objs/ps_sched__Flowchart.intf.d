@@ -1,0 +1,1 @@
+lib/sched/flowchart.mli: Fmt Ps_lang Ps_sem

@@ -1,0 +1,1 @@
+lib/sched/fuse.ml: Array Dgraph Elab Flowchart Label List Ps_graph Ps_lang Ps_sem String Stypes

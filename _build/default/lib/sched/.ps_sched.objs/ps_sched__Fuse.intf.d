@@ -1,0 +1,1 @@
+lib/sched/fuse.mli: Flowchart Ps_graph Ps_sem

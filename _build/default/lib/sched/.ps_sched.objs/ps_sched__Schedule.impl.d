@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Build Dgraph Elab Flowchart Hashtbl Label List Ps_graph Ps_sem Scc String Stypes

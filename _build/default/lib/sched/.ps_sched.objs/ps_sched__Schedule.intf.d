@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Flowchart Ps_graph Ps_sem

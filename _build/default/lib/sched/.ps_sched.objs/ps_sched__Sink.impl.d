@@ -1,0 +1,1 @@
+lib/sched/sink.ml: Array Ast Elab Flowchart Linexpr List Ps_graph Ps_lang Ps_sem Schedule String Stypes

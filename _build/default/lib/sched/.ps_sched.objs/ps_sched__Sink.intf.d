@@ -1,0 +1,1 @@
+lib/sched/sink.mli: Flowchart Ps_sem Schedule

@@ -1,0 +1,1 @@
+lib/sched/trim.ml: Elab Flowchart Linexpr List Ps_lang Ps_sem String Stypes

@@ -1,0 +1,1 @@
+lib/sched/trim.mli: Flowchart Ps_sem

@@ -1,0 +1,105 @@
+(* Work/span accounting for a flowchart.
+
+   For a schedule and concrete values of the module inputs, compute the
+   total number of equation evaluations (work) and the length of the
+   critical path under an idealized PRAM in which a DOALL's iterations
+   are simultaneous (span).  work/span is the available loop-level
+   parallelism — the machine-independent quantity the paper's DO/DOALL
+   distinction controls.  The evaluation section uses it alongside wall
+   -clock timing, which on a given host saturates at the core count.
+
+   Loop bounds are linear forms over the inputs, except after bound
+   trimming ([Trim]), where they are min/max combinations that may also
+   mention enclosing loop variables; such loops are costed by iterating
+   the enclosing ranges exactly. *)
+
+open Ps_sem
+
+exception Unsupported of string
+
+type cost = { work : float; span : float }
+
+let zero = { work = 0.; span = 0. }
+
+let seq a b = { work = a.work +. b.work; span = a.span +. b.span }
+
+let parallelism c = if c.span = 0. then 1. else c.work /. c.span
+
+(* Bound evaluator: linear forms plus min/max, under an environment of
+   input values and enclosing loop variables. *)
+let rec eval_bound env (e : Ps_lang.Ast.expr) : int =
+  match Linexpr.of_expr e with
+  | Some l -> (
+    try Linexpr.eval env l
+    with Invalid_argument m -> raise (Unsupported m))
+  | None -> (
+    match e.Ps_lang.Ast.e with
+    | Ps_lang.Ast.Call ("min", [ a; b ]) -> min (eval_bound env a) (eval_bound env b)
+    | Ps_lang.Ast.Call ("max", [ a; b ]) -> max (eval_bound env a) (eval_bound env b)
+    | _ -> raise (Unsupported "loop bound is neither linear nor min/max"))
+
+(* Variables occurring in the bounds of loops nested in [fc]; a loop
+   whose body's bounds do not mention its own variable can be costed as
+   trips x body without iterating. *)
+let rec bound_vars (fc : Flowchart.t) acc =
+  List.fold_left
+    (fun acc d ->
+      match d with
+      | Flowchart.D_loop l ->
+        let acc =
+          Ps_lang.Ast.free_vars l.Flowchart.lp_range.Stypes.sr_lo
+          @ Ps_lang.Ast.free_vars l.Flowchart.lp_range.Stypes.sr_hi
+          @ acc
+        in
+        bound_vars l.Flowchart.lp_body acc
+      | Flowchart.D_solve s -> bound_vars s.Flowchart.sv_body acc
+      | Flowchart.D_eq _ | Flowchart.D_data _ -> acc)
+    acc fc
+
+let rec of_descs env (fc : Flowchart.t) : cost =
+  List.fold_left (fun acc d -> seq acc (of_desc env d)) zero fc
+
+and of_desc env (d : Flowchart.descriptor) : cost =
+  match d with
+  | Flowchart.D_data _ -> zero
+  | Flowchart.D_eq _ -> { work = 1.; span = 1. }
+  | Flowchart.D_solve s ->
+    (* Runs at most once per enclosing iteration. *)
+    of_descs env s.Flowchart.sv_body
+  | Flowchart.D_loop l ->
+    let lo = eval_bound env l.Flowchart.lp_range.Stypes.sr_lo in
+    let hi = eval_bound env l.Flowchart.lp_range.Stypes.sr_hi in
+    let trips = max 0 (hi - lo + 1) in
+    let body_varies =
+      List.mem l.Flowchart.lp_var (bound_vars l.Flowchart.lp_body [])
+    in
+    if not body_varies then begin
+      let body = of_descs env l.Flowchart.lp_body in
+      match l.Flowchart.lp_kind with
+      | Flowchart.Iterative ->
+        { work = float_of_int trips *. body.work;
+          span = float_of_int trips *. body.span }
+      | Flowchart.Parallel ->
+        { work = float_of_int trips *. body.work; span = body.span }
+    end
+    else begin
+      (* Bounds inside depend on this loop's variable (trimmed nests):
+         iterate exactly. *)
+      let work = ref 0. and span_sum = ref 0. and span_max = ref 0. in
+      for v = lo to hi do
+        let env' x =
+          if String.equal x l.Flowchart.lp_var then Some v else env x
+        in
+        let body = of_descs env' l.Flowchart.lp_body in
+        work := !work +. body.work;
+        span_sum := !span_sum +. body.span;
+        if body.span > !span_max then span_max := body.span
+      done;
+      match l.Flowchart.lp_kind with
+      | Flowchart.Iterative -> { work = !work; span = !span_sum }
+      | Flowchart.Parallel -> { work = !work; span = !span_max }
+    end
+
+(* [env] maps scalar input names to their values. *)
+let of_flowchart ~(env : (string * int) list) (fc : Flowchart.t) : cost =
+  of_descs (fun v -> List.assoc_opt v env) fc

@@ -1,0 +1,62 @@
+(** Flowchart descriptors (paper §3.2, Fig. 4).
+
+    A flowchart is a list of descriptors: dependency-graph nodes (data
+    items and equations) for which straight-line code is emitted, and
+    subrange descriptors meaning a for loop — iterative (DO) or parallel
+    (DOALL) — over a list of nested descriptors. *)
+
+type loop_kind =
+  | Iterative  (** DO: carried dependence, must run in index order *)
+  | Parallel   (** DOALL: iterations are independent *)
+
+type descriptor =
+  | D_data of string  (** placement marker for a data item *)
+  | D_eq of eq_ref
+  | D_loop of loop
+  | D_solve of solve
+
+and eq_ref = {
+  er_id : int;
+  er_aliases : (string * string) list;
+      (** renamings [equation index var -> enclosing loop var] *)
+}
+
+and loop = {
+  lp_var : string;                       (** canonical loop variable *)
+  lp_range : Ps_sem.Stypes.subrange;     (** loop bounds *)
+  lp_kind : loop_kind;
+  lp_body : descriptor list;
+}
+
+and solve = {
+  sv_var : string;
+  sv_range : Ps_sem.Stypes.subrange;
+  sv_rhs : Ps_lang.Ast.expr;  (** value in terms of enclosing loop vars *)
+  sv_body : descriptor list;
+}
+(** A solved subscript: the index is computed from the enclosing loop
+    variables and the body runs only if it lands in range.  Produced by
+    {!Sink} — the paper's "unrotate back into the return parameter". *)
+
+type t = descriptor list
+
+val kind_name : loop_kind -> string
+(** "DO" or "DOALL". *)
+
+val pp_compact : Ps_sem.Elab.emodule -> t Fmt.t
+(** One-line form, as in Fig. 5: "DO K (DOALL I (DOALL J (eq.3)))". *)
+
+val to_compact_string : Ps_sem.Elab.emodule -> t -> string
+
+val pp_tree : Ps_sem.Elab.emodule -> t Fmt.t
+(** Indented multi-line form, as in Figs. 6-7. *)
+
+val to_tree_string : Ps_sem.Elab.emodule -> t -> string
+
+val count_loops : ?kind:loop_kind -> t -> int
+
+val equations : t -> int list
+(** Equation ids, in emission order. *)
+
+val map_loops : (loop -> loop) -> t -> t
+(** Bottom-up rewriting of every loop descriptor. *)

@@ -1,0 +1,18 @@
+(** Loop merging — the improvement the paper lists as ongoing work (§5).
+
+    The component-at-a-time scheduler emits one loop nest per MSCC, so
+    non-recursively related equations over the same subranges end up in
+    separate nests.  This pass merges loops with equal ranges when every
+    dependence between their bodies is "I" or "I - c" (c >= 0) in the
+    merged dimension; the result is DOALL only if both loops were DOALL
+    and all such dependences are exact.  A later loop may slide across
+    independent intervening descriptors to meet its partner, hoisting
+    the descriptors it depends on in front when legal.  Merging proceeds
+    bottom-up so whole nests fuse. *)
+
+val apply :
+  Ps_sem.Elab.emodule ->
+  Ps_graph.Dgraph.t ->
+  Flowchart.t ->
+  Flowchart.t * int
+(** Returns the rewritten flowchart and the number of merges. *)

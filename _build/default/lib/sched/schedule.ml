@@ -1,0 +1,385 @@
+(* The scheduling algorithm of paper §3.3.
+
+   Two mutually recursive procedures:
+
+   - [Schedule-Graph] takes a (sub)graph, finds its maximal strongly
+     connected components, and concatenates the flowcharts of the
+     components in topological order.
+
+   - [Schedule-Component] schedules one MSCC: it picks an unscheduled
+     dimension whose subrange appears in a consistent position in every
+     node of the component and whose subscript expressions are all of
+     class "I" or "I - constant" (step 3); deletes the "I - constant"
+     edges (step 4), which is sound because a reference to A[I - c] reads
+     a value produced c iterations earlier; emits an iterative loop if any
+     edge was deleted and a parallel loop otherwise (step 6); and recurses
+     on the remaining subgraph (step 7).
+
+   Virtual-dimension analysis (§3.4) runs at the moment a dimension is
+   scheduled: a local array's scheduled dimension is virtual — allocated
+   as a small window instead of its full extent — when every use is
+   either an I/I-const reference from inside the component or an
+   upper-bound reference from outside. *)
+
+open Ps_sem
+open Ps_graph
+open Ps_graph.Dgraph
+
+exception Unschedulable of { reason : string; component : string list }
+
+type window = {
+  w_data : string;
+  w_dim : int;   (* 0-based dimension position *)
+  w_size : int;  (* number of planes to allocate *)
+}
+
+type component_trace = {
+  ct_nodes : string list;
+  ct_flowchart : Flowchart.t;
+}
+
+type result = {
+  r_flowchart : Flowchart.t;
+  r_windows : window list;
+  r_components : component_trace list;  (* outermost MSCCs, as in Fig. 5 *)
+  r_graph : Dgraph.t;
+}
+
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  st_graph : Dgraph.t;
+  st_em : Elab.emodule;
+  (* Index variables already consumed by enclosing loops, per equation. *)
+  st_scheduled : (int, string list) Hashtbl.t;
+  (* Loop-variable renamings accumulated per equation. *)
+  st_aliases : (int, (string * string) list) Hashtbl.t;
+  st_windows : window list ref;
+}
+
+let scheduled st id = try Hashtbl.find st.st_scheduled id with Not_found -> []
+
+let mark_scheduled st id v =
+  Hashtbl.replace st.st_scheduled id (v :: scheduled st id)
+
+let add_alias st id ~from ~to_ =
+  if not (String.equal from to_) then
+    Hashtbl.replace st.st_aliases id
+      ((from, to_) :: (try Hashtbl.find st.st_aliases id with Not_found -> []))
+
+let unscheduled_indices st (q : Elab.eq) =
+  let done_ = scheduled st q.Elab.q_id in
+  List.filter (fun ix -> not (List.mem ix.Elab.ix_var done_)) q.Elab.q_indices
+
+let eq_ids_of_component (c : Scc.component) =
+  List.filter_map (function Eq id -> Some id | Data _ -> None) c.Scc.c_nodes
+
+let data_of_component (c : Scc.component) =
+  List.filter_map (function Data d -> Some d | Eq _ -> None) c.Scc.c_nodes
+
+let component_names st (c : Scc.component) =
+  List.map (Dgraph.node_name st.st_graph) c.Scc.c_nodes
+
+(* ------------------------------------------------------------------ *)
+(* Candidate dimension validation (step 3). *)
+
+type chosen = {
+  ch_subrange : string;                  (* subrange (type) name *)
+  ch_loop_var : string;                  (* canonical loop variable *)
+  ch_range : Stypes.subrange;
+  ch_eq_vars : (int * string) list;      (* per-equation index variable *)
+  ch_data_pos : (string * int) list;     (* aligned dimension per data node *)
+}
+
+(* Find, for data node [d], the dimension position aligned with the chosen
+   index variables, using the intra-component Def edges. *)
+let aligned_position (c : Scc.component) eq_vars d =
+  let positions =
+    List.filter_map
+      (fun e ->
+        match e.e_kind, e.e_src, e.e_dst with
+        | Def, Eq q, Data d' when String.equal d d' -> (
+          match List.assoc_opt q eq_vars with
+          | None -> None
+          | Some v ->
+            let pos = ref None in
+            Array.iteri
+              (fun i sub ->
+                match sub with
+                | Label.Affine { var; _ } when String.equal var v -> pos := Some i
+                | _ -> ())
+              e.e_subs;
+            (match !pos with None -> Some (Error ()) | Some p -> Some (Ok p)))
+        | _ -> None)
+      c.Scc.c_edges
+  in
+  (* Every defining equation must index [d] by the chosen variable, and
+     all at the same position. *)
+  let rec collapse acc = function
+    | [] -> acc
+    | Error () :: _ -> None
+    | Ok p :: rest -> (
+      match acc with
+      | None -> None
+      | Some None -> collapse (Some (Some p)) rest
+      | Some (Some p') -> if p = p' then collapse acc rest else None)
+  in
+  match collapse (Some None) positions with
+  | Some (Some p) -> Some p
+  | Some None | None -> None
+
+(* Try to choose subrange [s] for component [c]; [None] if the paper's
+   step-3 conditions fail. *)
+let try_candidate st (c : Scc.component) (s : string) : chosen option =
+  let eqs = eq_ids_of_component c in
+  let eq_vars =
+    List.map
+      (fun id ->
+        let q = Elab.eq_exn st.st_em id in
+        let matching =
+          List.filter
+            (fun ix -> String.equal ix.Elab.ix_range.Stypes.sr_name s)
+            (unscheduled_indices st q)
+        in
+        (id, matching))
+      eqs
+  in
+  if List.exists (fun (_, m) -> List.length m <> 1) eq_vars then None
+  else
+    let eq_vars = List.map (fun (id, m) -> (id, (List.hd m).Elab.ix_var)) eq_vars in
+    let range =
+      let id0, _ = List.hd eq_vars in
+      let q0 = Elab.eq_exn st.st_em id0 in
+      (List.find
+         (fun ix -> String.equal ix.Elab.ix_range.Stypes.sr_name s)
+         q0.Elab.q_indices)
+        .Elab.ix_range
+    in
+    (* Alignment of every data node in the component. *)
+    let datas = data_of_component c in
+    let rec align acc = function
+      | [] -> Some (List.rev acc)
+      | d :: rest -> (
+        match aligned_position c eq_vars d with
+        | Some p -> align ((d, p) :: acc) rest
+        | None -> None)
+    in
+    match align [] datas with
+    | None -> None
+    | Some ch_data_pos ->
+      (* Step 3: every intra-component use must be "I" or "I - constant"
+         in this dimension. *)
+      let ok =
+        List.for_all
+          (fun e ->
+            match e.e_kind, e.e_src, e.e_dst with
+            | Use, Data d, Eq q -> (
+              match List.assoc_opt d ch_data_pos with
+              | None -> true (* data without the dimension: not constrained *)
+              | Some p -> (
+                let v = List.assoc q eq_vars in
+                match e.e_subs.(p) with
+                | Label.Affine { var; offset; _ } ->
+                  String.equal var v && offset <= 0
+                | Label.Const_low | Label.Const_high | Label.Slice | Label.Opaque
+                  -> false))
+            | _ -> true)
+          c.Scc.c_edges
+      in
+      if not ok then None
+      else
+        let id0, v0 = List.hd eq_vars in
+        ignore id0;
+        Some
+          { ch_subrange = s;
+            ch_loop_var = v0;
+            ch_range = { range with Stypes.sr_name = s };
+            ch_eq_vars = eq_vars;
+            ch_data_pos }
+
+(* Candidate subranges in first-appearance order over the component's
+   equations ("pick an unscheduled node dimension", step 2). *)
+let candidates st (c : Scc.component) =
+  let eqs = eq_ids_of_component c in
+  let names =
+    List.concat_map
+      (fun id ->
+        List.map
+          (fun ix -> ix.Elab.ix_range.Stypes.sr_name)
+          (unscheduled_indices st (Elab.eq_exn st.st_em id)))
+      eqs
+  in
+  let rec uniq seen = function
+    | [] -> []
+    | x :: rest ->
+      if List.mem x seen then uniq seen rest else x :: uniq (x :: seen) rest
+  in
+  uniq [] names
+
+(* ------------------------------------------------------------------ *)
+(* Virtual-dimension analysis (§3.4), run when a dimension is scheduled. *)
+
+let analyze_virtual st (c : Scc.component) (ch : chosen) =
+  let comp_eqs = eq_ids_of_component c in
+  List.iter
+    (fun d ->
+      match Elab.find_data st.st_em d with
+      | Some data when data.Elab.d_kind = Elab.Local -> (
+        match List.assoc_opt d ch.ch_data_pos with
+        | None -> ()
+        | Some _
+          when List.exists (fun w -> String.equal w.w_data d) !(st.st_windows) ->
+          (* At most one virtual dimension per array: windowing a second,
+             inner dimension is unsound — a reference such as
+             L[I-1, J] (previous outer plane, same inner position) needs
+             the previous plane's full inner extent, which a second
+             window would have partially overwritten.  The paper's worked
+             example never windows two dimensions (the spatial ones are
+             disqualified by their I+1 subscripts), so §3.4 does not
+             address the interaction; we keep the outermost window only. *)
+          ()
+        | Some p ->
+          (* Examine every use of [d] in the full graph. *)
+          let uses =
+            List.filter
+              (fun e ->
+                e.e_kind = Use
+                && match e.e_src with Data d' -> String.equal d d' | Eq _ -> false)
+              (Dgraph.edges st.st_graph)
+          in
+          let max_back = ref 0 in
+          let virtual_ok =
+            List.for_all
+              (fun e ->
+                let inside =
+                  match e.e_dst with Eq q -> List.mem q comp_eqs | Data _ -> false
+                in
+                match e.e_subs.(p) with
+                | Label.Affine { offset; _ } when inside && offset <= 0 ->
+                  (* Rule 1: I or I - constant, target inside the MSCC. *)
+                  if -offset > !max_back then max_back := -offset;
+                  true
+                | Label.Const_high when not inside ->
+                  (* Rule 2: only the final element used outside. *)
+                  true
+                | _ -> false)
+              uses
+          in
+          if virtual_ok then
+            st.st_windows :=
+              { w_data = d; w_dim = p; w_size = !max_back + 1 } :: !(st.st_windows))
+      | _ -> ())
+    (data_of_component c)
+
+(* ------------------------------------------------------------------ *)
+(* The two mutually recursive procedures. *)
+
+let rec schedule_graph st (sg : Scc.subgraph) ~(trace : component_trace list ref option)
+    : Flowchart.t =
+  let comps = Scc.components sg in
+  List.concat_map
+    (fun comp ->
+      let fc = schedule_component st sg comp in
+      (match trace with
+       | Some tr ->
+         tr := { ct_nodes = component_names st comp; ct_flowchart = fc } :: !tr
+       | None -> ());
+      fc)
+    comps
+
+and schedule_component st (sg : Scc.subgraph) (comp : Scc.component) : Flowchart.t =
+  match comp.Scc.c_nodes with
+  (* Step 1: a lone data node contributes nothing. *)
+  | [ Data _ ] -> []
+  | _ -> (
+    let eqs = eq_ids_of_component comp in
+    if eqs = [] then
+      raise
+        (Unschedulable
+           { reason = "cycle among data bounds";
+             component = component_names st comp });
+    (* Step 2: pick an unscheduled dimension satisfying step 3. *)
+    let rec first_valid = function
+      | [] -> None
+      | s :: rest -> (
+        match try_candidate st comp s with
+        | Some ch -> Some ch
+        | None -> first_valid rest)
+    in
+    match first_valid (candidates st comp) with
+    | None -> (
+      match comp.Scc.c_nodes with
+      | [ Eq id ] when unscheduled_indices st (Elab.eq_exn st.st_em id) = [] ->
+        (* Step 2b: no dimensions left, a single node: emit it. *)
+        let aliases =
+          try Hashtbl.find st.st_aliases id with Not_found -> []
+        in
+        [ Flowchart.D_eq { er_id = id; er_aliases = aliases } ]
+      | _ ->
+        (* Step 2a: the equations cannot be scheduled by this algorithm.
+           (The hyperplane transformation of §4 may still apply.) *)
+        raise
+          (Unschedulable
+             { reason =
+                 "no dimension has all subscripts of the form 'I' or \
+                  'I - constant' in a consistent position";
+               component = component_names st comp }))
+    | Some ch ->
+      (* Virtual-dimension analysis before the edges disappear. *)
+      analyze_virtual st comp ch;
+      (* Step 4: delete the "I - constant" edges. *)
+      let deleted =
+        List.filter
+          (fun e ->
+            match e.e_kind, e.e_src, e.e_dst with
+            | Use, Data d, Eq q -> (
+              match List.assoc_opt d ch.ch_data_pos with
+              | None -> false
+              | Some p -> (
+                match e.e_subs.(p) with
+                | Label.Affine { var; offset; _ } ->
+                  String.equal var (List.assoc q ch.ch_eq_vars) && offset < 0
+                | _ -> false))
+            | _ -> false)
+          comp.Scc.c_edges
+      in
+      (* Step 5: mark the dimension scheduled, recording loop-variable
+         renamings for equations that used a different name. *)
+      List.iter
+        (fun (id, v) ->
+          mark_scheduled st id v;
+          add_alias st id ~from:v ~to_:ch.ch_loop_var)
+        ch.ch_eq_vars;
+      (* Step 6: iterative iff recursive edges were deleted. *)
+      let kind =
+        if deleted = [] then Flowchart.Parallel else Flowchart.Iterative
+      in
+      (* Step 7: recurse on the component minus the deleted edges. *)
+      let inner = Scc.component_subgraph sg comp in
+      let inner = Scc.remove_edges inner deleted in
+      let body = schedule_graph st inner ~trace:None in
+      [ Flowchart.D_loop
+          { lp_var = ch.ch_loop_var;
+            lp_range = ch.ch_range;
+            lp_kind = kind;
+            lp_body = body } ])
+
+(* ------------------------------------------------------------------ *)
+
+let schedule_graph_of (g : Dgraph.t) : result =
+  let em = g.g_module in
+  let st =
+    { st_graph = g;
+      st_em = em;
+      st_scheduled = Hashtbl.create 16;
+      st_aliases = Hashtbl.create 16;
+      st_windows = ref [] }
+  in
+  let trace = ref [] in
+  let fc = schedule_graph st (Scc.full_subgraph g) ~trace:(Some trace) in
+  { r_flowchart = fc;
+    r_windows = List.rev !(st.st_windows);
+    r_components = List.rev !trace;
+    r_graph = g }
+
+let schedule (em : Elab.emodule) : result = schedule_graph_of (Build.build em)

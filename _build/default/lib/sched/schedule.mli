@@ -1,0 +1,47 @@
+(** The scheduling algorithm of paper §3.3 with the virtual-dimension
+    analysis of §3.4.
+
+    [Schedule-Graph] concatenates, in topological order, the flowcharts
+    of the graph's maximal strongly connected components;
+    [Schedule-Component] picks an unscheduled dimension whose subscripts
+    are all of class "I" or "I - constant" in a consistent position,
+    deletes the "I - constant" edges, emits a DO loop if any were deleted
+    and a DOALL otherwise, and recurses on the remaining subgraph.
+
+    When a dimension is scheduled, a local array's dimension is marked
+    virtual — allocated as a window instead of its full extent — if every
+    use is an I/I-const reference from inside the component (rule 1) or
+    an upper-bound reference from outside (rule 2).  At most one
+    dimension per array is windowed (the outermost scheduled one): a
+    second window is unsound for references like [L[I-1, J]] that need
+    the previous outer plane's full inner extent. *)
+
+exception Unschedulable of { reason : string; component : string list }
+(** Step 2a: no dimension qualifies and the component has several nodes.
+    The hyperplane transformation (§4) may still apply. *)
+
+type window = {
+  w_data : string;
+  w_dim : int;   (** 0-based dimension position *)
+  w_size : int;  (** planes to allocate *)
+}
+
+type component_trace = {
+  ct_nodes : string list;
+  ct_flowchart : Flowchart.t;
+}
+(** One row of the paper's Fig. 5: an outermost MSCC and its flowchart. *)
+
+type result = {
+  r_flowchart : Flowchart.t;
+  r_windows : window list;
+  r_components : component_trace list;
+  r_graph : Ps_graph.Dgraph.t;
+}
+
+val schedule : Ps_sem.Elab.emodule -> result
+(** Build the dependency graph and schedule it.
+    @raise Unschedulable per step 2a. *)
+
+val schedule_graph_of : Ps_graph.Dgraph.t -> result
+(** Schedule an already-built graph. *)

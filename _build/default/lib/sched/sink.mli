@@ -1,0 +1,34 @@
+(** Extraction sinking — the paper's "unrotate back into the return
+    parameter" (§4).
+
+    After the hyperplane transformation, the result extraction reads the
+    transformed array with a multi-variable subscript in the time
+    dimension; scheduled after the loop, it forces full allocation.
+    This pass moves such an extraction into the iterative loop, copying
+    exactly the hyperplane just computed by solving the subscript for
+    one index variable ({!Flowchart.D_solve}).  With the outside
+    reference gone, the time dimension becomes virtual with the window
+    the paper states (3 for the worked example).
+
+    Soundness requires the subscript's range over the extraction's index
+    space to lie within the loop bounds, discharged with
+    {!Ps_sem.Linexpr.prove_nonneg} under subrange non-emptiness facts. *)
+
+type sunk = {
+  sk_eq : int;            (** the extraction equation *)
+  sk_loop_var : string;   (** the iterative loop it was sunk into *)
+  sk_data : string;       (** the windowed array it reads *)
+  sk_dim : int;           (** the virtual dimension *)
+  sk_window : int;        (** window size enabled by the sink *)
+  sk_solved_var : string; (** index variable eliminated by solving *)
+}
+
+type result = {
+  s_flowchart : Flowchart.t;
+  s_windows : Schedule.window list;
+  s_sunk : sunk list;
+}
+
+val apply : Ps_sem.Elab.emodule -> Schedule.result -> result
+(** Sink every eligible extraction; a no-op (with [s_sunk = []]) when
+    none qualifies. *)

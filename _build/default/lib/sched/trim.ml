@@ -1,0 +1,169 @@
+(* Loop-bound trimming for hyperplane-transformed programs.
+
+   The transformation of paper §4 declares the new array over the
+   bounding box of the image lattice, and guards the merged equation with
+   an out-of-lattice test — so the generated loops scan the whole box and
+   the guard rejects the points between the wavefronts.  Lamport's method
+   instead derives exact loop bounds.  This pass recovers them for the
+   innermost loops: when a loop's body is a single equation of the form
+
+       if <out-of-lattice> then <dummy> else <real rhs>
+
+   and a disjunct of the guard is linear in the loop variable with
+   coefficient +-1 (all other variables bound by enclosing loops), the
+   negated disjunct becomes a bound:  v >= e  tightens the lower bound to
+   max(lo, e),  v <= e  tightens the upper bound to min(hi, e).
+
+   The guard itself is kept (it still protects any disjunct that could
+   not be converted), so trimming is always safe; it merely removes the
+   all-dummy iterations.  The [trimmed] count reports how many bounds
+   were tightened, and the work/span analysis ([Analysis]) evaluates the
+   resulting min/max bounds exactly. *)
+
+open Ps_sem
+
+(* Negate one comparison disjunct into "linear >= 0" form. *)
+let constraint_of_disjunct (e : Ps_lang.Ast.expr) : Linexpr.t option =
+  match e.Ps_lang.Ast.e with
+  | Ps_lang.Ast.Binop (op, a, b) -> (
+    match Linexpr.of_expr a, Linexpr.of_expr b with
+    | Some la, Some lb -> (
+      match op with
+      | Ps_lang.Ast.Lt -> Some (Linexpr.sub la lb)            (* ¬(a<b): a-b >= 0 *)
+      | Ps_lang.Ast.Gt -> Some (Linexpr.sub lb la)            (* ¬(a>b): b-a >= 0 *)
+      | Ps_lang.Ast.Le -> Some (Linexpr.add_const (-1) (Linexpr.sub la lb))
+      | Ps_lang.Ast.Ge -> Some (Linexpr.add_const (-1) (Linexpr.sub lb la))
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(* Flatten an or-tree. *)
+let rec disjuncts (e : Ps_lang.Ast.expr) =
+  match e.Ps_lang.Ast.e with
+  | Ps_lang.Ast.Binop (Ps_lang.Ast.Or, a, b) -> disjuncts a @ disjuncts b
+  | _ -> [ e ]
+
+let is_dummy (e : Ps_lang.Ast.expr) =
+  match e.Ps_lang.Ast.e with
+  | Ps_lang.Ast.Real _ | Ps_lang.Ast.Int _ | Ps_lang.Ast.Bool _ -> true
+  | _ -> false
+
+let mk_max a b = Ps_lang.Ast.mk (Ps_lang.Ast.Call ("max", [ a; b ]))
+
+let mk_min a b = Ps_lang.Ast.mk (Ps_lang.Ast.Call ("min", [ a; b ]))
+
+(* Tighten one loop around a guarded equation.  [outer] is the set of
+   variables bound by enclosing loops. *)
+let tighten em (l : Flowchart.loop) ~outer : Flowchart.loop * int =
+  match l.Flowchart.lp_body with
+  | [ Flowchart.D_eq er ] -> (
+    let q = Elab.eq_exn em er.Flowchart.er_id in
+    match q.Elab.q_rhs.Ps_lang.Ast.e with
+    | Ps_lang.Ast.If (guard, dummy, _) when is_dummy dummy ->
+      let v = l.Flowchart.lp_var in
+      (* The equation refers to its own index names; map v back through
+         the aliases. *)
+      let v_names =
+        v
+        :: List.filter_map
+             (fun (from, to_) -> if String.equal to_ v then Some from else None)
+             er.Flowchart.er_aliases
+      in
+      let ok_var x =
+        List.mem x outer
+        || Elab.find_data em x <> None (* module inputs / scalars *)
+      in
+      let lo = ref l.Flowchart.lp_range.Stypes.sr_lo in
+      let hi = ref l.Flowchart.lp_range.Stypes.sr_hi in
+      let count = ref 0 in
+      List.iter
+        (fun d ->
+          match constraint_of_disjunct d with
+          | None -> ()
+          | Some c ->
+            let v_coeff =
+              List.fold_left
+                (fun acc name ->
+                  match List.assoc_opt name c.Linexpr.terms with
+                  | Some k -> acc + k
+                  | None -> acc)
+                0 v_names
+            in
+            let rest =
+              List.filter
+                (fun (x, _) -> not (List.mem x v_names))
+                c.Linexpr.terms
+            in
+            let rest_ok =
+              List.for_all
+                (fun (x, _) ->
+                  ok_var x
+                  || List.exists
+                       (fun (from, to_) ->
+                         String.equal from x && List.mem to_ outer)
+                       er.Flowchart.er_aliases)
+                rest
+            in
+            if rest_ok && abs v_coeff = 1 then begin
+              (* c = v_coeff * v + r >= 0 *)
+              let r = { c with Linexpr.terms = rest } in
+              (* Express r over the loop variables (undo aliases). *)
+              let subst =
+                List.filter_map
+                  (fun (from, to_) ->
+                    if List.mem to_ outer then
+                      Some (from, Ps_lang.Ast.var_e to_)
+                    else None)
+                  er.Flowchart.er_aliases
+              in
+              let r_expr = Ps_lang.Ast.subst_vars subst (Linexpr.to_expr r) in
+              incr count;
+              if v_coeff = 1 then
+                (* v >= -r *)
+                lo :=
+                  mk_max !lo
+                    (Ps_lang.Ast.subst_vars subst
+                       (Linexpr.to_expr (Linexpr.neg r)))
+              else
+                (* v <= r *)
+                hi := mk_min !hi r_expr
+            end)
+        (disjuncts guard);
+      if !count = 0 then (l, 0)
+      else
+        ( { l with
+            Flowchart.lp_range =
+              { l.Flowchart.lp_range with Stypes.sr_lo = !lo; sr_hi = !hi } },
+          !count )
+    | _ -> (l, 0))
+  | _ -> (l, 0)
+
+let rec trim_list em ~outer (fc : Flowchart.t) : Flowchart.t * int =
+  let total = ref 0 in
+  let fc =
+    List.map
+      (fun d ->
+        match d with
+        | Flowchart.D_loop l ->
+          let l, n = tighten em l ~outer in
+          total := !total + n;
+          let body, n' =
+            trim_list em ~outer:(l.Flowchart.lp_var :: outer) l.Flowchart.lp_body
+          in
+          total := !total + n';
+          Flowchart.D_loop { l with Flowchart.lp_body = body }
+        | Flowchart.D_solve s ->
+          let body, n =
+            trim_list em ~outer:(s.Flowchart.sv_var :: outer) s.Flowchart.sv_body
+          in
+          total := !total + n;
+          Flowchart.D_solve { s with Flowchart.sv_body = body }
+        | (Flowchart.D_eq _ | Flowchart.D_data _) as d -> d)
+      fc
+  in
+  (fc, !total)
+
+(* Entry point: returns the flowchart with tightened inner bounds and the
+   number of bounds converted from guard disjuncts. *)
+let apply (em : Elab.emodule) (fc : Flowchart.t) : Flowchart.t * int =
+  trim_list em ~outer:[] fc

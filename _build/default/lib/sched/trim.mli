@@ -1,0 +1,13 @@
+(** Loop-bound trimming for hyperplane-transformed programs.
+
+    The §4 transformation scans the bounding box of the image lattice and
+    rejects out-of-lattice points with a guard; Lamport's method derives
+    exact bounds instead.  This pass converts guard disjuncts that are
+    linear in a loop's variable (coefficient +-1, other variables bound
+    by enclosing loops) into [max]/[min] bounds on that loop.  The guard
+    is kept, so trimming is always safe — it removes all-dummy
+    iterations. *)
+
+val apply : Ps_sem.Elab.emodule -> Flowchart.t -> Flowchart.t * int
+(** Returns the flowchart with tightened bounds and the number of guard
+    disjuncts converted. *)

@@ -1,0 +1,1 @@
+lib/sem/elab.ml: Ast Fmt List Loc Option Printf Ps_lang String Stypes

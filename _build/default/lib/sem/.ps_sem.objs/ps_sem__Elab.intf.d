@@ -1,0 +1,1 @@
+lib/sem/elab.mli: Ps_lang Stypes

@@ -1,0 +1,1 @@
+lib/sem/linexpr.ml: Ast Fmt List Option Ps_lang String

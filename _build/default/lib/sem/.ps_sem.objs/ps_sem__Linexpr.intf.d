@@ -1,0 +1,1 @@
+lib/sem/linexpr.mli: Fmt Ps_lang

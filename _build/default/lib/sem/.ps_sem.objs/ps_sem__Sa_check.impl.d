@@ -1,0 +1,1 @@
+lib/sem/sa_check.ml: Elab Fmt Fun Linexpr List Option Ps_lang String Stypes

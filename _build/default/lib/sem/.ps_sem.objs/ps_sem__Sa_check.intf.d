@@ -1,0 +1,1 @@
+lib/sem/sa_check.mli: Elab Fmt Ps_lang

@@ -1,0 +1,1 @@
+lib/sem/stypes.ml: Ast Fmt List Pretty Ps_lang String

@@ -1,0 +1,1 @@
+lib/sem/stypes.mli: Fmt Ps_lang

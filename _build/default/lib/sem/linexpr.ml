@@ -1,0 +1,162 @@
+(* Symbolic linear forms [c0 + Σ ci·xi] over module parameters.
+
+   Subrange bounds in PS are expressions over the module's scalar inputs
+   ([0 .. M + 1], [2 .. maxK]).  The compiler must reason about such bounds
+   without knowing the parameter values: recognize that a subscript equals
+   a dimension's upper bound (virtual-dimension rule 2, paper §3.4), prove
+   two slices disjoint (single-assignment checking), and compute the bounds
+   of hyperplane-transformed dimensions (paper §4).  All of these reduce to
+   arithmetic on linear forms where the sign of a difference is decidable
+   exactly when the difference is a known constant. *)
+
+open Ps_lang
+
+type t = {
+  const : int;
+  terms : (string * int) list;  (* sorted by variable, no zero coefficients *)
+}
+
+let zero = { const = 0; terms = [] }
+
+let of_int const = { const; terms = [] }
+
+let of_var x = { const = 0; terms = [ (x, 1) ] }
+
+let rec merge_terms a b =
+  match a, b with
+  | [], t | t, [] -> t
+  | (xa, ca) :: ra, (xb, cb) :: rb ->
+    let cmp = String.compare xa xb in
+    if cmp < 0 then (xa, ca) :: merge_terms ra b
+    else if cmp > 0 then (xb, cb) :: merge_terms a rb
+    else
+      let c = ca + cb in
+      if c = 0 then merge_terms ra rb else (xa, c) :: merge_terms ra rb
+
+let add a b = { const = a.const + b.const; terms = merge_terms a.terms b.terms }
+
+let scale k a =
+  if k = 0 then zero
+  else { const = k * a.const; terms = List.map (fun (x, c) -> (x, k * c)) a.terms }
+
+let neg a = scale (-1) a
+
+let sub a b = add a (neg b)
+
+let add_const k a = { a with const = a.const + k }
+
+let equal a b =
+  a.const = b.const
+  && List.length a.terms = List.length b.terms
+  && List.for_all2 (fun (x1, c1) (x2, c2) -> String.equal x1 x2 && c1 = c2) a.terms b.terms
+
+let is_const a = a.terms = []
+
+let const_value a = if is_const a then Some a.const else None
+
+(* [diff_const a b] is [Some k] when [a - b] is the known constant [k]. *)
+let diff_const a b =
+  let d = sub a b in
+  const_value d
+
+(* Convert a PS expression to a linear form, if it is one. *)
+let rec of_expr (e : Ast.expr) : t option =
+  match e.Ast.e with
+  | Ast.Int n -> Some (of_int n)
+  | Ast.Var x -> Some (of_var x)
+  | Ast.Unop (Ast.Neg, a) -> Option.map neg (of_expr a)
+  | Ast.Binop (Ast.Add, a, b) -> combine add a b
+  | Ast.Binop (Ast.Sub, a, b) -> combine sub a b
+  | Ast.Binop (Ast.Mul, a, b) -> (
+    match of_expr a, of_expr b with
+    | Some la, Some lb -> (
+      match const_value la, const_value lb with
+      | Some k, _ -> Some (scale k lb)
+      | _, Some k -> Some (scale k la)
+      | None, None -> None)
+    | _ -> None)
+  | _ -> None
+
+and combine op a b =
+  match of_expr a, of_expr b with
+  | Some la, Some lb -> Some (op la lb)
+  | _ -> None
+
+(* Rebuild a compact PS expression from a linear form. *)
+let to_expr a : Ast.expr =
+  let open Ast in
+  let term (x, c) : expr =
+    if c = 1 then var_e x
+    else if c = -1 then mk (Unop (Neg, var_e x))
+    else mk (Binop (Mul, int_e c, var_e x))
+  in
+  match a.terms with
+  | [] -> int_e a.const
+  | t0 :: rest ->
+    let base = term t0 in
+    let with_terms =
+      List.fold_left
+        (fun acc (x, c) ->
+          if c >= 0 then mk (Binop (Add, acc, term (x, c)))
+          else mk (Binop (Sub, acc, term (x, -c))))
+        base rest
+    in
+    add_offset with_terms a.const
+
+(* Evaluate under a full assignment of the parameters. *)
+let eval env a =
+  List.fold_left
+    (fun acc (x, c) ->
+      match env x with
+      | Some v -> acc + (c * v)
+      | None -> invalid_arg ("Linexpr.eval: unbound variable " ^ x))
+    a.const a.terms
+
+(* [prove_nonneg ~assumptions g] attempts to show that [g >= 0] follows
+   from the assumptions [h_i >= 0] (typically the non-emptiness facts
+   [hi - lo >= 0] of declared subranges).  It searches for small
+   non-negative integer multipliers l_i such that [g - sum l_i * h_i] is a
+   known non-negative constant — a bounded Farkas certificate, sound but
+   incomplete. *)
+let prove_nonneg ~assumptions g =
+  (* Keep only assumptions sharing a variable with the goal (or reachable
+     through shared variables, one step is enough in practice). *)
+  let shares_var a b =
+    List.exists (fun (x, _) -> List.mem_assoc x b.terms) a.terms
+  in
+  let relevant = List.filter (shares_var g) assumptions in
+  let relevant = if List.length relevant > 4 then
+      (* keep the first four to bound the search *)
+      List.filteri (fun i _ -> i < 4) relevant
+    else relevant
+  in
+  let rec search residual = function
+    | [] -> (
+      match const_value residual with Some c -> c >= 0 | None -> false)
+    | h :: rest ->
+      let ok = ref false in
+      let l = ref 0 in
+      while (not !ok) && !l <= 4 do
+        if search (sub residual (scale !l h)) rest then ok := true;
+        incr l
+      done;
+      !ok
+  in
+  search g relevant
+
+let pp ppf a =
+  let pp_term first ppf (x, c) =
+    if c = 1 then Fmt.pf ppf (if first then "%s" else " + %s") x
+    else if c = -1 then Fmt.pf ppf (if first then "-%s" else " - %s") x
+    else if c >= 0 then Fmt.pf ppf (if first then "%d*%s" else " + %d*%s") c x
+    else Fmt.pf ppf (if first then "%d*%s" else " - %d*%s") (if first then c else -c) x
+  in
+  match a.terms with
+  | [] -> Fmt.int ppf a.const
+  | t0 :: rest ->
+    pp_term true ppf t0;
+    List.iter (pp_term false ppf) rest;
+    if a.const > 0 then Fmt.pf ppf " + %d" a.const
+    else if a.const < 0 then Fmt.pf ppf " - %d" (-a.const)
+
+let to_string a = Fmt.str "%a" pp a

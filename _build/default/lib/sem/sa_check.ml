@@ -1,0 +1,275 @@
+(* Single-assignment checking.
+
+   PS is a single-assignment language: every non-input data item must be
+   defined, and no element may be defined by two equations.  Slice
+   definitions such as [A[1] = ...] alongside [A[K,I,J] = ...] with
+   [K = 2 .. maxK] make exact checking symbolic; we decide what we can
+   with linear forms over the module inputs and report the rest as
+   warnings rather than silently accepting or rejecting. *)
+
+type severity = Werror | Wwarning
+
+type diagnostic = { d_severity : severity; d_msg : string; d_loc : Ps_lang.Loc.span }
+
+let diag sev loc fmt =
+  Fmt.kstr (fun d_msg -> { d_severity = sev; d_msg; d_loc = loc }) fmt
+
+(* Symbolic interval of one subscript position of one definition. *)
+type slice_pos =
+  | Point of Linexpr.t                  (* Sub_fixed with a linear value *)
+  | Range of Linexpr.t * Linexpr.t      (* Sub_index over [lo, hi] *)
+  | Unknown                             (* non-linear fixed subscript *)
+
+let pos_of_sub (s : Elab.lhs_sub) : slice_pos =
+  match s with
+  | Elab.Sub_index ix -> (
+    match
+      Linexpr.of_expr ix.Elab.ix_range.Stypes.sr_lo,
+      Linexpr.of_expr ix.Elab.ix_range.Stypes.sr_hi
+    with
+    | Some lo, Some hi -> Range (lo, hi)
+    | _ -> Unknown)
+  | Elab.Sub_fixed e -> (
+    match Linexpr.of_expr e with Some v -> Point v | None -> Unknown)
+
+(* [provably_disjoint a b] holds when the two subscript sets cannot
+   intersect, for any value of the module inputs consistent with the
+   bounds. *)
+let provably_disjoint a b =
+  let lt x y =
+    (* x < y provable: y - x is a known positive constant *)
+    match Linexpr.diff_const y x with Some d -> d > 0 | None -> false
+  in
+  match a, b with
+  | Point x, Point y -> (
+    match Linexpr.diff_const x y with Some d -> d <> 0 | None -> false)
+  | Point x, Range (lo, hi) | Range (lo, hi), Point x -> lt x lo || lt hi x
+  | Range (lo1, hi1), Range (lo2, hi2) -> lt hi1 lo2 || lt hi2 lo1
+  | Unknown, _ | _, Unknown -> false
+
+(* All definitions of one data item, as (equation, subscript positions).
+   A whole-array assignment has fewer subscripts than dimensions; missing
+   positions cover the full declared range. *)
+let defs_of em name =
+  let dims =
+    match Elab.find_data em name with
+    | Some d -> Stypes.dims d.Elab.d_ty
+    | None -> []
+  in
+  let full_range p =
+    match List.nth_opt dims p with
+    | Some (sr : Stypes.subrange) -> (
+      match Linexpr.of_expr sr.Stypes.sr_lo, Linexpr.of_expr sr.Stypes.sr_hi with
+      | Some lo, Some hi -> Range (lo, hi)
+      | _ -> Unknown)
+    | None -> Unknown
+  in
+  List.filter_map
+    (fun (q : Elab.eq) ->
+      match
+        List.find_opt (fun d -> String.equal d.Elab.df_data name) q.Elab.q_defs
+      with
+      | Some d ->
+        let given = List.map pos_of_sub d.Elab.df_subs in
+        let missing =
+          List.init
+            (max 0 (List.length dims - List.length given))
+            (fun i -> full_range (List.length given + i))
+        in
+        Some (q, given @ missing, d.Elab.df_path)
+      | None -> None)
+    em.Elab.em_eqs
+
+let check_overlap em (data : Elab.data) defs : diagnostic list =
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+  in
+  List.filter_map
+    (fun (((q1 : Elab.eq), p1, path1), ((q2 : Elab.eq), p2, path2)) ->
+      let disjoint_somewhere =
+        path1 <> path2 || List.exists2 provably_disjoint p1 p2
+      in
+      if disjoint_somewhere then None
+      else
+        (* Not provably disjoint.  If the two definitions are pointwise
+           un-distinguishable (all positions full or equal), that is a hard
+           single-assignment violation; otherwise a warning. *)
+        let definitely_same =
+          List.for_all2
+            (fun a b ->
+              match a, b with
+              | Point x, Point y -> Linexpr.equal x y
+              | Range (l1, h1), Range (l2, h2) ->
+                Linexpr.equal l1 l2 && Linexpr.equal h1 h2
+              | _ -> false)
+            p1 p2
+        in
+        let sev = if definitely_same then Werror else Wwarning in
+        Some
+          (diag sev q2.Elab.q_loc
+             "%s and %s may define overlapping elements of %s (module %s)"
+             q1.Elab.q_name q2.Elab.q_name data.Elab.d_name em.Elab.em_name))
+    (pairs defs)
+
+(* Non-emptiness facts (hi - lo >= 0) of the module's subranges, used to
+   discharge containment between symbolic slices. *)
+let range_facts em =
+  let of_sr (sr : Stypes.subrange) =
+    match Linexpr.of_expr sr.Stypes.sr_lo, Linexpr.of_expr sr.Stypes.sr_hi with
+    | Some lo, Some hi -> Some (Linexpr.sub hi lo)
+    | _ -> None
+  in
+  List.filter_map (fun (_, sr) -> of_sr sr) em.Elab.em_subranges
+  @ List.concat_map
+      (fun (d : Elab.data) -> List.filter_map of_sr (Stypes.dims d.Elab.d_ty))
+      (em.Elab.em_params @ em.Elab.em_results @ em.Elab.em_locals)
+
+let check_coverage em (data : Elab.data) defs : diagnostic list =
+  let facts = range_facts em in
+  let provably_le a b =
+    (* a <= b under the range facts *)
+    Linexpr.prove_nonneg ~assumptions:facts (Linexpr.sub b a)
+  in
+  let dims = Stypes.dims data.Elab.d_ty in
+  if dims = [] then []  (* scalars: existence of a def suffices *)
+  else
+    (* For each dimension position, the union of definition ranges must
+       cover the declared extent.  We verify the common patterns exactly:
+       every definition full-range at that position, or a partition of the
+       extent into points/ranges that chain without gaps. *)
+    let declared p =
+      let sr = List.nth dims p in
+      match Linexpr.of_expr sr.Stypes.sr_lo, Linexpr.of_expr sr.Stypes.sr_hi with
+      | Some lo, Some hi -> Some (lo, hi)
+      | _ -> None
+    in
+    let check_pos p =
+      match declared p with
+      | None -> []
+      | Some (dlo, dhi) ->
+        let pieces =
+          List.map
+            (fun (_, poss, _) ->
+              match List.nth poss p with
+              | Point x -> Some (x, x)
+              | Range (lo, hi) -> Some (lo, hi)
+              | Unknown -> None)
+            defs
+        in
+        if List.exists Option.is_none pieces then
+          [ diag Wwarning data.Elab.d_loc
+              "coverage of %s, dimension %d, could not be verified" data.Elab.d_name
+              (p + 1) ]
+        else
+          let pieces = List.filter_map Fun.id pieces in
+          (* Drop pieces provably contained in another piece: several
+             definitions may use the same range at this position (they
+             partition some other dimension), or a point may lie within a
+             full range. *)
+          let contained (lo, hi) (lo', hi') =
+            provably_le lo' lo && provably_le hi hi'
+          in
+          let rec dedup kept = function
+            | [] -> List.rev kept
+            | p :: rest ->
+              if
+                List.exists (contained p) kept
+                || List.exists (contained p) rest
+              then dedup kept rest
+              else dedup (p :: kept) rest
+          in
+          let pieces = dedup [] pieces in
+          (* Sort pieces by provable lower bound order; verify chaining. *)
+          let sorted =
+            List.sort
+              (fun (lo1, _) (lo2, _) ->
+                match Linexpr.diff_const lo1 lo2 with
+                | Some d -> compare d 0
+                | None -> 0)
+              pieces
+          in
+          let rec chain = function
+            | [] -> Error "no definitions"
+            | [ (_, hi) ] -> Ok hi
+            | (_, hi1) :: ((lo2, _) :: _ as rest) ->
+              if Linexpr.diff_const lo2 hi1 = Some 1 then chain rest
+              else if
+                (* overlapping or duplicated full ranges also cover *)
+                match Linexpr.diff_const lo2 hi1 with
+                | Some d -> d <= 1
+                | None -> false
+              then chain rest
+              else Error "gap between definition slices"
+          in
+          let covered =
+            match sorted with
+            | [] -> false
+            | (lo0, _) :: _ -> (
+              Linexpr.equal lo0 dlo
+              &&
+              match chain sorted with
+              | Ok hi_last -> Linexpr.equal hi_last dhi
+              | Error _ -> false)
+          in
+          if covered then []
+          else
+            [ diag Wwarning data.Elab.d_loc
+                "definitions of %s may not cover dimension %d completely"
+                data.Elab.d_name (p + 1) ]
+    in
+    List.concat (List.init (List.length dims) check_pos)
+
+(* Per-field definitions must jointly supply every declared field. *)
+let check_fields (em : Elab.emodule) (data : Elab.data) defs : diagnostic list =
+  match Stypes.elem_ty data.Elab.d_ty with
+  | Stypes.Record fields ->
+    let paths = List.map (fun (_, _, path) -> path) defs in
+    if List.for_all (fun p -> p = []) paths then []
+    else
+      List.filter_map
+        (fun (fname, _) ->
+          if List.exists (function f :: _ -> String.equal f fname | [] -> true) paths
+          then None
+          else
+            Some
+              (diag Werror data.Elab.d_loc
+                 "field %s of %s is never defined (module %s)" fname
+                 data.Elab.d_name em.Elab.em_name))
+        fields
+  | _ -> []
+
+let check_module (em : Elab.emodule) : diagnostic list =
+  let non_inputs = em.Elab.em_results @ em.Elab.em_locals in
+  List.concat_map
+    (fun (data : Elab.data) ->
+      match defs_of em data.Elab.d_name with
+      | [] ->
+        [ diag Werror data.Elab.d_loc "%s is never defined (module %s)"
+            data.Elab.d_name em.Elab.em_name ]
+      | defs ->
+        (* Coverage applies within each field path separately. *)
+        let by_path =
+          List.fold_left
+            (fun acc ((_, _, path) as d) ->
+              match List.assoc_opt path acc with
+              | Some group -> (path, d :: group) :: List.remove_assoc path acc
+              | None -> (path, [ d ]) :: acc)
+            [] defs
+        in
+        check_fields em data defs
+        @ (if List.length defs > 1 then check_overlap em data defs else [])
+        @ List.concat_map
+            (fun (_, group) -> check_coverage em data group)
+            by_path)
+    non_inputs
+
+let check_program (ep : Elab.eprogram) : diagnostic list =
+  List.concat_map check_module ep.Elab.ep_modules
+
+let errors diags = List.filter (fun d -> d.d_severity = Werror) diags
+
+let pp_diagnostic ppf d =
+  Fmt.pf ppf "%s: %s (%a)"
+    (match d.d_severity with Werror -> "error" | Wwarning -> "warning")
+    d.d_msg Ps_lang.Loc.pp d.d_loc

@@ -1,0 +1,23 @@
+(** Single-assignment and coverage checking.
+
+    Every non-input data item must be defined; no element may be defined
+    twice; slice definitions should jointly cover the declared extents.
+    The checks are symbolic (linear forms over the module inputs):
+    decidable cases yield errors, undecidable ones warnings. *)
+
+type severity = Werror | Wwarning
+
+type diagnostic = {
+  d_severity : severity;
+  d_msg : string;
+  d_loc : Ps_lang.Loc.span;
+}
+
+val check_module : Elab.emodule -> diagnostic list
+
+val check_program : Elab.eprogram -> diagnostic list
+
+val errors : diagnostic list -> diagnostic list
+(** The hard failures among a diagnostic list. *)
+
+val pp_diagnostic : diagnostic Fmt.t

@@ -1,0 +1,71 @@
+(* Elaborated (resolved) types.
+
+   Nested array types are flattened to a single dimension list, matching
+   the paper's view that an array's dimensionality "is the sum of
+   subscripts and superscripts" (§2): [array [1..maxK] of array [I,J] of
+   real] elaborates to a three-dimensional array. *)
+
+open Ps_lang
+
+type subrange = {
+  sr_name : string;        (* declared name, or a generated one for inline ranges *)
+  sr_lo : Ast.expr;        (* bound expressions over the module's scalar inputs *)
+  sr_hi : Ast.expr;
+}
+
+type scalar =
+  | Sint
+  | Sreal
+  | Sbool
+  | Senum of string        (* name of the enumeration type *)
+
+type ty =
+  | Scalar of scalar
+  | Array of subrange list * ty  (* element is never itself an Array *)
+  | Record of (string * ty) list
+
+let rec equal_ty a b =
+  match a, b with
+  | Scalar x, Scalar y -> x = y
+  | Array (d1, t1), Array (d2, t2) ->
+    List.length d1 = List.length d2
+    && List.for_all2 equal_subrange d1 d2
+    && equal_ty t1 t2
+  | Record f1, Record f2 ->
+    List.length f1 = List.length f2
+    && List.for_all2
+         (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && equal_ty t1 t2)
+         f1 f2
+  | (Scalar _ | Array _ | Record _), _ -> false
+
+and equal_subrange s1 s2 =
+  (* Two subranges are the same dimension type iff their bounds agree;
+     names are only for display and alignment. *)
+  Ast.equal_expr s1.sr_lo s2.sr_lo && Ast.equal_expr s1.sr_hi s2.sr_hi
+
+let is_numeric = function Scalar Sint | Scalar Sreal -> true | _ -> false
+
+let dims = function Array (d, _) -> d | Scalar _ | Record _ -> []
+
+let elem_ty = function Array (_, t) -> t | t -> t
+
+let rec pp ppf = function
+  | Scalar Sint -> Fmt.string ppf "int"
+  | Scalar Sreal -> Fmt.string ppf "real"
+  | Scalar Sbool -> Fmt.string ppf "bool"
+  | Scalar (Senum n) -> Fmt.pf ppf "enum %s" n
+  | Array (dims, elem) ->
+    Fmt.pf ppf "array [%a] of %a"
+      (Fmt.list ~sep:(Fmt.any ", ") pp_subrange)
+      dims pp elem
+  | Record fields ->
+    Fmt.pf ppf "record %a end"
+      (Fmt.list ~sep:(Fmt.any "; ") (fun ppf (n, t) -> Fmt.pf ppf "%s : %a" n pp t))
+      fields
+
+and pp_subrange ppf sr =
+  Fmt.pf ppf "%s = %s .. %s" sr.sr_name
+    (Pretty.expr_to_string sr.sr_lo)
+    (Pretty.expr_to_string sr.sr_hi)
+
+let to_string t = Fmt.str "%a" pp t

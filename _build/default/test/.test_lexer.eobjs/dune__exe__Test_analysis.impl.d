@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Ps_models Psc Util

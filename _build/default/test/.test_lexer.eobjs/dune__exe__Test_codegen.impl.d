@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Filename Float List Option Printf Ps_lang Ps_models Psc String Sys Unix Util

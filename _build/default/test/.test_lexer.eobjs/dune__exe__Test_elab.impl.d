@@ -1,0 +1,1 @@
+test/test_elab.ml: Alcotest Elab List Printf Ps_lang Ps_models Ps_sem Stypes Util

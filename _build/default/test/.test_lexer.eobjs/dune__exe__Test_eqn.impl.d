@@ -1,0 +1,1 @@
+test/test_eqn.ml: Alcotest List Ps_models Psc Util

@@ -1,0 +1,1 @@
+test/test_eval_compile.ml: Alcotest Compile Elab Eval Hashtbl List Ps_interp Ps_lang Ps_sem QCheck QCheck_alcotest Stypes Util Value

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array List Printf Ps_models Psc Util

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Build Dgraph Elab Label List Printf Ps_graph Ps_lang Ps_models Ps_sem Render Stypes Util

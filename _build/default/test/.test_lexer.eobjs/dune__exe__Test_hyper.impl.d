@@ -1,0 +1,1 @@
+test/test_hyper.ml: Alcotest Array Fmt Imatrix Ineq List Ps_hyper Ps_lang Ps_models Ps_sched Ps_sem QCheck QCheck_alcotest Solve Transform Util

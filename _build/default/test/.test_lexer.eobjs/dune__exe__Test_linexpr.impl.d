@@ -1,0 +1,1 @@
+test/test_linexpr.ml: Alcotest Linexpr List Ps_lang Ps_sem QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Fun Int64 List Ps_models Psc String Util

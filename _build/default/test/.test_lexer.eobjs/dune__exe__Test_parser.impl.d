@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast List Loc Parser Pretty Ps_lang Ps_models QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Array List Option Ps_models Psc Util

@@ -1,0 +1,1 @@
+test/test_random.ml: Alcotest Array Filename Float Fun List Option Printf Ps_models Psc QCheck QCheck_alcotest String Sys Unix Util

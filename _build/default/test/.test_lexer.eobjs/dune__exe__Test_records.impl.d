@@ -1,0 +1,1 @@
+test/test_records.ml: Alcotest Array List Printf Ps_lang Ps_models Psc Util

@@ -1,0 +1,1 @@
+test/test_sa_check.ml: Alcotest Elab List Printf Ps_lang Ps_models Ps_sem Sa_check String Util

@@ -1,0 +1,1 @@
+test/test_scc.ml: Alcotest Build Dgraph List Printf Ps_graph Ps_lang Ps_models Ps_sem QCheck QCheck_alcotest Scc String

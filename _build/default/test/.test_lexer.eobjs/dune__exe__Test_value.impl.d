@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Ps_interp Ps_sem QCheck QCheck_alcotest Stypes Util

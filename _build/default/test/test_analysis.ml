@@ -1,0 +1,82 @@
+(* Work/span analysis tests: exact counts for the paper's schedules and
+   the parallelism ordering the paper's transformation establishes. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let cost ?sink ?name src env =
+  let tp = Util.load src in
+  Psc.work_span ?name ?sink tp ~env
+
+let m = 10 and maxk = 6
+
+let env = [ ("M", m); ("maxK", maxk) ]
+
+let grid = (m + 2) * (m + 2)
+
+let exact_tests =
+  [ t "jacobi work counts every equation instance" (fun () ->
+        let c = cost Ps_models.Models.jacobi env in
+        (* eq.1: grid; eq.3: (maxk-1)*grid; eq.2: grid *)
+        Util.checkf "work" (float_of_int (((maxk - 1) * grid) + (2 * grid))) c.Psc.Analysis.work);
+    t "jacobi span is the DO trip count plus constants" (fun () ->
+        let c = cost Ps_models.Models.jacobi env in
+        (* eq.1 contributes 1, the DO K loop maxk-1, eq.2 contributes 1 *)
+        Util.checkf "span" (float_of_int (1 + (maxk - 1) + 1)) c.Psc.Analysis.span);
+    t "seidel has span equal to its work inside the nest" (fun () ->
+        let c = cost Ps_models.Models.seidel env in
+        Util.checkf "span" (float_of_int (2 + ((maxk - 1) * grid))) c.Psc.Analysis.span);
+    t "seidel parallelism is essentially 1" (fun () ->
+        let c = cost Ps_models.Models.seidel env in
+        Alcotest.(check bool) "about 1" true (Psc.Analysis.parallelism c < 1.5));
+    t "jacobi parallelism is about the grid size" (fun () ->
+        let c = cost Ps_models.Models.jacobi env in
+        let p = Psc.Analysis.parallelism c in
+        Alcotest.(check bool) "near grid" true
+          (p > float_of_int grid /. 2. && p <= float_of_int grid *. 2.)) ]
+
+let transform_tests =
+  [ t "hyperplane transformation multiplies parallelism" (fun () ->
+        let tp = Util.load Ps_models.Models.seidel in
+        let before = Psc.work_span tp ~env in
+        let tp', tr = Psc.hyperplane ~target:"A" tp in
+        let name = tr.Psc.Transform.tr_module.Psc.Ast.m_name in
+        let after = Psc.work_span ~name ~sink:true tp' ~env in
+        let p_before = Psc.Analysis.parallelism before in
+        let p_after = Psc.Analysis.parallelism after in
+        Alcotest.(check bool) "at least 10x" true (p_after > 10. *. p_before));
+    t "transformed work grows only by a constant factor" (fun () ->
+        let tp = Util.load Ps_models.Models.seidel in
+        let before = Psc.work_span tp ~env in
+        let tp', tr = Psc.hyperplane ~target:"A" tp in
+        let name = tr.Psc.Transform.tr_module.Psc.Ast.m_name in
+        let after = Psc.work_span ~name ~sink:true tp' ~env in
+        Alcotest.(check bool) "bounded blowup" true
+          (after.Psc.Analysis.work < 8. *. before.Psc.Analysis.work)) ]
+
+let misc_tests =
+  [ t "prefix sum has parallelism about 1" (fun () ->
+        let c = cost Ps_models.Models.prefix_sum [ ("N", 100) ] in
+        Alcotest.(check bool) "sequential" true (Psc.Analysis.parallelism c < 2.5));
+    t "matmul parallelism is about N^2" (fun () ->
+        let n = 12 in
+        let c = cost Ps_models.Models.matmul [ ("N", n) ] in
+        let p = Psc.Analysis.parallelism c in
+        Alcotest.(check bool) "near N^2" true
+          (p > float_of_int (n * n) /. 2. && p <= float_of_int (n * n) *. 2.));
+    t "work scales linearly with maxK" (fun () ->
+        let c1 = cost Ps_models.Models.jacobi [ ("M", m); ("maxK", 10) ] in
+        let c2 = cost Ps_models.Models.jacobi [ ("M", m); ("maxK", 19) ] in
+        Alcotest.(check bool) "doubles" true
+          (c2.Psc.Analysis.work /. c1.Psc.Analysis.work > 1.8));
+    t "missing environment entry is diagnosed" (fun () ->
+        Util.expect_error (fun () -> cost Ps_models.Models.jacobi [ ("M", m) ]));
+    t "empty ranges contribute zero work" (fun () ->
+        let c = cost Ps_models.Models.jacobi [ ("M", m); ("maxK", 1) ] in
+        (* only eq.1 and eq.2 remain *)
+        Util.checkf "work" (float_of_int (2 * grid)) c.Psc.Analysis.work) ]
+
+let () =
+  Alcotest.run "analysis"
+    [ ("exact counts", exact_tests);
+      ("transformation", transform_tests);
+      ("misc", misc_tests) ]

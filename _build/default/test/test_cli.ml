@@ -1,0 +1,152 @@
+(* End-to-end tests of the psc command-line driver: every subcommand is
+   invoked as a subprocess on real files and its output inspected. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let psc_exe =
+  (* Tests run from the build context root. *)
+  let candidates =
+    [ "_build/default/bin/psc_main.exe"; "../bin/psc_main.exe";
+      "./bin/psc_main.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> "dune exec bin/psc_main.exe --"
+
+let with_source src f =
+  let file = Filename.temp_file "psc_cli" ".ps" in
+  let oc = open_out file in
+  output_string oc src;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove file) (fun () -> f file)
+
+let run_cli args =
+  let out = Filename.temp_file "psc_out" ".txt" in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" psc_exe args out in
+  let rc = Sys.command cmd in
+  let ic = open_in out in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (rc, text)
+
+let expect_ok args checks =
+  let rc, text = run_cli args in
+  if rc <> 0 then Alcotest.failf "psc %s exited %d:\n%s" args rc text;
+  List.iter
+    (fun needle ->
+      if not (Util.contains text needle) then
+        Alcotest.failf "psc %s: output lacks %S:\n%s" args needle text)
+    checks
+
+let expect_fail args checks =
+  let rc, text = run_cli args in
+  if rc = 0 then Alcotest.failf "psc %s unexpectedly succeeded" args;
+  List.iter
+    (fun needle ->
+      if not (Util.contains text needle) then
+        Alcotest.failf "psc %s: error lacks %S:\n%s" args needle text)
+    checks
+
+let cli_tests =
+  [ t "parse round-trips Fig. 1" (fun () ->
+        with_source Ps_models.Models.jacobi (fun f ->
+            expect_ok ("parse " ^ f) [ "Relaxation: module"; "end Relaxation;" ]));
+    t "check reports module statistics" (fun () ->
+        with_source Ps_models.Models.jacobi (fun f ->
+            expect_ok ("check " ^ f) [ "module Relaxation: 3 equations, 1 locals" ]));
+    t "graph lists the paper's edges" (fun () ->
+        with_source Ps_models.Models.jacobi (fun f ->
+            expect_ok ("graph " ^ f) [ "A -> eq.3 (use) [K - 1, I, J - 1]" ]));
+    t "graph --dot emits graphviz" (fun () ->
+        with_source Ps_models.Models.jacobi (fun f ->
+            expect_ok ("graph --dot " ^ f) [ "digraph Relaxation" ]));
+    t "schedule prints Fig. 6 and the window" (fun () ->
+        with_source Ps_models.Models.jacobi (fun f ->
+            expect_ok ("schedule " ^ f)
+              [ "DO K ("; "DOALL I ("; "A: dimension 1 is virtual, window = 2" ]));
+    t "schedule --compact prints one line" (fun () ->
+        with_source Ps_models.Models.jacobi (fun f ->
+            expect_ok
+              ("schedule --compact " ^ f)
+              [ "DO K (DOALL I (DOALL J (eq.3)))" ]));
+    t "transform prints the sec. 4 derivation" (fun () ->
+        with_source Ps_models.Models.seidel (fun f ->
+            expect_ok
+              ("transform --target A " ^ f)
+              [ "Least solution: a = (2, 1, 1)"; "Kp = 2K + I + J";
+                "window = 3" ]));
+    t "emit-c produces annotated C" (fun () ->
+        with_source Ps_models.Models.jacobi (fun f ->
+            expect_ok ("emit-c " ^ f)
+              [ "void Relaxation"; "/* DOALL (concurrent) */";
+                "/* DO (iterative) */" ]));
+    t "run prints checksums and storage" (fun () ->
+        with_source Ps_models.Models.jacobi (fun f ->
+            expect_ok
+              ("run -i M=12 -i maxK=8 " ^ f)
+              [ "newA checksum ="; "--- storage ---"; "A: 392 words" ]));
+    t "run --no-windows allocates every plane" (fun () ->
+        with_source Ps_models.Models.jacobi (fun f ->
+            expect_ok
+              ("run --no-windows -i M=12 -i maxK=8 " ^ f)
+              [ "A: 1568 words" ]));
+    t "run --par matches the sequential checksum" (fun () ->
+        with_source Ps_models.Models.jacobi (fun f ->
+            let _, seq = run_cli ("run -i M=12 -i maxK=8 " ^ f) in
+            let _, par = run_cli ("run --par 3 -i M=12 -i maxK=8 " ^ f) in
+            let checksum text =
+              String.split_on_char '\n' text
+              |> List.find (fun l -> Util.contains l "checksum")
+            in
+            Alcotest.(check string) "same checksum" (checksum seq) (checksum par)));
+    t "analyze reports parallelism" (fun () ->
+        with_source Ps_models.Models.jacobi (fun f ->
+            expect_ok
+              ("analyze -i M=12 -i maxK=8 " ^ f)
+              [ "work        = 1764"; "parallelism = 196.00" ]));
+    t "missing scalar input is diagnosed" (fun () ->
+        with_source Ps_models.Models.jacobi (fun f ->
+            expect_fail ("run -i M=12 " ^ f) [ "missing --input maxK" ]));
+    t "syntax errors carry a location" (fun () ->
+        with_source "R: module (x int): [y: int]; define y = x; end R;"
+          (fun f -> expect_fail ("parse " ^ f) [ "syntax error"; "line 1" ]));
+    t "unschedulable program suggests the transformation" (fun () ->
+        with_source
+          {|
+C: module (N: int): [y: real];
+type
+  I = 1 .. N;
+var
+  A: array [0 .. N+1] of real;
+define
+  A[I] = A[I-1] + A[I+1];
+  A[0] = 0.0;
+  A[N+1] = 0.0;
+  y = A[1];
+end C;
+|}
+          (fun f ->
+            expect_fail ("schedule " ^ f)
+              [ "cannot be scheduled"; "hyperplane" ]));
+    t "eqn translates equation notation" (fun () ->
+        with_source
+          "f(X[i], N) -> Y[i]\nwhere i = 1 .. N\nY_{i} = X_{i} * 2.0"
+          (fun f ->
+            expect_ok ("eqn " ^ f)
+              [ "f: module (X : array [i] of real"; "DOALL i (" ]));
+    t "eqn --ps prints only the module" (fun () ->
+        with_source
+          "f(X[i], N) -> Y[i]\nwhere i = 1 .. N\nY_{i} = X_{i} * 2.0"
+          (fun f ->
+            let rc, text = run_cli ("eqn --ps " ^ f) in
+            Alcotest.(check int) "exit 0" 0 rc;
+            Alcotest.(check bool) "no schedule" true
+              (not (Util.contains text "DOALL"))));
+    t "demo regenerates every figure" (fun () ->
+        expect_ok "demo"
+          [ "=== Fig. 1"; "=== Fig. 3"; "=== Fig. 5"; "=== Fig. 6"; "=== Fig. 7";
+            "Least solution: a = (2, 1, 1)";
+            "Ap: dimension 1 is virtual, window = 3" ]) ]
+
+let () = Alcotest.run "cli" [ ("cli", cli_tests) ]

@@ -1,0 +1,201 @@
+(* C back-end tests: structure of the emitted code (annotations, windows,
+   loop kinds), diagnostics for unsupported constructs, and — when a C
+   compiler is available — compile-and-run comparison of checksums against
+   the interpreter, for both the plain and the transformed programs. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let emit ?sink src = Psc.emit_c ?sink (Util.load src)
+
+let structure_tests =
+  [ t "DO and DOALL annotations present (paper: loops are annotated)" (fun () ->
+        let c = emit Ps_models.Models.jacobi in
+        Alcotest.(check bool) "DOALL" true (Util.contains c "/* DOALL (concurrent) */");
+        Alcotest.(check bool) "DO" true (Util.contains c "/* DO (iterative) */"));
+    t "outermost DOALL gets the OpenMP pragma" (fun () ->
+        let c = emit Ps_models.Models.jacobi in
+        Alcotest.(check bool) "pragma" true
+          (Util.contains c "#pragma omp parallel for"));
+    t "virtual dimension comments and window constants" (fun () ->
+        let c = emit Ps_models.Models.jacobi in
+        Alcotest.(check bool) "window comment" true
+          (Util.contains c "window of 2 planes");
+        Alcotest.(check bool) "modulo mapping" true (Util.contains c "% A_w0"));
+    t "seidel emits three nested iterative loops" (fun () ->
+        let c = emit Ps_models.Models.seidel in
+        let count_substring s sub =
+          let rec go i acc =
+            if i + String.length sub > String.length s then acc
+            else if String.sub s i (String.length sub) = sub then go (i + 1) (acc + 1)
+            else go (i + 1) acc
+          in
+          go 0 0
+        in
+        Alcotest.(check int) "3 DO loops" 3
+          (count_substring c "/* DO (iterative) */"));
+    t "local arrays are calloc'd and freed" (fun () ->
+        let c = emit Ps_models.Models.jacobi in
+        Alcotest.(check bool) "calloc" true (Util.contains c "calloc(A_size");
+        Alcotest.(check bool) "free" true (Util.contains c "free(A)"));
+    t "inputs become const pointers, results plain pointers" (fun () ->
+        let c = emit Ps_models.Models.jacobi in
+        Alcotest.(check bool) "const in" true
+          (Util.contains c "const double *InitialA");
+        Alcotest.(check bool) "out" true (Util.contains c "double *newA"));
+    t "integer kernels use int arrays" (fun () ->
+        let c = emit Ps_models.Models.binomial in
+        Alcotest.(check bool) "int array" true (Util.contains c "int *T"));
+    t "real division of int operands casts" (fun () ->
+        let c =
+          emit
+            "T: module (n: int): [y: real]; define y = n / 4; end T;"
+        in
+        Alcotest.(check bool) "cast" true (Util.contains c "(double)"));
+    t "enum constructors become defines" (fun () ->
+        let c = emit Ps_models.Models.classify in
+        Alcotest.(check bool) "Small" true (Util.contains c "#define Small 0");
+        Alcotest.(check bool) "Large" true (Util.contains c "#define Large 2"));
+    t "solved subscript emits the unrotate block" (fun () ->
+        let tp = Util.load Ps_models.Models.seidel in
+        let tp', tr = Psc.hyperplane ~target:"A" tp in
+        let name = tr.Psc.Transform.tr_module.Psc.Ast.m_name in
+        let c = Psc.emit_c ~name ~sink:true tp' in
+        Alcotest.(check bool) "unrotate" true (Util.contains c "solved subscript");
+        Alcotest.(check bool) "window 3" true (Util.contains c "window of 3 planes")) ]
+
+let diagnostic_tests =
+  [ t "module calls are diagnosed" (fun () ->
+        Util.expect_error ~substring:"C back end" (fun () ->
+            Psc.emit_c ~name:"Driver" (Util.load Ps_models.Models.two_module)));
+    t "record types are diagnosed" (fun () ->
+        Util.expect_error ~substring:"record" (fun () ->
+            emit
+              "T: module (r: S): [y: real]; type S = record a : real end; \
+               define y = r.a; end T;")) ]
+
+(* --- compile and run, when cc is available ------------------------ *)
+
+let have_cc = Sys.command "command -v cc > /dev/null 2>&1" = 0
+
+let run_c source =
+  let dir = Filename.temp_file "psc_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let src = Filename.concat dir "prog.c" in
+  let exe = Filename.concat dir "prog" in
+  let oc = open_out src in
+  output_string oc source;
+  close_out oc;
+  let rc = Sys.command (Printf.sprintf "cc -O1 -o %s %s -lm 2> %s/cc.log" exe src dir) in
+  if rc <> 0 then Alcotest.failf "cc failed (see %s)" dir;
+  let ic = Unix.open_process_in exe in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  ignore (Unix.close_process_in ic);
+  List.rev !lines
+  |> List.map (fun line ->
+         match String.split_on_char ' ' line with
+         | [ name; v ] -> (name, float_of_string v)
+         | _ -> Alcotest.failf "bad C output line %S" line)
+
+(* The interpreter-side checksum with the same deterministic fill as the
+   generated main(). *)
+let interp_checksums ?sink ?name src scalars =
+  let tp = Util.load src in
+  let em = Psc.the_module ?name tp in
+  let inputs =
+    List.map
+      (fun (d : Psc.Elab.data) ->
+        let dims = Psc.Stypes.dims d.Psc.Elab.d_ty in
+        if dims = [] then
+          (d.Psc.Elab.d_name, Psc.Exec.scalar_int (List.assoc d.Psc.Elab.d_name scalars))
+        else
+          let env v = List.assoc_opt v scalars in
+          let bounds =
+            List.map
+              (fun (sr : Psc.Stypes.subrange) ->
+                let ev e = Psc.Linexpr.eval env (Option.get (Psc.Linexpr.of_expr e)) in
+                (ev sr.Psc.Stypes.sr_lo, ev sr.Psc.Stypes.sr_hi))
+              dims
+          in
+          let extents = List.map (fun (lo, hi) -> hi - lo + 1) bounds in
+          let strides =
+            let rec go = function
+              | [] -> []
+              | _ :: rest as l -> List.fold_left ( * ) 1 (List.tl l) :: go rest
+            in
+            go extents
+          in
+          ( d.Psc.Elab.d_name,
+            Psc.Exec.array_real ~dims:bounds (fun ix ->
+                let flat = ref 0 in
+                List.iteri
+                  (fun p s -> flat := !flat + ((ix.(p) - fst (List.nth bounds p)) * s))
+                  strides;
+                Ps_models.Models.fill_value !flat) ))
+      em.Psc.Elab.em_params
+  in
+  let r = Psc.run ?sink ?name tp ~inputs in
+  List.map
+    (fun (nm, v) ->
+      match v with
+      | Psc.Value.Vscalar sc -> (nm, Psc.Value.as_float sc)
+      | Psc.Value.Varray s ->
+        let n = Psc.Value.ndims s in
+        let box =
+          List.init n (fun p ->
+              let di = s.Psc.Value.s_dims.(p) in
+              (di.Psc.Value.di_lo, di.Psc.Value.di_lo + di.Psc.Value.di_extent - 1))
+        in
+        (nm, Util.checksum (Psc.Value.Varray s) box))
+    r.Psc.Exec.outputs
+
+let compare_c_and_interp ?sink ?name src scalars =
+  let tp = Util.load src in
+  let c = Psc.emit_c_main ?name ?sink ~scalars tp in
+  let c_results = run_c c in
+  let i_results = interp_checksums ?sink ?name src scalars in
+  List.iter
+    (fun (nm, v) ->
+      let v' = List.assoc nm i_results in
+      if not (Float.equal v v') then
+        Alcotest.failf "%s: C %.17g vs interpreter %.17g" nm v v')
+    c_results
+
+let cc_tests =
+  if not have_cc then
+    [ t "cc unavailable (skipped)" (fun () -> ()) ]
+  else
+    [ t "jacobi: C equals interpreter bit for bit" (fun () ->
+          compare_c_and_interp Ps_models.Models.jacobi
+            [ ("M", 20); ("maxK", 12) ]);
+      t "seidel: C equals interpreter" (fun () ->
+          compare_c_and_interp Ps_models.Models.seidel
+            [ ("M", 16); ("maxK", 10) ]);
+      t "heat1d: C equals interpreter" (fun () ->
+          compare_c_and_interp Ps_models.Models.heat1d
+            [ ("N", 50); ("steps", 30) ]);
+      t "matmul: C equals interpreter" (fun () ->
+          compare_c_and_interp Ps_models.Models.matmul [ ("N", 12) ]);
+      t "binomial: C equals interpreter" (fun () ->
+          compare_c_and_interp Ps_models.Models.binomial [ ("N", 20) ]);
+      t "transformed seidel with sinking: C equals interpreter" (fun () ->
+          let tp = Util.load Ps_models.Models.seidel in
+          let _, tr = Psc.hyperplane ~target:"A" tp in
+          let name = tr.Psc.Transform.tr_module.Psc.Ast.m_name in
+          let full_src =
+            Ps_models.Models.seidel ^ "\n"
+            ^ Ps_lang.Pretty.module_to_string tr.Psc.Transform.tr_module
+          in
+          compare_c_and_interp ~sink:true ~name full_src
+            [ ("M", 16); ("maxK", 10) ]) ]
+
+let () =
+  Alcotest.run "codegen"
+    [ ("structure", structure_tests);
+      ("diagnostics", diagnostic_tests);
+      ("compile and run", cc_tests) ]

@@ -1,0 +1,190 @@
+(* Elaboration tests: slice expansion, index binding, type flattening,
+   type checking, and every diagnostic path of the front end. *)
+
+open Ps_sem
+
+let t name f = Alcotest.test_case name `Quick f
+
+let elab src =
+  Elab.elab_program (Ps_lang.Parser.program_of_string src)
+
+let first src = List.hd (elab src).Elab.ep_modules
+
+let expect_sem_error ?(substring = "") src =
+  match elab src with
+  | exception Elab.Error (m, _) ->
+    if substring <> "" && not (Util.contains m substring) then
+      Alcotest.failf "error %S does not mention %S" m substring
+  | _ -> Alcotest.fail "expected a semantic error"
+
+(* A small valid module wrapper for expression-level tests. *)
+let wrap ?(types = "") ?(vars = "") ?(params = "x: real") ?(result = "y: real") eqs =
+  Printf.sprintf
+    "T: module (%s): [%s];%s%s define %s end T;" params result
+    (if types = "" then "" else " type " ^ types)
+    (if vars = "" then "" else " var " ^ vars)
+    eqs
+
+let expansion_tests =
+  [ t "eq.1 of Fig. 1 expands over I and J" (fun () ->
+        let em = first Ps_models.Models.jacobi in
+        let q = List.hd em.Elab.em_eqs in
+        Alcotest.(check (list string)) "indices" [ "I"; "J" ]
+          (List.map (fun ix -> ix.Elab.ix_var) q.Elab.q_indices);
+        match q.Elab.q_defs with
+        | [ { Elab.df_subs = [ Elab.Sub_fixed _; Elab.Sub_index _; Elab.Sub_index _ ]; _ } ]
+          -> ()
+        | _ -> Alcotest.fail "expected fixed+index+index");
+    t "eq.2 rhs gains the expanded subscripts" (fun () ->
+        let em = first Ps_models.Models.jacobi in
+        let q = List.nth em.Elab.em_eqs 1 in
+        Alcotest.(check string) "expanded" "A[maxK, I, J]"
+          (Ps_lang.Pretty.expr_to_string q.Elab.q_rhs));
+    t "expansion pushes through if branches" (fun () ->
+        let em =
+          first
+            (wrap ~types:"I = 1 .. 4;"
+               ~params:"c: bool; A: array[I] of real; B: array[I] of real"
+               ~result:"Y: array[I] of real" "Y = if c then A else B;")
+        in
+        let q = List.hd em.Elab.em_eqs in
+        Alcotest.(check string) "pushed" "if c then A[I] else B[I]"
+          (Ps_lang.Pretty.expr_to_string q.Elab.q_rhs));
+    t "module-call equation is not expanded" (fun () ->
+        let ep = elab Ps_models.Models.two_module in
+        let driver =
+          List.find (fun m -> m.Elab.em_name = "Driver") ep.Elab.ep_modules
+        in
+        let q = List.hd driver.Elab.em_eqs in
+        Alcotest.(check int) "no indices" 0 (List.length q.Elab.q_indices));
+    t "equation numbering follows source order" (fun () ->
+        let em = first Ps_models.Models.jacobi in
+        Alcotest.(check (list string)) "names" [ "eq.1"; "eq.2"; "eq.3" ]
+          (List.map (fun q -> q.Elab.q_name) em.Elab.em_eqs)) ]
+
+let type_tests =
+  [ t "nested arrays flatten" (fun () ->
+        let em = first Ps_models.Models.jacobi in
+        let a = Elab.data_exn em "A" in
+        Alcotest.(check int) "3 dims" 3 (List.length (Stypes.dims a.Elab.d_ty)));
+    t "flattened element type" (fun () ->
+        let em = first Ps_models.Models.jacobi in
+        let a = Elab.data_exn em "A" in
+        Alcotest.(check bool) "real elem" true
+          (Stypes.equal_ty (Stypes.elem_ty a.Elab.d_ty) (Stypes.Scalar Stypes.Sreal)));
+    t "subrange synonym" (fun () ->
+        let em =
+          first
+            (wrap ~types:"I = 1 .. 4; I2 = I;"
+               ~params:"A: array[I, I2] of real" ~result:"y: real" "y = A[1, 1];")
+        in
+        let a = Elab.data_exn em "A" in
+        (match Stypes.dims a.Elab.d_ty with
+         | [ d1; d2 ] ->
+           Alcotest.(check bool) "same bounds" true (Stypes.equal_subrange d1 d2)
+         | _ -> Alcotest.fail "2 dims"));
+    t "enum type and constructors" (fun () ->
+        let em = first Ps_models.Models.classify in
+        Alcotest.(check (list string)) "ctors" [ "Small"; "Medium"; "Large" ]
+          (List.assoc "Kind" em.Elab.em_enums));
+    t "record type elaborates" (fun () ->
+        let em =
+          first
+            (wrap ~types:"S = record a : real; b : int end;" ~params:"r: S"
+               ~result:"y: real" "y = r.a;")
+        in
+        let r = Elab.data_exn em "r" in
+        match r.Elab.d_ty with
+        | Stypes.Record [ ("a", _); ("b", _) ] -> ()
+        | _ -> Alcotest.fail "record type") ]
+
+let error_tests =
+  [ t "unknown identifier" (fun () ->
+        expect_sem_error ~substring:"unknown identifier" (wrap "y = nope;"));
+    t "unknown type" (fun () ->
+        expect_sem_error ~substring:"unknown type" (wrap ~vars:"z: Mystery;" "y = x; z = x;"));
+    t "redefining an input" (fun () ->
+        expect_sem_error ~substring:"input" (wrap "x = 1.0; y = x;"));
+    t "defining an undeclared variable" (fun () ->
+        expect_sem_error ~substring:"undeclared" (wrap "y = x; z = x;"));
+    t "too many subscripts" (fun () ->
+        expect_sem_error ~substring:"subscripts"
+          (wrap ~params:"A: array[1 .. 3] of real" "y = A[1, 2];"));
+    t "boolean arithmetic" (fun () ->
+        expect_sem_error ~substring:"arithmetic" (wrap "y = x + true;"));
+    t "non-boolean condition" (fun () ->
+        expect_sem_error ~substring:"boolean" (wrap "y = if x then 1.0 else 2.0;"));
+    t "branch type mismatch" (fun () ->
+        expect_sem_error ~substring:"different types"
+          (wrap "y = if x > 0.0 then 1.0 else false;"));
+    t "real equation for int variable" (fun () ->
+        expect_sem_error ~substring:"type" (wrap ~result:"y: int" "y = 1.5;"));
+    t "div requires ints" (fun () ->
+        expect_sem_error ~substring:"div" (wrap "y = x div 2;"));
+    t "duplicate declaration" (fun () ->
+        expect_sem_error ~substring:"duplicate"
+          (wrap ~vars:"z: real; z: int;" "y = x; z = x;"));
+    t "duplicate index variable needs a synonym" (fun () ->
+        expect_sem_error ~substring:"synonym"
+          (wrap ~types:"I = 1 .. 3;" ~vars:"A: array[I, I] of real;"
+             "A[I, I] = x; y = A[1, 1];"));
+    t "array dimension must be a subrange" (fun () ->
+        expect_sem_error ~substring:"subrange"
+          (wrap ~types:"C = (r, g);" ~params:"A: array[C] of real" "y = A[1];"));
+    t "call arity" (fun () ->
+        expect_sem_error ~substring:"argument"
+          ("A: module (x: int): [y: int]; define y = x; end A;\n\
+            B: module (x: int): [y: int]; define y = A(x, x); end B;"));
+    t "call to unknown module" (fun () ->
+        expect_sem_error ~substring:"unknown function" (wrap "y = Mystery(x);"));
+    t "multi-result module in a scalar position" (fun () ->
+        expect_sem_error ~substring:"several results"
+          ("A: module (x: int): [y: int; z: int]; define y = x; z = x; end A;\n\
+            B: module (x: int): [a: int]; define a = A(x); end B;"));
+    t "multi-result count mismatch" (fun () ->
+        expect_sem_error ~substring:"results"
+          ("A: module (x: int): [y: int; z: int; w: int]; define y = x; z = x; \
+            w = x; end A;\n\
+            B: module (x: int): [a: int; b: int]; define a, b = A(x); end B;"));
+    t "subscript must be int" (fun () ->
+        expect_sem_error ~substring:"subscript"
+          (wrap ~params:"A: array[1 .. 3] of real" "y = A[1.5];"));
+    t "field of non-record" (fun () ->
+        expect_sem_error ~substring:"non-record" (wrap "y = x.f;"));
+    t "unknown field" (fun () ->
+        expect_sem_error ~substring:"field"
+          (wrap ~types:"S = record a : real end;" ~params:"r: S" "y = r.b;"));
+    t "duplicate module names" (fun () ->
+        expect_sem_error ~substring:"duplicate"
+          ("A: module (x: int): [y: int]; define y = x; end A;\n\
+            A: module (x: int): [y: int]; define y = x; end A;")) ]
+
+let builtin_tests =
+  [ t "sqrt types as real" (fun () -> ignore (first (wrap "y = sqrt(x);")));
+    t "abs preserves int" (fun () ->
+        ignore (first (wrap ~result:"y: int" ~params:"x: int" "y = abs(x);")));
+    t "min of ints is int" (fun () ->
+        ignore (first (wrap ~result:"y: int" ~params:"x: int" "y = min(x, 3);")));
+    t "min of mixed is real" (fun () ->
+        expect_sem_error ~substring:"type"
+          (wrap ~result:"y: int" "y = min(x, 3);"));
+    t "sqrt of bool rejected" (fun () ->
+        expect_sem_error ~substring:"numeric" (wrap "y = sqrt(true);")) ]
+
+let signature_tests =
+  [ t "two-module program elaborates" (fun () ->
+        let ep = elab Ps_models.Models.two_module in
+        Alcotest.(check int) "3 modules" 3 (List.length ep.Elab.ep_modules));
+    t "forward reference to a later module" (fun () ->
+        (* Driver precedes Relaxation in the source. *)
+        let ep = elab Ps_models.Models.two_module in
+        let driver = List.find (fun m -> m.Elab.em_name = "Driver") ep.Elab.ep_modules in
+        Alcotest.(check int) "2 eqs" 2 (List.length driver.Elab.em_eqs)) ]
+
+let () =
+  Alcotest.run "elab"
+    [ ("slice expansion", expansion_tests);
+      ("types", type_tests);
+      ("diagnostics", error_tests);
+      ("builtins", builtin_tests);
+      ("signatures", signature_tests) ]

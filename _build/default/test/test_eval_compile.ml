@@ -1,0 +1,213 @@
+(* Agreement between the tree-walk evaluator and the closure compiler,
+   plus semantics of every operator and builtin. *)
+
+open Ps_sem
+open Ps_interp
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* A module providing typed names for expression tests: scalars a b
+   (real), n m (int), p q (bool), array V (real, 0..9). *)
+let env_module =
+  {|
+E: module (a: real; b: real; n: int; m: int; p: bool; q: bool;
+           V: array[0 .. 9] of real): [y: real];
+define
+  y = a;
+end E;
+|}
+
+let em =
+  List.hd
+    (Elab.elab_program (Ps_lang.Parser.program_of_string env_module)).Elab.ep_modules
+
+(* Concrete bindings. *)
+let slabs = Hashtbl.create 16
+
+let () =
+  let scalar name elem v =
+    let s = Value.make_slab ~name ~elem ~dims:[] in
+    Value.set_scalar s [||] v;
+    Hashtbl.replace slabs name s
+  in
+  scalar "a" (Stypes.Scalar Stypes.Sreal) (Value.Sc_real 2.5);
+  scalar "b" (Stypes.Scalar Stypes.Sreal) (Value.Sc_real (-0.75));
+  scalar "n" (Stypes.Scalar Stypes.Sint) (Value.Sc_int 7);
+  scalar "m" (Stypes.Scalar Stypes.Sint) (Value.Sc_int (-3));
+  scalar "p" (Stypes.Scalar Stypes.Sbool) (Value.Sc_bool true);
+  scalar "q" (Stypes.Scalar Stypes.Sbool) (Value.Sc_bool false);
+  let v =
+    Value.make_slab ~name:"V" ~elem:(Stypes.Scalar Stypes.Sreal)
+      ~dims:[ (0, 10, 10) ]
+  in
+  for i = 0 to 9 do
+    Value.set_scalar v [| i |] (Value.Sc_real (float_of_int (i * i) /. 4.))
+  done;
+  Hashtbl.replace slabs "V" v
+
+let eval_ctx : Eval.ctx =
+  { Eval.c_em = em;
+    c_slab = Hashtbl.find slabs;
+    c_index = (fun v -> if v = "I" then Some 3 else None);
+    c_call = (fun f _ -> Alcotest.failf "unexpected call to %s" f);
+    c_check = true }
+
+let cctx : Compile.cctx =
+  { Compile.k_em = em;
+    k_slab = Hashtbl.find slabs;
+    k_slot = (fun v -> if v = "I" then Some 0 else None);
+    k_call = (fun f _ -> Alcotest.failf "unexpected call to %s" f);
+    k_check = true }
+
+let frame = [| 3 |]
+
+let both src =
+  let e = Ps_lang.Parser.expr_of_string src in
+  let v1 = Eval.eval_scalar eval_ctx e in
+  let v2 = Compile.compile_scalar cctx e frame in
+  (v1, v2)
+
+let agree src =
+  let v1, v2 = both src in
+  if not (Value.equal_scalar v1 v2) then
+    Alcotest.failf "%s: eval %a vs compile %a" src Value.pp_scalar v1
+      Value.pp_scalar v2
+
+let eval_real src =
+  match both src with
+  | Value.Sc_real x, v2 ->
+    if not (Value.equal_scalar (Value.Sc_real x) v2) then
+      Alcotest.failf "%s disagrees" src;
+    x
+  | v, _ -> Alcotest.failf "%s: expected real, got %a" src Value.pp_scalar v
+
+let eval_int_ src =
+  match both src with
+  | Value.Sc_int x, v2 ->
+    if not (Value.equal_scalar (Value.Sc_int x) v2) then
+      Alcotest.failf "%s disagrees" src;
+    x
+  | v, _ -> Alcotest.failf "%s: expected int, got %a" src Value.pp_scalar v
+
+let eval_bool_ src =
+  match both src with
+  | Value.Sc_bool x, v2 ->
+    if not (Value.equal_scalar (Value.Sc_bool x) v2) then
+      Alcotest.failf "%s disagrees" src;
+    x
+  | v, _ -> Alcotest.failf "%s: expected bool, got %a" src Value.pp_scalar v
+
+let semantics_tests =
+  [ t "int arithmetic" (fun () ->
+        Alcotest.(check int) "n + 2*m" 1 (eval_int_ "n + 2 * m"));
+    t "mixed arithmetic promotes to real" (fun () ->
+        Util.checkf "a + n" 9.5 (eval_real "a + n"));
+    t "real division" (fun () -> Util.checkf "n / 2" 3.5 (eval_real "n / 2"));
+    t "integer division truncates" (fun () ->
+        Alcotest.(check int) "7 div 2" 3 (eval_int_ "n div 2"));
+    t "mod" (fun () -> Alcotest.(check int) "7 mod 2" 1 (eval_int_ "n mod 2"));
+    t "unary minus int" (fun () -> Alcotest.(check int) "-n" (-7) (eval_int_ "-n"));
+    t "unary minus real" (fun () -> Util.checkf "-a" (-2.5) (eval_real "-a"));
+    t "comparisons mixed" (fun () ->
+        Alcotest.(check bool) "n > a" true (eval_bool_ "n > a"));
+    t "equality on bools" (fun () ->
+        Alcotest.(check bool) "p = q" false (eval_bool_ "p = q"));
+    t "and/or" (fun () ->
+        Alcotest.(check bool) "p or q" true (eval_bool_ "p or q");
+        Alcotest.(check bool) "p and q" false (eval_bool_ "p and q"));
+    t "not" (fun () -> Alcotest.(check bool) "not q" true (eval_bool_ "not q"));
+    t "if" (fun () -> Util.checkf "if" 2.5 (eval_real "if p then a else b"));
+    t "if is lazy in the untaken branch" (fun () ->
+        (* n div 0 would raise if evaluated. *)
+        Alcotest.(check int) "guarded" 7 (eval_int_ "if p then n else n div 0"));
+    t "array read with index variable" (fun () ->
+        Util.checkf "V[I]" 2.25 (eval_real "V[I]"));
+    t "array read with offset" (fun () ->
+        Util.checkf "V[I+1]" 4.0 (eval_real "V[I + 1]"));
+    t "builtins" (fun () ->
+        Util.checkf "sqrt" (sqrt 2.5) (eval_real "sqrt(a)");
+        Util.checkf "sin" (sin 2.5) (eval_real "sin(a)");
+        Util.checkf "cos" (cos 2.5) (eval_real "cos(a)");
+        Util.checkf "exp" (exp 2.5) (eval_real "exp(a)");
+        Util.checkf "ln" (log 2.5) (eval_real "ln(a)"));
+    t "abs on ints and reals" (fun () ->
+        Alcotest.(check int) "abs m" 3 (eval_int_ "abs(m)");
+        Util.checkf "abs b" 0.75 (eval_real "abs(b)"));
+    t "min/max" (fun () ->
+        Alcotest.(check int) "min" (-3) (eval_int_ "min(n, m)");
+        Alcotest.(check int) "max" 7 (eval_int_ "max(n, m)");
+        Util.checkf "real min" (-0.75) (eval_real "min(a, b)"));
+    t "intpart" (fun () -> Alcotest.(check int) "intpart" 2 (eval_int_ "intpart(a)"));
+    t "division by zero raises in eval" (fun () ->
+        match eval_int_ "n div (n - 7)" with
+        | exception Eval.Runtime_error _ -> ()
+        | _ -> Alcotest.fail "expected runtime error") ]
+
+let bounds_tests =
+  [ t "out-of-range read raises with checking on" (fun () ->
+        match eval_real "V[10]" with
+        | exception Value.Bounds _ -> ()
+        | _ -> Alcotest.fail "expected bounds error");
+    t "compiled read also checks" (fun () ->
+        let e = Ps_lang.Parser.expr_of_string "V[I + 20]" in
+        let f = Compile.compile_real cctx e in
+        match f frame with
+        | exception Value.Bounds _ -> ()
+        | _ -> Alcotest.fail "expected bounds error");
+    t "unchecked context skips the test" (fun () ->
+        (* V[10] maps one element past the window; with check = false the
+           offset computation is performed anyway.  We only verify no
+           Bounds exception escapes for an in-allocation offset. *)
+        let ctx = { cctx with Compile.k_check = false } in
+        let e = Ps_lang.Parser.expr_of_string "V[9]" in
+        ignore ((Compile.compile_real ctx e) frame)) ]
+
+(* qcheck: random expressions evaluate identically in both engines. *)
+let gen_expr : Ps_lang.Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let open Ps_lang.Ast in
+  let leaf =
+    oneof
+      [ (int_range (-20) 20 >|= int_e);
+        (float_range (-4.0) 4.0 >|= fun f -> mk (Real f));
+        oneofl [ var_e "a"; var_e "b"; var_e "n"; var_e "m" ];
+        (int_range 0 9 >|= fun i -> mk (Index (var_e "V", [ int_e i ]))) ]
+  in
+  let cond_leaf = oneofl [ var_e "p"; var_e "q" ] in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        let sub = self (depth - 1) in
+        oneof
+          [ leaf;
+            (map2 (fun x y -> mk (Binop (Add, x, y))) sub sub);
+            (map2 (fun x y -> mk (Binop (Sub, x, y))) sub sub);
+            (map2 (fun x y -> mk (Binop (Mul, x, y))) sub sub);
+            (map (fun x -> mk (Unop (Neg, x))) sub);
+            (map (fun x -> mk (Call ("abs", [ x ]))) sub);
+            (map2 (fun x y -> mk (Call ("min", [ x; y ]))) sub sub);
+            (map2 (fun x y -> mk (Call ("max", [ x; y ]))) sub sub);
+            (map3
+               (fun c x y -> mk (If (c, x, y)))
+               (map2 (fun x y -> mk (Binop (Lt, x, y))) sub sub)
+               sub sub);
+            (map3 (fun c x y -> mk (If (c, x, y))) cond_leaf sub sub) ])
+    4
+
+let agreement_prop =
+  QCheck.Test.make ~count:1000 ~name:"eval and compile agree"
+    (QCheck.make gen_expr ~print:Ps_lang.Pretty.expr_to_string)
+    (fun e ->
+      let v1 = Eval.eval_scalar eval_ctx e in
+      let v2 = Compile.compile_scalar cctx e frame in
+      Value.equal_scalar v1 v2)
+
+let misc = [ t "agree on a deep mixed expression" (fun () ->
+    agree "if V[I] < a * 2.0 then min(n, 3) + V[I + 2] else abs(m) / 2") ]
+
+let () =
+  Alcotest.run "eval_compile"
+    [ ("semantics", semantics_tests);
+      ("bounds", bounds_tests);
+      ("agreement", QCheck_alcotest.to_alcotest agreement_prop :: misc) ]

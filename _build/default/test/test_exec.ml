@@ -1,0 +1,278 @@
+(* Interpreter tests: every model against a native OCaml reference,
+   window on/off equivalence, parallel determinism, module calls, enum
+   results, and input validation. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let fill = Ps_models.Models.fill_value
+
+(* --- Jacobi ------------------------------------------------------- *)
+
+let m = 18 and maxk = 12
+
+let native_jacobi () =
+  let n = m + 2 in
+  let cur =
+    ref (Array.init n (fun i -> Array.init n (fun j -> fill ((i * n) + j))))
+  in
+  for _k = 2 to maxk do
+    let prev = !cur in
+    cur :=
+      Array.init n (fun i ->
+          Array.init n (fun j ->
+              if i = 0 || j = 0 || i = m + 1 || j = m + 1 then prev.(i).(j)
+              else
+                (prev.(i).(j - 1) +. prev.(i - 1).(j) +. prev.(i).(j + 1)
+                 +. prev.(i + 1).(j))
+                /. 4.))
+  done;
+  !cur
+
+let native_seidel () =
+  let n = m + 2 in
+  let cur =
+    ref (Array.init n (fun i -> Array.init n (fun j -> fill ((i * n) + j))))
+  in
+  for _k = 2 to maxk do
+    let prev = !cur in
+    let next = Array.make_matrix n n 0.0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i = 0 || j = 0 || i = m + 1 || j = m + 1 then next.(i).(j) <- prev.(i).(j)
+        else
+          next.(i).(j) <-
+            (next.(i).(j - 1) +. next.(i - 1).(j) +. prev.(i).(j + 1)
+             +. prev.(i + 1).(j))
+            /. 4.
+      done
+    done;
+    cur := next
+  done;
+  !cur
+
+let check_grid out reference =
+  let worst = ref 0.0 in
+  for i = 0 to m + 1 do
+    for j = 0 to m + 1 do
+      let d = abs_float (Psc.Exec.read_real out [| i; j |] -. reference.(i).(j)) in
+      if d > !worst then worst := d
+    done
+  done;
+  Alcotest.(check bool) "matches native" true (!worst = 0.0)
+
+let inputs = Ps_models.Models.relaxation_inputs ~m ~maxk
+
+let model_tests =
+  [ t "jacobi equals the native stencil" (fun () ->
+        let r = Util.run Ps_models.Models.jacobi inputs in
+        check_grid (List.assoc "newA" r.Psc.Exec.outputs) (native_jacobi ()));
+    t "seidel equals the native Gauss-Seidel sweep" (fun () ->
+        let r = Util.run Ps_models.Models.seidel inputs in
+        check_grid (List.assoc "newA" r.Psc.Exec.outputs) (native_seidel ()));
+    t "heat1d equals the native iteration" (fun () ->
+        let n = 40 and steps = 25 in
+        let r =
+          Util.run Ps_models.Models.heat1d
+            [ ("U0", Ps_models.Models.line_input n);
+              ("N", Psc.Exec.scalar_int n);
+              ("steps", Psc.Exec.scalar_int steps) ]
+        in
+        let u = ref (Array.init (n + 2) (fun i -> fill i)) in
+        for _tstep = 2 to steps do
+          let prev = !u in
+          u :=
+            Array.init (n + 2) (fun x ->
+                if x = 0 || x = n + 1 then prev.(x)
+                else
+                  prev.(x)
+                  +. (0.25 *. (prev.(x - 1) -. (2.0 *. prev.(x)) +. prev.(x + 1))))
+        done;
+        let out = List.assoc "UT" r.Psc.Exec.outputs in
+        for x = 0 to n + 1 do
+          Util.checkf ~eps:0.0 "heat" !u.(x) (Psc.Exec.read_real out [| x |])
+        done);
+    t "binomial computes Pascal's triangle" (fun () ->
+        let n = 12 in
+        let r =
+          Util.run Ps_models.Models.binomial [ ("N", Psc.Exec.scalar_int n) ]
+        in
+        let out = List.assoc "P" r.Psc.Exec.outputs in
+        let rec choose n k =
+          if k = 0 || k = n then 1 else choose (n - 1) (k - 1) + choose (n - 1) k
+        in
+        for k = 0 to n do
+          Alcotest.(check int)
+            (Printf.sprintf "C(%d,%d)" n k)
+            (choose n k)
+            (Psc.Exec.read_int out [| k |])
+        done);
+    t "prefix sum" (fun () ->
+        let n = 33 in
+        let x =
+          Psc.Exec.array_real ~dims:[ (1, n) ] (fun ix -> fill ix.(0))
+        in
+        let r =
+          Util.run Ps_models.Models.prefix_sum
+            [ ("X", x); ("N", Psc.Exec.scalar_int n) ]
+        in
+        let out = List.assoc "S" r.Psc.Exec.outputs in
+        let acc = ref 0.0 in
+        for i = 1 to n do
+          acc := !acc +. fill i;
+          Util.checkf ~eps:0.0 "prefix" !acc (Psc.Exec.read_real out [| i |])
+        done);
+    t "classify returns enums and a count" (fun () ->
+        let n = 50 in
+        let v = Psc.Exec.array_real ~dims:[ (1, n) ] (fun ix -> fill ix.(0)) in
+        let r =
+          Util.run Ps_models.Models.classify
+            [ ("V", v); ("N", Psc.Exec.scalar_int n) ]
+        in
+        let expected = ref 0 in
+        for i = 1 to n do
+          if fill i >= 0.7 then incr expected
+        done;
+        Alcotest.(check int) "nLarge" !expected (Util.output_int r "nLarge" [||]);
+        (* The enum array holds ordinals 0..2. *)
+        let c = List.assoc "C" r.Psc.Exec.outputs in
+        for i = 1 to n do
+          let ord = Psc.Exec.read_int c [| i |] in
+          Alcotest.(check bool) "ordinal in range" true (ord >= 0 && ord <= 2)
+        done) ]
+
+let call_tests =
+  [ t "driver module calls Relaxation and Scale" (fun () ->
+        let r = Util.run ~name:"Driver" Ps_models.Models.two_module inputs in
+        let reference = native_jacobi () in
+        let out = List.assoc "Out" r.Psc.Exec.outputs in
+        let worst = ref 0.0 in
+        for i = 0 to m + 1 do
+          for j = 0 to m + 1 do
+            let d =
+              abs_float
+                (Psc.Exec.read_real out [| i; j |] -. (2.0 *. reference.(i).(j)))
+            in
+            if d > !worst then worst := d
+          done
+        done;
+        Alcotest.(check bool) "scaled result" true (!worst = 0.0));
+    t "multi-result module call" (fun () ->
+        let src =
+          {|
+MinMax: module (a: int; b: int): [lo: int; hi: int];
+define
+  lo = min(a, b);
+  hi = max(a, b);
+end MinMax;
+
+Use: module (x: int; y: int): [range: int];
+var
+  l: int;
+  h: int;
+define
+  l, h = MinMax(x, y);
+  range = h - l;
+end Use;
+|}
+        in
+        let r =
+          Util.run ~name:"Use" src
+            [ ("x", Psc.Exec.scalar_int 12); ("y", Psc.Exec.scalar_int 45) ]
+        in
+        Alcotest.(check int) "range" 33 (Util.output_int r "range" [||])) ]
+
+let window_tests =
+  [ t "windows do not change results (all recursive models)" (fun () ->
+        List.iter
+          (fun (src, ins, result, box) ->
+            let r1 = Util.run ~use_windows:true src ins in
+            let r2 = Util.run ~use_windows:false src ins in
+            let d =
+              Util.max_diff
+                (List.assoc result r1.Psc.Exec.outputs)
+                (List.assoc result r2.Psc.Exec.outputs)
+                box
+            in
+            Alcotest.(check bool) "bit equal" true (d = 0.0))
+          [ (Ps_models.Models.jacobi, inputs, "newA", [ (0, m + 1); (0, m + 1) ]);
+            (Ps_models.Models.seidel, inputs, "newA", [ (0, m + 1); (0, m + 1) ]) ]);
+    t "window reduces allocation to 2 planes" (fun () ->
+        let r1 = Util.run ~use_windows:true Ps_models.Models.jacobi inputs in
+        let r2 = Util.run ~use_windows:false Ps_models.Models.jacobi inputs in
+        Alcotest.(check int) "windowed" (2 * (m + 2) * (m + 2))
+          (List.assoc "A" r1.Psc.Exec.allocated);
+        Alcotest.(check int) "full" (maxk * (m + 2) * (m + 2))
+          (List.assoc "A" r2.Psc.Exec.allocated)) ]
+
+let parallel_tests =
+  [ t "parallel jacobi is deterministic (pools of 2, 3, 5)" (fun () ->
+        let r0 = Util.run Ps_models.Models.jacobi inputs in
+        List.iter
+          (fun size ->
+            let r =
+              Psc.Pool.with_pool size (fun pool ->
+                  Util.run ~pool Ps_models.Models.jacobi inputs)
+            in
+            let d =
+              Util.max_diff
+                (List.assoc "newA" r0.Psc.Exec.outputs)
+                (List.assoc "newA" r.Psc.Exec.outputs)
+                [ (0, m + 1); (0, m + 1) ]
+            in
+            Alcotest.(check bool) "bit equal" true (d = 0.0))
+          [ 2; 3; 5 ]);
+    t "parallel matmul is deterministic" (fun () ->
+        let n = 16 in
+        let a = Ps_models.Models.square_input n in
+        let b = Ps_models.Models.square_input n in
+        let ins = [ ("A", a); ("B", b); ("N", Psc.Exec.scalar_int n) ] in
+        let r0 = Util.run Ps_models.Models.matmul ins in
+        let r1 =
+          Psc.Pool.with_pool 4 (fun pool -> Util.run ~pool Ps_models.Models.matmul ins)
+        in
+        let d =
+          Util.max_diff
+            (List.assoc "C" r0.Psc.Exec.outputs)
+            (List.assoc "C" r1.Psc.Exec.outputs)
+            [ (1, n); (1, n) ]
+        in
+        Alcotest.(check bool) "bit equal" true (d = 0.0)) ]
+
+let validation_tests =
+  [ t "missing input is diagnosed" (fun () ->
+        Util.expect_error ~substring:"missing input" (fun () ->
+            Util.run Ps_models.Models.jacobi
+              [ ("M", Psc.Exec.scalar_int m); ("maxK", Psc.Exec.scalar_int maxk) ]));
+    t "wrong array shape is diagnosed" (fun () ->
+        Util.expect_error ~substring:"dimension" (fun () ->
+            Util.run Ps_models.Models.jacobi
+              [ ("InitialA", Ps_models.Models.grid_input (m + 5));
+                ("M", Psc.Exec.scalar_int m);
+                ("maxK", Psc.Exec.scalar_int maxk) ]));
+    t "out-of-bounds subscript is caught at run time" (fun () ->
+        let src =
+          {|
+Oops: module (X: array[0 .. N] of real; N: int): [Y: array[0 .. N] of real];
+type
+  I = 0 .. N;
+define
+  Y[I] = X[I + 1];
+end Oops;
+|}
+        in
+        let n = 5 in
+        let x = Psc.Exec.array_real ~dims:[ (0, n) ] (fun ix -> float_of_int ix.(0)) in
+        Util.expect_error ~substring:"outside" (fun () ->
+            Util.run src [ ("X", x); ("N", Psc.Exec.scalar_int n) ]));
+    t "unknown input name is diagnosed" (fun () ->
+        Util.expect_error (fun () ->
+            Util.run Ps_models.Models.jacobi
+              (("bogus", Psc.Exec.scalar_int 1) :: inputs))) ]
+
+let () =
+  Alcotest.run "exec"
+    [ ("models vs native", model_tests);
+      ("module calls", call_tests);
+      ("windows", window_tests);
+      ("parallel", parallel_tests);
+      ("validation", validation_tests) ]

@@ -1,0 +1,213 @@
+(* Dependency-graph construction tests (paper §3.1, Figs. 2-3): node set,
+   edge set, subscript-class labels, bound edges. *)
+
+open Ps_sem
+open Ps_graph
+
+let t name f = Alcotest.test_case name `Quick f
+
+let graph_of src =
+  let em = List.hd (Elab.elab_program (Ps_lang.Parser.program_of_string src)).Elab.ep_modules in
+  (em, Build.build em)
+
+let jacobi () = graph_of Ps_models.Models.jacobi
+
+let edge_strings g =
+  List.map
+    (fun e ->
+      Printf.sprintf "%s->%s:%s"
+        (Dgraph.node_name g e.Dgraph.e_src)
+        (Dgraph.node_name g e.Dgraph.e_dst)
+        (match e.Dgraph.e_kind with
+         | Dgraph.Use -> "use"
+         | Dgraph.Def -> "def"
+         | Dgraph.Bound -> "bound"))
+    (Dgraph.edges g)
+
+let node_tests =
+  [ t "Fig. 3 node set" (fun () ->
+        let _, g = jacobi () in
+        let names = List.map (Dgraph.node_name g) (Dgraph.nodes g) in
+        Alcotest.(check (list string)) "nodes"
+          [ "InitialA"; "M"; "maxK"; "newA"; "A"; "eq.1"; "eq.2"; "eq.3" ]
+          names);
+    t "data vs equation nodes" (fun () ->
+        let _, g = jacobi () in
+        let datas, eqs =
+          List.partition
+            (function Dgraph.Data _ -> true | Dgraph.Eq _ -> false)
+            (Dgraph.nodes g)
+        in
+        Alcotest.(check int) "5 data" 5 (List.length datas);
+        Alcotest.(check int) "3 eqs" 3 (List.length eqs)) ]
+
+let edge_tests =
+  [ t "the five stencil references are distinct edges" (fun () ->
+        let _, g = jacobi () in
+        let a_to_eq3 =
+          List.filter
+            (fun e ->
+              e.Dgraph.e_kind = Dgraph.Use
+              && Dgraph.node_name g e.Dgraph.e_src = "A"
+              && Dgraph.node_name g e.Dgraph.e_dst = "eq.3")
+            (Dgraph.edges g)
+        in
+        Alcotest.(check int) "5 refs" 5 (List.length a_to_eq3));
+    t "every stencil edge has offset -1 in dim K" (fun () ->
+        let _, g = jacobi () in
+        List.iter
+          (fun e ->
+            if
+              e.Dgraph.e_kind = Dgraph.Use
+              && Dgraph.node_name g e.Dgraph.e_src = "A"
+              && Dgraph.node_name g e.Dgraph.e_dst = "eq.3"
+            then
+              match e.Dgraph.e_subs.(0) with
+              | Label.Affine { offset = -1; var = "K"; _ } -> ()
+              | s -> Alcotest.failf "unexpected label %s" (Label.to_string s))
+          (Dgraph.edges g));
+    t "A[maxK] is an upper-bound reference (Fig. 2 class)" (fun () ->
+        let _, g = jacobi () in
+        let e =
+          List.find
+            (fun e ->
+              e.Dgraph.e_kind = Dgraph.Use
+              && Dgraph.node_name g e.Dgraph.e_src = "A"
+              && Dgraph.node_name g e.Dgraph.e_dst = "eq.2")
+            (Dgraph.edges g)
+        in
+        (match e.Dgraph.e_subs.(0) with
+         | Label.Const_high -> ()
+         | s -> Alcotest.failf "expected Const_high, got %s" (Label.to_string s)));
+    t "A[1] definition is a lower-bound subscript" (fun () ->
+        let _, g = jacobi () in
+        let e =
+          List.find
+            (fun e ->
+              e.Dgraph.e_kind = Dgraph.Def
+              && Dgraph.node_name g e.Dgraph.e_src = "eq.1")
+            (Dgraph.edges g)
+        in
+        (match e.Dgraph.e_subs.(0) with
+         | Label.Const_low -> ()
+         | s -> Alcotest.failf "expected Const_low, got %s" (Label.to_string s)));
+    t "bound edges M -> InitialA, A, newA and maxK -> A (paper text)" (fun () ->
+        let _, g = jacobi () in
+        let bounds =
+          List.filter_map
+            (fun e ->
+              if e.Dgraph.e_kind = Dgraph.Bound then
+                match e.Dgraph.e_src, e.Dgraph.e_dst with
+                | Dgraph.Data s, Dgraph.Data d -> Some (s, d)
+                | _ -> None
+              else None)
+            (Dgraph.edges g)
+        in
+        List.iter
+          (fun expected ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s->%s" (fst expected) (snd expected))
+              true (List.mem expected bounds))
+          [ ("M", "InitialA"); ("M", "A"); ("M", "newA"); ("maxK", "A") ]);
+    t "scalar uses deduplicate" (fun () ->
+        let _, g = jacobi () in
+        let m_uses =
+          List.filter
+            (fun e ->
+              e.Dgraph.e_kind = Dgraph.Use
+              && Dgraph.node_name g e.Dgraph.e_src = "M"
+              && Dgraph.node_name g e.Dgraph.e_dst = "eq.3")
+            (Dgraph.edges g)
+        in
+        Alcotest.(check int) "one edge" 1 (List.length m_uses));
+    t "def edge carries identity labels with target positions" (fun () ->
+        let _, g = jacobi () in
+        let e =
+          List.find
+            (fun e ->
+              e.Dgraph.e_kind = Dgraph.Def
+              && Dgraph.node_name g e.Dgraph.e_src = "eq.3")
+            (Dgraph.edges g)
+        in
+        Array.iteri
+          (fun p sub ->
+            match sub with
+            | Label.Affine { offset = 0; target_pos; _ } ->
+              Alcotest.(check int) "position" p target_pos
+            | s -> Alcotest.failf "expected identity, got %s" (Label.to_string s))
+          e.Dgraph.e_subs) ]
+
+let classify_tests =
+  let mk_eq src_mod =
+    let em =
+      List.hd
+        (Elab.elab_program (Ps_lang.Parser.program_of_string src_mod)).Elab.ep_modules
+    in
+    (em, List.hd (List.rev em.Elab.em_eqs))
+  in
+  let module_src rhs =
+    Printf.sprintf
+      "T: module (N: int): [y: real]; type I = 0 .. N; var A: array[I] of real; \
+       define A[I] = 1.0; y = %s; end T;"
+      rhs
+  in
+  let classify rhs =
+    let em, q = mk_eq (module_src rhs) in
+    let dims = Stypes.dims (Elab.data_exn em "A").Elab.d_ty in
+    (* classify the subscript of the reference to A in y's equation;
+       note y's equation has no indices, so identity classes cannot
+       arise here. *)
+    let sub =
+      match q.Elab.q_rhs.Ps_lang.Ast.e with
+      | Ps_lang.Ast.Index (_, [ s ]) -> s
+      | _ -> Alcotest.fail "expected a subscripted reference"
+    in
+    Label.classify q (List.hd dims) sub
+  in
+  [ t "lower bound constant" (fun () ->
+        match classify "A[0]" with
+        | Label.Const_low -> ()
+        | s -> Alcotest.failf "got %s" (Label.to_string s));
+    t "upper bound expression" (fun () ->
+        match classify "A[N]" with
+        | Label.Const_high -> ()
+        | s -> Alcotest.failf "got %s" (Label.to_string s));
+    t "other constant" (fun () ->
+        match classify "A[2]" with
+        | Label.Opaque -> ()
+        | s -> Alcotest.failf "got %s" (Label.to_string s));
+    t "non-linear subscript" (fun () ->
+        match classify "A[N * N - N * N]" with
+        | Label.Opaque | Label.Const_low -> ()
+        | s -> Alcotest.failf "got %s" (Label.to_string s));
+    t "class names match Fig. 2" (fun () ->
+        Alcotest.(check string) "I" "I"
+          (Label.class_name (Label.Affine { var = "I"; offset = 0; target_pos = 0 }));
+        Alcotest.(check string) "I-c" "I - constant"
+          (Label.class_name (Label.Affine { var = "I"; offset = -2; target_pos = 0 }));
+        Alcotest.(check string) "I+c" "other (I + constant)"
+          (Label.class_name (Label.Affine { var = "I"; offset = 1; target_pos = 0 }))) ]
+
+let render_tests =
+  [ t "listing mentions every node" (fun () ->
+        let _, g = jacobi () in
+        let s = Render.listing g in
+        List.iter
+          (fun n -> Alcotest.(check bool) n true (Util.contains s n))
+          [ "InitialA"; "maxK"; "newA"; "eq.3" ]);
+    t "dot output is well-formed" (fun () ->
+        let _, g = jacobi () in
+        let s = Render.to_dot g in
+        Alcotest.(check bool) "digraph" true (Util.contains s "digraph");
+        Alcotest.(check bool) "closing brace" true (Util.contains s "}"));
+    t "edge strings stable" (fun () ->
+        let _, g = jacobi () in
+        Alcotest.(check bool) "def edge present" true
+          (List.mem "eq.3->A:def" (edge_strings g))) ]
+
+let () =
+  Alcotest.run "graph"
+    [ ("nodes", node_tests);
+      ("edges", edge_tests);
+      ("labels", classify_tests);
+      ("render", render_tests) ]

@@ -1,0 +1,233 @@
+(* Hyperplane transformation tests (paper §4): integer matrices,
+   dependence extraction, the least-coefficient solver, unimodular
+   completion, and the source-to-source rewrite. *)
+
+open Ps_hyper
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* --- integer matrices -------------------------------------------- *)
+
+let imatrix_tests =
+  [ t "identity determinant" (fun () ->
+        Alcotest.(check int) "det I3" 1 (Imatrix.det (Imatrix.identity 3)));
+    t "paper matrix determinant" (fun () ->
+        let m = Imatrix.of_rows [ [ 2; 1; 1 ]; [ 1; 0; 0 ]; [ 0; 1; 0 ] ] in
+        Alcotest.(check int) "det" 1 (Imatrix.det m));
+    t "2x2 determinant" (fun () ->
+        Alcotest.(check int) "det" (-2)
+          (Imatrix.det (Imatrix.of_rows [ [ 1; 2 ]; [ 3; 4 ] ])));
+    t "inverse of the paper matrix" (fun () ->
+        let m = Imatrix.of_rows [ [ 2; 1; 1 ]; [ 1; 0; 0 ]; [ 0; 1; 0 ] ] in
+        let inv = Imatrix.inverse m in
+        Alcotest.(check bool) "matches paper" true
+          (Imatrix.equal inv
+             (Imatrix.of_rows [ [ 0; 1; 0 ]; [ 0; 0; 1 ]; [ 1; -2; -1 ] ])));
+    t "inverse times matrix is identity" (fun () ->
+        let m = Imatrix.of_rows [ [ 2; 1; 1 ]; [ 1; 0; 0 ]; [ 0; 1; 0 ] ] in
+        Alcotest.(check bool) "M * M^-1 = I" true
+          (Imatrix.equal (Imatrix.mul m (Imatrix.inverse m)) (Imatrix.identity 3)));
+    t "non-unimodular inverse rejected" (fun () ->
+        match Imatrix.inverse (Imatrix.of_rows [ [ 2; 0 ]; [ 0; 1 ] ]) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected rejection");
+    t "apply computes T.x" (fun () ->
+        let m = Imatrix.of_rows [ [ 2; 1; 1 ]; [ 1; 0; 0 ]; [ 0; 1; 0 ] ] in
+        Alcotest.(check (array int)) "T(3,1,2)" [| 9; 3; 1 |]
+          (Imatrix.apply m [| 3; 1; 2 |])) ]
+
+let unimodular_prop =
+  (* Random small integer matrices built from elementary row operations
+     are unimodular; inverse must be exact. *)
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 4 in
+      let* ops = list_size (int_range 1 8) (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range (-3) 3)) in
+      let m = Array.map Array.copy (Imatrix.identity n) in
+      List.iter
+        (fun (i, j, f) ->
+          if i <> j then
+            for c = 0 to n - 1 do
+              m.(i).(c) <- m.(i).(c) + (f * m.(j).(c))
+            done)
+        ops;
+      return m)
+  in
+  QCheck.Test.make ~count:200 ~name:"inverse of unimodular products"
+    (QCheck.make gen ~print:Imatrix.to_string)
+    (fun m ->
+      abs (Imatrix.det m) = 1
+      && Imatrix.equal (Imatrix.mul m (Imatrix.inverse m))
+           (Imatrix.identity (Imatrix.dim m)))
+
+(* --- the solver ---------------------------------------------------- *)
+
+let paper_vectors =
+  [ [| 1; 0; 0 |]; [| 0; 0; 1 |]; [| 0; 1; 0 |]; [| 1; 0; -1 |]; [| 1; -1; 0 |] ]
+
+let solve_tests =
+  [ t "paper example: a = (2, 1, 1)" (fun () ->
+        Alcotest.(check (array int)) "a" [| 2; 1; 1 |] (Solve.solve paper_vectors));
+    t "jacobi dependences admit time = K" (fun () ->
+        let vs =
+          [ [| 1; 0; 0 |]; [| 1; 0; 1 |]; [| 1; 1; 0 |]; [| 1; 0; -1 |]; [| 1; -1; 0 |] ]
+        in
+        Alcotest.(check (array int)) "a" [| 1; 0; 0 |] (Solve.solve vs));
+    t "single forward dependence" (fun () ->
+        Alcotest.(check (array int)) "a" [| 1 |] (Solve.solve [ [| 1 |] ]));
+    t "cyclic dependences have no schedule" (fun () ->
+        match Solve.solve [ [| 1; 0 |]; [| -1; 0 |] ] with
+        | exception Solve.No_schedule _ -> ()
+        | a -> Alcotest.failf "unexpected solution %s" (Imatrix.to_string [| a |]));
+    t "solution satisfies every inequality" (fun () ->
+        let a = Solve.solve paper_vectors in
+        List.iter
+          (fun d ->
+            let dot = ref 0 in
+            Array.iteri (fun i c -> dot := !dot + (c * d.(i))) a;
+            Alcotest.(check bool) "a.d > 0" true (!dot > 0))
+          paper_vectors);
+    t "minimality: no smaller sum works" (fun () ->
+        let a = Solve.solve paper_vectors in
+        let sum = Array.fold_left ( + ) 0 a in
+        Alcotest.(check int) "sum 4" 4 sum) ]
+
+let completion_tests =
+  [ t "paper completion: I' = K, J' = I" (fun () ->
+        let m = Solve.complete [| 2; 1; 1 |] in
+        Alcotest.(check bool) "rows" true
+          (Imatrix.equal m
+             (Imatrix.of_rows [ [ 2; 1; 1 ]; [ 1; 0; 0 ]; [ 0; 1; 0 ] ])));
+    t "completion is unimodular" (fun () ->
+        List.iter
+          (fun tvec ->
+            let m = Solve.complete tvec in
+            Alcotest.(check int) "|det| = 1" 1 (abs (Imatrix.det m));
+            Alcotest.(check (array int)) "first row" tvec (Imatrix.row m 0))
+          [ [| 2; 1; 1 |]; [| 1; 0; 0 |]; [| 1; 1 |]; [| 3; 1 |]; [| 1; 2; 3; 1 |] ]);
+    t "general completion without unit coefficients" (fun () ->
+        let m = Solve.complete [| 2; 3 |] in
+        Alcotest.(check int) "|det| = 1" 1 (abs (Imatrix.det m));
+        Alcotest.(check (array int)) "first row" [| 2; 3 |] (Imatrix.row m 0));
+    t "gcd > 1 cannot complete" (fun () ->
+        match Solve.complete [| 2; 4 |] with
+        | exception Solve.No_schedule _ -> ()
+        | m -> Alcotest.failf "unexpected %s" (Imatrix.to_string m)) ]
+
+(* --- dependence extraction --------------------------------------- *)
+
+let elab_first src =
+  List.hd
+    (Ps_sem.Elab.elab_program (Ps_lang.Parser.program_of_string src))
+      .Ps_sem.Elab.ep_modules
+
+let ineq_tests =
+  [ t "seidel difference vectors" (fun () ->
+        let em = elab_first Ps_models.Models.seidel in
+        let deps = Ineq.extract em ~target:"A" in
+        let sorted = List.sort compare deps.Ineq.dep_vectors in
+        Alcotest.(check (list (array int))) "vectors"
+          (List.sort compare paper_vectors)
+          sorted);
+    t "defining indices in order" (fun () ->
+        let em = elab_first Ps_models.Models.seidel in
+        let deps = Ineq.extract em ~target:"A" in
+        Alcotest.(check (list string)) "K I J" [ "K"; "I"; "J" ]
+          (List.map (fun ix -> ix.Ps_sem.Elab.ix_var) deps.Ineq.dep_indices));
+    t "non-recursive array rejected" (fun () ->
+        let em = elab_first Ps_models.Models.seidel in
+        match Ineq.extract em ~target:"newA" with
+        | exception Ineq.Not_applicable _ -> ()
+        | _ -> Alcotest.fail "expected Not_applicable");
+    t "scalar rejected" (fun () ->
+        let em = elab_first Ps_models.Models.seidel in
+        match Ineq.extract em ~target:"M" with
+        | exception Ineq.Not_applicable _ -> ()
+        | _ -> Alcotest.fail "expected Not_applicable");
+    t "unknown array rejected" (fun () ->
+        let em = elab_first Ps_models.Models.seidel in
+        match Ineq.extract em ~target:"nothere" with
+        | exception Ineq.Not_applicable _ -> ()
+        | _ -> Alcotest.fail "expected Not_applicable");
+    t "inequality pretty-printing" (fun () ->
+        Alcotest.(check string) "a - b" "a - b > 0"
+          (Fmt.str "%a" Ineq.pp_inequality [| 1; -1; 0 |])) ]
+
+(* --- the whole transformation ------------------------------------ *)
+
+let transform_tests =
+  [ t "derivation matches the paper" (fun () ->
+        let em = elab_first Ps_models.Models.seidel in
+        let tr = Transform.apply em ~target:"A" in
+        Alcotest.(check (array int)) "time" [| 2; 1; 1 |] tr.Transform.tr_time;
+        Alcotest.(check bool) "T" true
+          (Imatrix.equal tr.Transform.tr_matrix
+             (Imatrix.of_rows [ [ 2; 1; 1 ]; [ 1; 0; 0 ]; [ 0; 1; 0 ] ])));
+    t "new names are fresh and primed" (fun () ->
+        let em = elab_first Ps_models.Models.seidel in
+        let tr = Transform.apply em ~target:"A" in
+        Alcotest.(check string) "array" "Ap" tr.Transform.tr_new_name;
+        Alcotest.(check (list string)) "indices" [ "Kp"; "Ip"; "Jp" ]
+          tr.Transform.tr_new_indices);
+    t "transformed module re-elaborates and re-schedules" (fun () ->
+        let em = elab_first Ps_models.Models.seidel in
+        let tr = Transform.apply em ~target:"A" in
+        let em' =
+          List.hd
+            (Ps_sem.Elab.elab_program [ tr.Transform.tr_module ]).Ps_sem.Elab.ep_modules
+        in
+        let r = Ps_sched.Schedule.schedule em' in
+        let s = Ps_sched.Flowchart.to_compact_string em' r.Ps_sched.Schedule.r_flowchart in
+        (* Outer time loop iterative, both inner loops parallel. *)
+        Alcotest.(check bool) "DO Kp (DOALL Ip (DOALL Jp" true
+          (Util.contains s "DO Kp (DOALL Ip (DOALL Jp"));
+    t "rewritten self-references carry offsets K'-1 and K'-2" (fun () ->
+        let em = elab_first Ps_models.Models.seidel in
+        let tr = Transform.apply em ~target:"A" in
+        let text = Ps_lang.Pretty.module_to_string tr.Transform.tr_module in
+        Alcotest.(check bool) "Kp - 1" true (Util.contains text "Ap[Kp - 1");
+        Alcotest.(check bool) "Kp - 2" true (Util.contains text "Ap[Kp - 2"));
+    t "extraction reference is Ap[2maxK + I + J, maxK, I]" (fun () ->
+        let em = elab_first Ps_models.Models.seidel in
+        let tr = Transform.apply em ~target:"A" in
+        let text = Ps_lang.Pretty.module_to_string tr.Transform.tr_module in
+        Alcotest.(check bool) "extraction" true
+          (Util.contains text "Ap[I + J + 2 * maxK, maxK, I]"));
+    t "new subrange bounds follow interval arithmetic" (fun () ->
+        let em = elab_first Ps_models.Models.seidel in
+        let tr = Transform.apply em ~target:"A" in
+        let text = Ps_lang.Pretty.module_to_string tr.Transform.tr_module in
+        (* Kp = 2*1 + 0 + 0 .. 2*maxK + (M+1) + (M+1) *)
+        Alcotest.(check bool) "Kp bounds" true
+          (Util.contains text "Kp = 2 .. 2 * M + 2 * maxK + 2"));
+    t "transform of a non-local array is rejected" (fun () ->
+        let em = elab_first Ps_models.Models.seidel in
+        match Transform.apply em ~target:"InitialA" with
+        | exception Ineq.Not_applicable _ -> ()
+        | _ -> Alcotest.fail "expected Not_applicable");
+    t "1-D recurrence transforms too" (fun () ->
+        let em = elab_first Ps_models.Models.prefix_sum in
+        let tr = Transform.apply em ~target:"Acc" in
+        Alcotest.(check (array int)) "time" [| 1 |] tr.Transform.tr_time);
+    t "jacobi transform is the identity schedule" (fun () ->
+        (* The least time vector is (1,0,0): the transformed module's
+           schedule has the same DO/DOALL shape as the original. *)
+        let em = elab_first Ps_models.Models.jacobi in
+        let tr = Transform.apply em ~target:"A" in
+        Alcotest.(check (array int)) "time" [| 1; 0; 0 |] tr.Transform.tr_time;
+        let em' =
+          List.hd
+            (Ps_sem.Elab.elab_program [ tr.Transform.tr_module ]).Ps_sem.Elab.ep_modules
+        in
+        let r = Ps_sched.Schedule.schedule em' in
+        Alcotest.(check int) "one DO" 1
+          (Ps_sched.Flowchart.count_loops ~kind:Ps_sched.Flowchart.Iterative
+             r.Ps_sched.Schedule.r_flowchart)) ]
+
+let () =
+  Alcotest.run "hyper"
+    [ ("imatrix", imatrix_tests @ [ QCheck_alcotest.to_alcotest unimodular_prop ]);
+      ("solver", solve_tests);
+      ("completion", completion_tests);
+      ("dependences", ineq_tests);
+      ("transformation", transform_tests) ]

@@ -1,0 +1,143 @@
+(* Lexer tests: token streams, literal forms, comments, spans, errors. *)
+
+open Ps_lang
+
+let toks src = List.map fst (Lexer.all_tokens src)
+
+let tok = Alcotest.testable (fun ppf t -> Fmt.string ppf (Token.to_string t)) Token.equal
+
+let check_toks msg expected src = Alcotest.(check (list tok)) msg expected (toks src)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let basic_tests =
+  [ t "empty input" (fun () -> check_toks "empty" [] "");
+    t "whitespace only" (fun () -> check_toks "ws" [] "  \t\n  \r\n");
+    t "identifier" (fun () -> check_toks "id" [ IDENT "newA" ] "newA");
+    t "identifier with underscore and digits" (fun () ->
+        check_toks "id2" [ IDENT "max_k2" ] "max_k2");
+    t "identifiers are case sensitive" (fun () ->
+        check_toks "case" [ IDENT "A"; IDENT "a" ] "A a");
+    t "keywords are case insensitive" (fun () ->
+        check_toks "kw-case"
+          [ KW_MODULE; KW_MODULE; KW_IF; KW_THEN ]
+          "module MODULE If THEN");
+    t "all keywords" (fun () ->
+        check_toks "kws"
+          [ KW_MODULE; KW_TYPE; KW_VAR; KW_DEFINE; KW_END; KW_OF; KW_ARRAY;
+            KW_RECORD; KW_IF; KW_THEN; KW_ELSE; KW_AND; KW_OR; KW_NOT; KW_DIV;
+            KW_MOD; KW_INT; KW_REAL; KW_BOOL; KW_TRUE; KW_FALSE ]
+          "module type var define end of array record if then else and or not \
+           div mod int real bool true false");
+    t "keyword prefix stays an identifier" (fun () ->
+        check_toks "prefix" [ IDENT "iff"; IDENT "modular" ] "iff modular") ]
+
+let number_tests =
+  [ t "integer" (fun () -> check_toks "int" [ INT_LIT 42 ] "42");
+    t "zero" (fun () -> check_toks "zero" [ INT_LIT 0 ] "0");
+    t "real" (fun () -> check_toks "real" [ REAL_LIT 3.25 ] "3.25");
+    t "real with exponent" (fun () -> check_toks "exp" [ REAL_LIT 1.5e3 ] "1.5e3");
+    t "real with negative exponent" (fun () ->
+        check_toks "nexp" [ REAL_LIT 2.5e-2 ] "2.5e-2");
+    t "integer followed by dotdot is not a real" (fun () ->
+        check_toks "dotdot" [ INT_LIT 1; DOTDOT; INT_LIT 5 ] "1..5");
+    t "integer dot non-digit stays integer" (fun () ->
+        check_toks "dotfield" [ INT_LIT 1; DOT; IDENT "x" ] "1.x");
+    t "unary minus is a separate token" (fun () ->
+        check_toks "neg" [ MINUS; INT_LIT 3 ] "-3") ]
+
+let symbol_tests =
+  [ t "relational operators" (fun () ->
+        check_toks "rel" [ LT; LE; GT; GE; NE; EQ ] "< <= > >= <> =");
+    t "le vs lt lookahead" (fun () ->
+        check_toks "lelt" [ LT; IDENT "a"; LE; IDENT "b" ] "<a <=b");
+    t "punctuation" (fun () ->
+        check_toks "punct"
+          [ COLON; SEMI; COMMA; LPAREN; RPAREN; LBRACKET; RBRACKET ]
+          ": ; , ( ) [ ]");
+    t "arithmetic" (fun () ->
+        check_toks "arith" [ PLUS; MINUS; STAR; SLASH ] "+ - * /");
+    t "subscript expression" (fun () ->
+        check_toks "sub"
+          [ IDENT "A"; LBRACKET; IDENT "K"; MINUS; INT_LIT 1; COMMA; IDENT "I";
+            RBRACKET ]
+          "A[K-1,I]") ]
+
+let comment_tests =
+  [ t "simple comment skipped" (fun () ->
+        check_toks "comment" [ IDENT "a"; IDENT "b" ] "a (* hello *) b");
+    t "nested comments" (fun () ->
+        check_toks "nested" [ IDENT "x" ] "(* a (* b *) c *) x");
+    t "pragma comment from Fig. 1" (fun () ->
+        check_toks "pragma" [ IDENT "m" ] "(*$m+v+x+t-*) m");
+    t "comment with stars inside" (fun () ->
+        check_toks "stars" [ IDENT "y" ] "(* ** * ** *) y");
+    t "comment spanning lines" (fun () ->
+        check_toks "multiline" [ INT_LIT 7 ] "(* line1\nline2\nline3 *) 7") ]
+
+let error_tests =
+  [ t "unterminated comment" (fun () ->
+        match toks "(* oops" with
+        | exception Lexer.Error (m, _) ->
+          Util.check_bool "mentions comment" true (Util.contains m "comment")
+        | _ -> Alcotest.fail "expected lexer error");
+    t "bad character" (fun () ->
+        match toks "a ? b" with
+        | exception Lexer.Error (_, span) ->
+          Util.check_int "column" 3 span.Loc.start_p.Loc.col
+        | _ -> Alcotest.fail "expected lexer error");
+    t "malformed exponent" (fun () ->
+        match toks "1.5e+" with
+        | exception Lexer.Error (m, _) ->
+          Util.check_bool "mentions exponent" true (Util.contains m "exponent")
+        | _ -> Alcotest.fail "expected lexer error") ]
+
+let position_tests =
+  [ t "line tracking" (fun () ->
+        let all = Lexer.all_tokens "a\nbb\n  ccc" in
+        let lines = List.map (fun (_, s) -> s.Loc.start_p.Loc.line) all in
+        Alcotest.(check (list int)) "lines" [ 1; 2; 3 ] lines);
+    t "column tracking" (fun () ->
+        let all = Lexer.all_tokens "ab cd" in
+        let cols = List.map (fun (_, s) -> s.Loc.start_p.Loc.col) all in
+        Alcotest.(check (list int)) "cols" [ 1; 4 ] cols);
+    t "peek does not consume" (fun () ->
+        let lx = Lexer.create "x y" in
+        let a, _ = Lexer.peek lx in
+        let b, _ = Lexer.peek lx in
+        let c, _ = Lexer.next lx in
+        Alcotest.check tok "peek1" (IDENT "x") a;
+        Alcotest.check tok "peek2" (IDENT "x") b;
+        Alcotest.check tok "next" (IDENT "x") c);
+    t "save and restore" (fun () ->
+        let lx = Lexer.create "x y z" in
+        ignore (Lexer.next lx);
+        let snap = Lexer.save lx in
+        ignore (Lexer.next lx);
+        ignore (Lexer.next lx);
+        Lexer.restore lx snap;
+        let t', _ = Lexer.next lx in
+        Alcotest.check tok "restored" (IDENT "y") t');
+    t "eof is sticky" (fun () ->
+        let lx = Lexer.create "" in
+        let a, _ = Lexer.next lx in
+        let b, _ = Lexer.next lx in
+        Alcotest.check tok "eof1" EOF a;
+        Alcotest.check tok "eof2" EOF b) ]
+
+(* Property: lexing the Fig. 1 module is stable and covers every
+   character class the paper uses. *)
+let fig1_test =
+  [ t "Fig. 1 module lexes" (fun () ->
+        let n = List.length (Lexer.all_tokens Ps_models.Models.jacobi) in
+        Util.check_bool "enough tokens" true (n > 100)) ]
+
+let () =
+  Alcotest.run "lexer"
+    [ ("basic", basic_tests);
+      ("numbers", number_tests);
+      ("symbols", symbol_tests);
+      ("comments", comment_tests);
+      ("errors", error_tests);
+      ("positions", position_tests);
+      ("fig1", fig1_test) ]

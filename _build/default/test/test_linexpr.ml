@@ -1,0 +1,135 @@
+(* Linear-form tests: conversion, arithmetic, decidable comparisons, the
+   bounded Farkas prover, and algebraic properties under qcheck. *)
+
+open Ps_sem
+
+let t name f = Alcotest.test_case name `Quick f
+
+let le src =
+  match Linexpr.of_expr (Ps_lang.Parser.expr_of_string src) with
+  | Some l -> l
+  | None -> Alcotest.failf "%s is not linear" src
+
+let conversion_tests =
+  [ t "constant" (fun () ->
+        Alcotest.(check (option int)) "42" (Some 42) (Linexpr.const_value (le "42")));
+    t "variable" (fun () ->
+        Alcotest.(check string) "M" "M" (Linexpr.to_string (le "M")));
+    t "sum with constant" (fun () ->
+        Alcotest.(check string) "M+1" "M + 1" (Linexpr.to_string (le "M + 1")));
+    t "coefficients combine" (fun () ->
+        Alcotest.(check string) "2M" "2*M" (Linexpr.to_string (le "M + M")));
+    t "subtraction cancels" (fun () ->
+        Alcotest.(check (option int)) "zero" (Some 0)
+          (Linexpr.const_value (le "M - M")));
+    t "constant times variable" (fun () ->
+        Alcotest.(check string) "3K" "3*K" (Linexpr.to_string (le "3 * K")));
+    t "variable times constant" (fun () ->
+        Alcotest.(check string) "K3" "3*K" (Linexpr.to_string (le "K * 3")));
+    t "negation" (fun () ->
+        Alcotest.(check string) "-K" "-K" (Linexpr.to_string (le "-K")));
+    t "paper's time equation" (fun () ->
+        Alcotest.(check string) "2K+I+J" "I + J + 2*K"
+          (Linexpr.to_string (le "2*K + I + J")));
+    t "non-linear product rejected" (fun () ->
+        Alcotest.(check bool) "none" true
+          (Linexpr.of_expr (Ps_lang.Parser.expr_of_string "I * J") = None));
+    t "division rejected" (fun () ->
+        Alcotest.(check bool) "none" true
+          (Linexpr.of_expr (Ps_lang.Parser.expr_of_string "I / 2") = None));
+    t "if rejected" (fun () ->
+        Alcotest.(check bool) "none" true
+          (Linexpr.of_expr (Ps_lang.Parser.expr_of_string "if a then 1 else 2")
+           = None)) ]
+
+let comparison_tests =
+  [ t "diff of equal forms" (fun () ->
+        Alcotest.(check (option int)) "0" (Some 0)
+          (Linexpr.diff_const (le "M + 1") (le "1 + M")));
+    t "constant difference" (fun () ->
+        Alcotest.(check (option int)) "3" (Some 3)
+          (Linexpr.diff_const (le "M + 4") (le "M + 1")));
+    t "incomparable forms" (fun () ->
+        Alcotest.(check (option int)) "none" None
+          (Linexpr.diff_const (le "M") (le "K")));
+    t "equal" (fun () ->
+        Alcotest.(check bool) "eq" true
+          (Linexpr.equal (le "2*M + 1") (le "M + M + 1"))) ]
+
+let eval_tests =
+  [ t "evaluate with environment" (fun () ->
+        let env v = if v = "M" then Some 10 else None in
+        Alcotest.(check int) "2M+3" 23 (Linexpr.eval env (le "2*M + 3")));
+    t "unbound variable raises" (fun () ->
+        match Linexpr.eval (fun _ -> None) (le "M") with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument") ]
+
+let prover_tests =
+  let facts = [ Linexpr.sub (le "maxK") (le "2") (* maxK - 2 >= 0 *) ] in
+  [ t "constant goal" (fun () ->
+        Alcotest.(check bool) "5 >= 0" true
+          (Linexpr.prove_nonneg ~assumptions:[] (le "5")));
+    t "negative constant goal fails" (fun () ->
+        Alcotest.(check bool) "-1 < 0" false
+          (Linexpr.prove_nonneg ~assumptions:[] (le "0 - 1")));
+    t "goal needing one assumption" (fun () ->
+        Alcotest.(check bool) "maxK-1" true
+          (Linexpr.prove_nonneg ~assumptions:facts (Linexpr.sub (le "maxK") (le "1"))));
+    t "goal needing a multiplier of 2" (fun () ->
+        Alcotest.(check bool) "2maxK-2" true
+          (Linexpr.prove_nonneg ~assumptions:facts
+             (Linexpr.sub (le "2 * maxK") (le "2"))));
+    t "unprovable goal fails" (fun () ->
+        Alcotest.(check bool) "5-maxK" false
+          (Linexpr.prove_nonneg ~assumptions:facts
+             (Linexpr.sub (le "5") (le "maxK"))));
+    t "irrelevant assumptions ignored" (fun () ->
+        let noisy = le "Z" :: facts in
+        Alcotest.(check bool) "still proves" true
+          (Linexpr.prove_nonneg ~assumptions:noisy
+             (Linexpr.sub (le "maxK") (le "2")))) ]
+
+(* --- qcheck algebraic properties --------------------------------- *)
+
+let gen_lin : Linexpr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* const = int_range (-20) 20 in
+  let* terms =
+    list_size (int_range 0 3) (pair (oneofl [ "M"; "K"; "N" ]) (int_range (-5) 5))
+  in
+  return
+    (List.fold_left
+       (fun acc (v, c) -> Linexpr.add acc (Linexpr.scale c (Linexpr.of_var v)))
+       (Linexpr.of_int const) terms)
+
+let arb_lin = QCheck.make gen_lin ~print:Linexpr.to_string
+
+let env v = match v with "M" -> Some 7 | "K" -> Some 3 | "N" -> Some 11 | _ -> None
+
+let props =
+  [ QCheck.Test.make ~name:"add commutes" ~count:300 (QCheck.pair arb_lin arb_lin)
+      (fun (a, b) -> Linexpr.equal (Linexpr.add a b) (Linexpr.add b a));
+    QCheck.Test.make ~name:"eval is linear over add" ~count:300
+      (QCheck.pair arb_lin arb_lin) (fun (a, b) ->
+        Linexpr.eval env (Linexpr.add a b)
+        = Linexpr.eval env a + Linexpr.eval env b);
+    QCheck.Test.make ~name:"scale multiplies eval" ~count:300
+      (QCheck.pair (QCheck.int_range (-5) 5) arb_lin) (fun (k, a) ->
+        Linexpr.eval env (Linexpr.scale k a) = k * Linexpr.eval env a);
+    QCheck.Test.make ~name:"to_expr/of_expr round-trip" ~count:300 arb_lin
+      (fun a ->
+        match Linexpr.of_expr (Linexpr.to_expr a) with
+        | Some a' -> Linexpr.equal a a'
+        | None -> false);
+    QCheck.Test.make ~name:"sub then add restores" ~count:300
+      (QCheck.pair arb_lin arb_lin) (fun (a, b) ->
+        Linexpr.equal (Linexpr.add (Linexpr.sub a b) b) a) ]
+
+let () =
+  Alcotest.run "linexpr"
+    [ ("conversion", conversion_tests);
+      ("comparison", comparison_tests);
+      ("eval", eval_tests);
+      ("prover", prover_tests);
+      ("properties", List.map QCheck_alcotest.to_alcotest props) ]

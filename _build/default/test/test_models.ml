@@ -1,0 +1,85 @@
+(* End-to-end checks that every shipped model parses, elaborates cleanly,
+   schedules to its expected shape, and runs — the repository's smoke
+   suite. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let models =
+  [ ("jacobi", Ps_models.Models.jacobi);
+    ("seidel", Ps_models.Models.seidel);
+    ("heat1d", Ps_models.Models.heat1d);
+    ("matmul", Ps_models.Models.matmul);
+    ("binomial", Ps_models.Models.binomial);
+    ("prefix_sum", Ps_models.Models.prefix_sum);
+    ("two_module", Ps_models.Models.two_module);
+    ("classify", Ps_models.Models.classify);
+    ("lcs", Ps_models.Models.lcs);
+    ("particles", Ps_models.Models.particles);
+    ("skewed", Ps_models.Models.skewed) ]
+
+let load_tests =
+  List.map
+    (fun (name, src) ->
+      t (name ^ " loads without diagnostics") (fun () ->
+          let tp = Util.load src in
+          Alcotest.(check int) "no warnings" 0 (List.length (Psc.warnings tp))))
+    models
+
+let schedule_tests =
+  List.map
+    (fun (name, src) ->
+      t (name ^ " schedules every module") (fun () ->
+          let tp = Util.load src in
+          List.iter
+            (fun mname -> ignore (Psc.schedule (Psc.find_module tp mname)))
+            (Psc.modules tp)))
+    models
+
+let fill_tests =
+  [ t "deterministic fill matches its C counterpart definition" (fun () ->
+        (* ps_fill(q) = ((q * 2654435761 + 12345) mod 2^64) mod 1000 / 1000 *)
+        Util.checkf "fill 0" 0.345 (Ps_models.Models.fill_value 0);
+        Util.checkf "fill 1" ((Int64.to_float (Int64.unsigned_rem 2654448106L 1000L)) /. 1000.)
+          (Ps_models.Models.fill_value 1);
+        Alcotest.(check bool) "range" true
+          (List.for_all
+             (fun q ->
+               let v = Ps_models.Models.fill_value q in
+               v >= 0.0 && v < 1.0)
+             (List.init 1000 Fun.id)));
+    t "grid input has the declared bounds" (fun () ->
+        match Ps_models.Models.grid_input 5 with
+        | Psc.Value.Varray s ->
+          Alcotest.(check int) "dims" 2 (Psc.Value.ndims s);
+          Alcotest.(check int) "extent" 7 s.Psc.Value.s_dims.(0).Psc.Value.di_extent
+        | _ -> Alcotest.fail "expected array") ]
+
+let pipeline_tests =
+  [ t "full pipeline on jacobi: parse -> C text" (fun () ->
+        let tp = Util.load Ps_models.Models.jacobi in
+        let c = Psc.emit_c tp in
+        Alcotest.(check bool) "has kernel" true (Util.contains c "void Relaxation"));
+    t "dependency graph is printable for every model" (fun () ->
+        List.iter
+          (fun (_, src) ->
+            let tp = Util.load src in
+            List.iter
+              (fun m ->
+                let g = Psc.dep_graph (Psc.find_module tp m) in
+                Alcotest.(check bool) "non-empty listing" true
+                  (String.length (Psc.Render.listing g) > 0))
+              (Psc.modules tp))
+          models);
+    t "cli demo sources stay in sync with the paper strings" (fun () ->
+        (* jacobi must contain the verbatim Fig. 1 stencil *)
+        Alcotest.(check bool) "stencil" true
+          (Util.contains Ps_models.Models.jacobi "A[K-1,I,J-1]");
+        Alcotest.(check bool) "seidel west neighbour" true
+          (Util.contains Ps_models.Models.seidel "A[K,I,J-1]")) ]
+
+let () =
+  Alcotest.run "models"
+    [ ("loading", load_tests);
+      ("scheduling", schedule_tests);
+      ("inputs", fill_tests);
+      ("pipeline", pipeline_tests) ]

@@ -1,0 +1,252 @@
+(* Parser tests: expression precedence, declarations, modules, the
+   enum/subrange backtracking point, error reporting, and a qcheck
+   round-trip property through the pretty-printer. *)
+
+open Ps_lang
+
+let t name f = Alcotest.test_case name `Quick f
+
+let expr s = Parser.expr_of_string s
+
+let show e = Pretty.expr_to_string e
+
+(* Structural equality through the printer (locations differ). *)
+let check_expr msg expected src =
+  Alcotest.(check string) msg expected (show (expr src))
+
+let expr_tests =
+  [ t "addition is left associative" (fun () ->
+        let e = expr "a - b - c" in
+        match e.Ast.e with
+        | Ast.Binop (Ast.Sub, { e = Ast.Binop (Ast.Sub, _, _); _ }, _) -> ()
+        | _ -> Alcotest.fail "wrong associativity");
+    t "mul binds tighter than add" (fun () ->
+        check_expr "prec" "a + b * c" "a + b * c";
+        let e = expr "a + b * c" in
+        match e.Ast.e with
+        | Ast.Binop (Ast.Add, _, { e = Ast.Binop (Ast.Mul, _, _); _ }) -> ()
+        | _ -> Alcotest.fail "mul should nest under add");
+    t "comparison binds looser than add" (fun () ->
+        let e = expr "a + 1 < b" in
+        match e.Ast.e with
+        | Ast.Binop (Ast.Lt, _, _) -> ()
+        | _ -> Alcotest.fail "lt should be at top");
+    t "and binds tighter than or" (fun () ->
+        let e = expr "a or b and c" in
+        match e.Ast.e with
+        | Ast.Binop (Ast.Or, _, { e = Ast.Binop (Ast.And, _, _); _ }) -> ()
+        | _ -> Alcotest.fail "and under or");
+    t "paper's boundary condition parses as ors of equalities" (fun () ->
+        let e = expr "I = 0 or J = 0 or I = M+1 or J = M+1" in
+        let rec count_ors e =
+          match e.Ast.e with
+          | Ast.Binop (Ast.Or, a, b) -> count_ors a + count_ors b
+          | _ -> 1
+        in
+        Alcotest.(check int) "four disjuncts" 4 (count_ors e));
+    t "unary minus" (fun () -> check_expr "neg" "-x + y" "-x + y");
+    t "not" (fun () -> check_expr "not" "not a and b" "not a and b");
+    t "div and mod keywords" (fun () ->
+        let e = expr "a div b mod c" in
+        match e.Ast.e with
+        | Ast.Binop (Ast.Imod, { e = Ast.Binop (Ast.Idiv, _, _); _ }, _) -> ()
+        | _ -> Alcotest.fail "div/mod chain");
+    t "subscripts" (fun () ->
+        let e = expr "A[K-1, I, J+1]" in
+        match e.Ast.e with
+        | Ast.Index ({ e = Ast.Var "A"; _ }, [ _; _; _ ]) -> ()
+        | _ -> Alcotest.fail "3 subscripts expected");
+    t "chained subscripts flatten in printer" (fun () ->
+        check_expr "chain" "A[k][i]" "A[k][i]");
+    t "field access" (fun () ->
+        let e = expr "s.x + s.v" in
+        match e.Ast.e with
+        | Ast.Binop (Ast.Add, { e = Ast.Field (_, "x"); _ }, { e = Ast.Field (_, "v"); _ }) -> ()
+        | _ -> Alcotest.fail "fields");
+    t "call with arguments" (fun () ->
+        let e = expr "F(a, b + 1)" in
+        match e.Ast.e with
+        | Ast.Call ("F", [ _; _ ]) -> ()
+        | _ -> Alcotest.fail "call");
+    t "call with no arguments" (fun () ->
+        match (expr "F()").Ast.e with
+        | Ast.Call ("F", []) -> ()
+        | _ -> Alcotest.fail "nullary call");
+    t "if expression" (fun () ->
+        match (expr "if c then 1 else 2").Ast.e with
+        | Ast.If (_, _, _) -> ()
+        | _ -> Alcotest.fail "if");
+    t "nested if in else" (fun () ->
+        match (expr "if a then 1 else if b then 2 else 3").Ast.e with
+        | Ast.If (_, _, { e = Ast.If (_, _, _); _ }) -> ()
+        | _ -> Alcotest.fail "nested if");
+    t "parenthesized expression" (fun () ->
+        let e = expr "(a + b) * c" in
+        match e.Ast.e with
+        | Ast.Binop (Ast.Mul, { e = Ast.Binop (Ast.Add, _, _); _ }, _) -> ()
+        | _ -> Alcotest.fail "parens");
+    t "trailing input rejected" (fun () ->
+        match expr "a + b c" with
+        | exception Parser.Error (m, _) ->
+          Util.check_bool "mentions trailing" true (Util.contains m "trailing")
+        | _ -> Alcotest.fail "expected error") ]
+
+(* --- types and declarations ------------------------------------- *)
+
+let module_of src = Parser.module_of_string src
+
+let type_tests =
+  [ t "subrange type decl" (fun () ->
+        let m = module_of "M: module (): [x: int]; type I = 0 .. 10; define x = 1; end M;" in
+        match (List.hd m.Ast.m_types).Ast.td_def.Ast.t with
+        | Ast.Tsubrange _ -> ()
+        | _ -> Alcotest.fail "subrange");
+    t "multi-name type decl" (fun () ->
+        let m = module_of "M: module (): [x: int]; type I, J = 0 .. 5; define x = 1; end M;" in
+        Alcotest.(check (list string)) "names" [ "I"; "J" ]
+          (List.hd m.Ast.m_types).Ast.td_names);
+    t "enum type" (fun () ->
+        let m =
+          module_of
+            "M: module (): [x: int]; type Color = (red, green, blue); define x = 1; end M;"
+        in
+        match (List.hd m.Ast.m_types).Ast.td_def.Ast.t with
+        | Ast.Tenum [ "red"; "green"; "blue" ] -> ()
+        | _ -> Alcotest.fail "enum");
+    t "parenthesized subrange bound is not an enum" (fun () ->
+        let m =
+          module_of
+            "M: module (n: int): [x: int]; type I = (n) .. (n + 3); define x = 1; end M;"
+        in
+        match (List.hd m.Ast.m_types).Ast.td_def.Ast.t with
+        | Ast.Tsubrange _ -> ()
+        | _ -> Alcotest.fail "subrange with parens");
+    t "record type" (fun () ->
+        let m =
+          module_of
+            "M: module (): [x: int]; type S = record a : real; b : int end; define x = 1; end M;"
+        in
+        match (List.hd m.Ast.m_types).Ast.td_def.Ast.t with
+        | Ast.Trecord [ ("a", _); ("b", _) ] -> ()
+        | _ -> Alcotest.fail "record");
+    t "array with named dims" (fun () ->
+        let m =
+          module_of
+            "M: module (A: array[I,J] of real): [x: int]; type I, J = 0 .. 3; define x = 1; end M;"
+        in
+        match (List.hd m.Ast.m_params).Ast.p_type.Ast.t with
+        | Ast.Tarray ([ { t = Ast.Tname "I"; _ }; { t = Ast.Tname "J"; _ } ], _) -> ()
+        | _ -> Alcotest.fail "array dims");
+    t "array with inline subrange (Fig. 1 style)" (fun () ->
+        let m =
+          module_of
+            "M: module (k: int): [x: int]; var A: array [1 .. k] of real; define x = 1; end M;"
+        in
+        match (List.hd m.Ast.m_vars).Ast.vd_type.Ast.t with
+        | Ast.Tarray ([ { t = Ast.Tsubrange _; _ } ], _) -> ()
+        | _ -> Alcotest.fail "inline subrange");
+    t "nested array type" (fun () ->
+        let m =
+          module_of
+            "M: module (k: int): [x: int]; type I = 0 .. 3; var A: array [1 .. k] of array[I,I] of real; define x = 1; end M;"
+        in
+        match (List.hd m.Ast.m_vars).Ast.vd_type.Ast.t with
+        | Ast.Tarray (_, { t = Ast.Tarray _; _ }) -> ()
+        | _ -> Alcotest.fail "nested array") ]
+
+let module_tests =
+  [ t "Fig. 1 module parses with 3 equations" (fun () ->
+        let m = module_of Ps_models.Models.jacobi in
+        Alcotest.(check int) "equations" 3 (List.length m.Ast.m_eqs);
+        Alcotest.(check string) "name" "Relaxation" m.Ast.m_name;
+        Alcotest.(check int) "params" 3 (List.length m.Ast.m_params);
+        Alcotest.(check int) "results" 1 (List.length m.Ast.m_results));
+    t "module without type/var sections" (fun () ->
+        let m = module_of "Tiny: module (x: int): [y: int]; define y = x + 1; end Tiny;" in
+        Alcotest.(check int) "no types" 0 (List.length m.Ast.m_types);
+        Alcotest.(check int) "no vars" 0 (List.length m.Ast.m_vars));
+    t "several modules in one program" (fun () ->
+        let p = Parser.program_of_string Ps_models.Models.two_module in
+        Alcotest.(check int) "three modules" 3 (List.length p));
+    t "end without module name" (fun () ->
+        let m = module_of "T: module (x: int): [y: int]; define y = x; end;" in
+        Alcotest.(check string) "name" "T" m.Ast.m_name);
+    t "multi-variable lhs" (fun () ->
+        let m =
+          module_of "T: module (x: int): [a: int; b: int]; define a, b = F(x); end T;"
+        in
+        Alcotest.(check int) "two lhs" 2 (List.length (List.hd m.Ast.m_eqs).Ast.eq_lhs));
+    t "lhs with constant subscript" (fun () ->
+        let m =
+          module_of
+            "T: module (x: int): [y: int]; var A: array[1 .. 3] of int; define A[1] = x; A[2] = x; A[3] = x; y = A[2]; end T;"
+        in
+        let eq = List.hd m.Ast.m_eqs in
+        Alcotest.(check int) "one sub" 1 (List.length (List.hd eq.Ast.eq_lhs).Ast.l_subs));
+    t "missing semicolon is an error" (fun () ->
+        match module_of "T: module (x: int): [y: int]; define y = x end T;" with
+        | exception Parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected syntax error");
+    t "error location points at the problem" (fun () ->
+        match module_of "T: module (x int): [y: int]; define y = x; end T;" with
+        | exception Parser.Error (_, span) ->
+          Util.check_int "line" 1 span.Loc.start_p.Loc.line
+        | _ -> Alcotest.fail "expected syntax error") ]
+
+(* --- round-trip property ---------------------------------------- *)
+
+let gen_expr : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "x"; "M"; "K" ] >|= Ast.var_e in
+  let lit =
+    oneof
+      [ (int_range 0 99 >|= Ast.int_e);
+        (float_range 0.0 10.0 >|= fun f -> Ast.mk (Ast.Real f));
+        (bool >|= fun b -> Ast.mk (Ast.Bool b)) ]
+  in
+  fix
+    (fun self n ->
+      if n = 0 then oneof [ var; lit ]
+      else
+        let sub = self (n / 2) in
+        oneof
+          [ var; lit;
+            (map2 (fun a b -> Ast.mk (Ast.Binop (Ast.Add, a, b))) sub sub);
+            (map2 (fun a b -> Ast.mk (Ast.Binop (Ast.Mul, a, b))) sub sub);
+            (map2 (fun a b -> Ast.mk (Ast.Binop (Ast.Sub, a, b))) sub sub);
+            (map2 (fun a b -> Ast.mk (Ast.Binop (Ast.Lt, a, b))) sub sub);
+            (map (fun a -> Ast.mk (Ast.Unop (Ast.Neg, a))) sub);
+            (map3 (fun c t e -> Ast.mk (Ast.If (Ast.mk (Ast.Binop (Ast.Eq, c, c)), t, e))) sub sub sub);
+            (map2 (fun a subs -> Ast.mk (Ast.Index (a, subs))) var (list_size (int_range 1 3) sub)) ])
+    5
+
+let roundtrip_prop =
+  QCheck.Test.make ~name:"print/parse round-trip" ~count:500
+    (QCheck.make gen_expr ~print:Pretty.expr_to_string)
+    (fun e ->
+      let printed = Pretty.expr_to_string e in
+      match Parser.expr_of_string printed with
+      | e' -> Ast.equal_expr e e'
+      | exception _ -> false)
+
+let roundtrip_module =
+  [ t "module print/parse round-trip (all models)" (fun () ->
+        List.iter
+          (fun src ->
+            let p = Parser.program_of_string src in
+            let printed = Pretty.program_to_string p in
+            let p' = Parser.program_of_string printed in
+            let printed' = Pretty.program_to_string p' in
+            Alcotest.(check string) "fixpoint" printed printed')
+          [ Ps_models.Models.jacobi; Ps_models.Models.seidel;
+            Ps_models.Models.heat1d; Ps_models.Models.matmul;
+            Ps_models.Models.binomial; Ps_models.Models.prefix_sum;
+            Ps_models.Models.two_module; Ps_models.Models.classify;
+            Ps_models.Models.skewed ]) ]
+
+let () =
+  Alcotest.run "parser"
+    [ ("expressions", expr_tests);
+      ("types", type_tests);
+      ("modules", module_tests);
+      ("roundtrip", QCheck_alcotest.to_alcotest roundtrip_prop :: roundtrip_module) ]

@@ -1,0 +1,334 @@
+(* Tests for the optional scheduler passes: loop fusion (the paper's §5
+   "better merge iterative loops"), hyperplane bound trimming, and the
+   runtime-statistics validation of the work/span model.  Also covers the
+   LCS wavefront model and the one-window-per-array soundness rule. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* --- fusion -------------------------------------------------------- *)
+
+let pipe3 =
+  {|
+Pipe: module (X: array[I] of real; N: int): [W: array[I] of real];
+type
+  I = 1 .. N;
+var
+  Y: array[I] of real;
+  Z: array[I] of real;
+define
+  Y[I] = X[I] * 2.0;
+  Z[I] = Y[I] + 1.0;
+  W[I] = Z[I] * Z[I];
+end Pipe;
+|}
+
+let shifted =
+  {|
+Shift: module (X: array[I] of real; N: int): [Z: array[I] of real];
+type
+  I = 1 .. N;
+  I2 = 2 .. N;
+var
+  Y: array[I] of real;
+define
+  Y[I] = X[I] * 2.0;
+  Z[1] = 0.0;
+  Z[I2] = Y[I2 - 1] + 1.0;
+end Shift;
+|}
+
+let fuse_tests =
+  [ t "three element-wise loops fuse into one DOALL" (fun () ->
+        let tp = Util.load pipe3 in
+        let em = Util.first tp in
+        let sc = Psc.schedule ~fuse:true em in
+        Alcotest.(check int) "two merges" 2 sc.Psc.sc_merged;
+        Alcotest.(check string) "single loop" "DOALL I (eq.1; eq.2; eq.3)"
+          (Psc.Flowchart.to_compact_string em sc.Psc.sc_flowchart));
+    t "fusion preserves results" (fun () ->
+        let n = 25 in
+        let x = Psc.Exec.array_real ~dims:[ (1, n) ] (fun ix -> float_of_int ix.(0)) in
+        let inputs = [ ("X", x); ("N", Psc.Exec.scalar_int n) ] in
+        let r0 = Util.run pipe3 inputs in
+        let r1 = Util.run ~fuse:true pipe3 inputs in
+        let d =
+          Util.max_diff
+            (List.assoc "W" r0.Psc.Exec.outputs)
+            (List.assoc "W" r1.Psc.Exec.outputs)
+            [ (1, n) ]
+        in
+        Alcotest.(check bool) "bit equal" true (d = 0.0));
+    t "a DOALL does not fuse with a loop reading earlier iterations" (fun () ->
+        (* Z[I2] reads Y[I2-1]: merging would make the fused loop read an
+           iteration that has not run yet under DOALL; the pass must
+           refuse the parallel merge. *)
+        let tp = Util.load shifted in
+        let em = Util.first tp in
+        let sc = Psc.schedule ~fuse:true em in
+        let s = Psc.Flowchart.to_compact_string em sc.Psc.sc_flowchart in
+        Alcotest.(check bool) "loops stay apart" true
+          (not (Util.contains s "eq.1; eq.3")));
+    t "fusion across different ranges is refused" (fun () ->
+        let src =
+          {|
+T: module (X: array[I] of real; N: int): [Z: array[J] of real];
+type
+  I = 1 .. N;
+  J = 1 .. N+1;
+var
+  Y: array[I] of real;
+define
+  Y[I] = X[I] * 2.0;
+  Z[J] = 1.0 + J;
+end T;
+|}
+        in
+        let tp = Util.load src in
+        let sc = Psc.schedule ~fuse:true (Util.first tp) in
+        Alcotest.(check int) "no merges" 0 sc.Psc.sc_merged);
+    t "jacobi is unchanged by fusion (nothing adjacent is compatible)" (fun () ->
+        let tp = Util.load Ps_models.Models.jacobi in
+        let em = Util.first tp in
+        let sc = Psc.schedule ~fuse:true em in
+        (* eq.1's loop feeds the DO K nest; eq.2 reads A[maxK] which is
+           not an identity reference, so no merge can happen. *)
+        Alcotest.(check int) "no merges" 0 sc.Psc.sc_merged);
+    t "two 2-D grid sweeps fuse through the whole nest" (fun () ->
+        let src =
+          {|
+Grids: module (G: array[I,J] of real; N: int): [S: real];
+type
+  I, J = 1 .. N;
+var
+  A: array[I,J] of real;
+  B: array[I,J] of real;
+  Acc: array[0 .. N] of real;
+  Row: array[0 .. N] of real;
+define
+  A[I,J] = G[I,J] * 2.0;
+  B[I,J] = G[I,J] + 1.0;
+  Row[0] = 0.0;
+  Row[I] = Row[I-1] + A[I,1] + B[I,1];
+  Acc[0] = 0.0;
+  Acc[I] = Acc[I-1] + Row[I];
+  S = Acc[N];
+end Grids;
+|}
+        in
+        let tp = Util.load src in
+        let em = Util.first tp in
+        let sc = Psc.schedule ~fuse:true em in
+        let s = Psc.Flowchart.to_compact_string em sc.Psc.sc_flowchart in
+        (* The two element-wise grid sweeps fuse at both levels, and the
+           two first-order recurrences share one DO loop. *)
+        Alcotest.(check bool) "grid nests fused" true
+          (Util.contains s "DOALL I (DOALL J (eq.1; eq.2))");
+        Alcotest.(check bool) "at least 3 merges" true (sc.Psc.sc_merged >= 3);
+        (* Semantics preserved. *)
+        let n = 10 in
+        let g =
+          Psc.Exec.array_real ~dims:[ (1, n); (1, n) ]
+            (fun ix -> Ps_models.Models.fill_value ((ix.(0) * n) + ix.(1)))
+        in
+        let inputs = [ ("G", g); ("N", Psc.Exec.scalar_int n) ] in
+        let r0 = Util.run src inputs in
+        let r1 = Util.run ~fuse:true src inputs in
+        Util.checkf ~eps:0.0 "S" (Util.output_real r0 "S" [||])
+          (Util.output_real r1 "S" [||]));
+    t "fused iterative recurrences stay correct" (fun () ->
+        let src =
+          {|
+TwoSums: module (X: array[I] of real; N: int): [a: real; b: real];
+type
+  I = 1 .. N;
+  I2 = 2 .. N;
+var
+  S: array[I] of real;
+  T: array[I] of real;
+define
+  S[1] = X[1];
+  S[I2] = S[I2-1] + X[I2];
+  T[1] = X[1];
+  T[I2] = T[I2-1] * 0.5 + X[I2];
+  a = S[N];
+  b = T[N];
+end TwoSums;
+|}
+        in
+        let n = 30 in
+        let x = Psc.Exec.array_real ~dims:[ (1, n) ] (fun ix -> Ps_models.Models.fill_value ix.(0)) in
+        let inputs = [ ("X", x); ("N", Psc.Exec.scalar_int n) ] in
+        let tp = Util.load src in
+        let sc = Psc.schedule ~fuse:true (Util.first tp) in
+        Alcotest.(check bool) "merged the two DO loops" true (sc.Psc.sc_merged >= 1);
+        let r0 = Util.run src inputs in
+        let r1 = Util.run ~fuse:true src inputs in
+        Alcotest.(check bool) "a equal" true
+          (Util.output_real r0 "a" [||] = Util.output_real r1 "a" [||]);
+        Alcotest.(check bool) "b equal" true
+          (Util.output_real r0 "b" [||] = Util.output_real r1 "b" [||])) ]
+
+(* --- trimming ------------------------------------------------------ *)
+
+let hyper_setup () =
+  let tp = Util.load Ps_models.Models.seidel in
+  let tp', tr = Psc.hyperplane ~target:"A" tp in
+  (tp, tp', tr.Psc.Transform.tr_module.Psc.Ast.m_name)
+
+let trim_tests =
+  [ t "trimming tightens the inner wavefront loop" (fun () ->
+        let _, tp', name = hyper_setup () in
+        let em = Psc.find_module tp' name in
+        let sc = Psc.schedule ~sink:true ~trim:true em in
+        Alcotest.(check bool) "some bounds trimmed" true (sc.Psc.sc_trimmed >= 2));
+    t "trimming preserves semantics" (fun () ->
+        let m = 20 and maxk = 12 in
+        let inputs = Ps_models.Models.relaxation_inputs ~m ~maxk in
+        let tp, tp', name = hyper_setup () in
+        let r0 = Psc.run tp ~inputs in
+        let r1 = Psc.run ~name ~sink:true ~trim:true tp' ~inputs in
+        let d =
+          Util.max_diff
+            (List.assoc "newA" r0.Psc.Exec.outputs)
+            (List.assoc "newA" r1.Psc.Exec.outputs)
+            [ (0, m + 1); (0, m + 1) ]
+        in
+        Alcotest.(check bool) "bit equal" true (d = 0.0));
+    t "trimming reduces executed work close to the original" (fun () ->
+        let m = 24 and maxk = 16 in
+        let inputs = Ps_models.Models.relaxation_inputs ~m ~maxk in
+        let tp, tp', name = hyper_setup () in
+        let r_orig = Psc.run ~stats:true tp ~inputs in
+        let r_box = Psc.run ~stats:true ~name ~sink:true tp' ~inputs in
+        let r_trim = Psc.run ~stats:true ~name ~sink:true ~trim:true tp' ~inputs in
+        let e_orig = Option.get r_orig.Psc.Exec.evaluations in
+        let e_box = Option.get r_box.Psc.Exec.evaluations in
+        let e_trim = Option.get r_trim.Psc.Exec.evaluations in
+        Alcotest.(check bool) "box costs much more" true
+          (float_of_int e_box > 1.8 *. float_of_int e_orig);
+        Alcotest.(check bool) "trimmed is close to original" true
+          (float_of_int e_trim < 1.4 *. float_of_int e_orig));
+    t "trimming a program without guards is a no-op" (fun () ->
+        let tp = Util.load Ps_models.Models.matmul in
+        let em = Util.first tp in
+        let sc = Psc.schedule ~trim:true em in
+        Alcotest.(check int) "nothing trimmed" 0 sc.Psc.sc_trimmed) ]
+
+(* --- runtime statistics vs the analytic model ---------------------- *)
+
+let stats_tests =
+  [ t "runtime evaluations equal analytic work (jacobi)" (fun () ->
+        let m = 14 and maxk = 9 in
+        let tp = Util.load Ps_models.Models.jacobi in
+        let r =
+          Psc.run ~stats:true tp ~inputs:(Ps_models.Models.relaxation_inputs ~m ~maxk)
+        in
+        let c = Psc.work_span tp ~env:[ ("M", m); ("maxK", maxk) ] in
+        Alcotest.(check int) "work = evals"
+          (int_of_float c.Psc.Analysis.work)
+          (Option.get r.Psc.Exec.evaluations));
+    t "runtime evaluations equal analytic work (matmul)" (fun () ->
+        let n = 9 in
+        let a = Ps_models.Models.square_input n in
+        let b = Ps_models.Models.square_input n in
+        let tp = Util.load Ps_models.Models.matmul in
+        let r =
+          Psc.run ~stats:true tp
+            ~inputs:[ ("A", a); ("B", b); ("N", Psc.Exec.scalar_int n) ]
+        in
+        let c = Psc.work_span tp ~env:[ ("N", n) ] in
+        Alcotest.(check int) "work = evals"
+          (int_of_float c.Psc.Analysis.work)
+          (Option.get r.Psc.Exec.evaluations));
+    t "trimmed analytic work equals trimmed runtime evaluations" (fun () ->
+        let m = 16 and maxk = 10 in
+        let _, tp', name = hyper_setup () in
+        let r =
+          Psc.run ~stats:true ~name ~sink:true ~trim:true tp'
+            ~inputs:(Ps_models.Models.relaxation_inputs ~m ~maxk)
+        in
+        let c =
+          Psc.work_span ~name ~sink:true ~trim:true tp'
+            ~env:[ ("M", m); ("maxK", maxk) ]
+        in
+        (* The analysis counts a solve-guarded body once per enclosing
+           iteration (an upper bound); everything else matches exactly,
+           so the two may differ by at most the number of outer
+           iterations. *)
+        let evals = Option.get r.Psc.Exec.evaluations in
+        (* One potential guarded solve per (K', I') pair. *)
+        let slack = ((2 * maxk) + (2 * m) + 2) * (m + 2) in
+        Alcotest.(check bool) "within solve slack" true
+          (int_of_float c.Psc.Analysis.work >= evals
+           && int_of_float c.Psc.Analysis.work - evals <= slack));
+    t "stats off returns no count" (fun () ->
+        let tp = Util.load Ps_models.Models.jacobi in
+        let r =
+          Psc.run tp ~inputs:(Ps_models.Models.relaxation_inputs ~m:8 ~maxk:5)
+        in
+        Alcotest.(check bool) "none" true (r.Psc.Exec.evaluations = None)) ]
+
+(* --- LCS wavefront -------------------------------------------------- *)
+
+let lcs_inputs n =
+  [ ("X", Psc.Exec.array_int ~dims:[ (1, n) ] (fun ix -> ((ix.(0) * 7) + 3) mod 4));
+    ("Y", Psc.Exec.array_int ~dims:[ (1, n) ] (fun ix -> ((ix.(0) * 5) + 1) mod 4));
+    ("N", Psc.Exec.scalar_int n) ]
+
+let native_lcs n =
+  let x = Array.init (n + 1) (fun i -> ((i * 7) + 3) mod 4) in
+  let y = Array.init (n + 1) (fun j -> ((j * 5) + 1) mod 4) in
+  let l = Array.make_matrix (n + 1) (n + 1) 0 in
+  for i = 1 to n do
+    for j = 1 to n do
+      l.(i).(j) <-
+        (if x.(i) = y.(j) then l.(i - 1).(j - 1) + 1
+         else max l.(i - 1).(j) l.(i).(j - 1))
+    done
+  done;
+  l.(n).(n)
+
+let lcs_tests =
+  [ t "lcs schedules fully iterative" (fun () ->
+        let s = Util.compact_schedule Ps_models.Models.lcs in
+        Alcotest.(check bool) "DO Ipos (DO Jpos" true
+          (Util.contains s "DO Ipos (DO Jpos (eq.3))"));
+    t "only one dimension of L is windowed (soundness rule)" (fun () ->
+        let ws = Util.windows_of Ps_models.Models.lcs in
+        Alcotest.(check (list (triple string int int))) "one window"
+          [ ("L", 0, 2) ]
+          ws);
+    t "lcs equals the native dynamic program" (fun () ->
+        let n = 32 in
+        let r = Util.run Ps_models.Models.lcs (lcs_inputs n) in
+        Alcotest.(check int) "length" (native_lcs n) (Util.output_int r "len" [||]));
+    t "hyperplane time for lcs is I + J" (fun () ->
+        let tp = Util.load Ps_models.Models.lcs in
+        let _, tr = Psc.hyperplane ~target:"L" tp in
+        Alcotest.(check (array int)) "time" [| 1; 1 |] tr.Psc.Transform.tr_time);
+    t "transformed lcs has a DOALL wavefront and window 3" (fun () ->
+        let tp = Util.load Ps_models.Models.lcs in
+        let tp', tr = Psc.hyperplane ~target:"L" tp in
+        let name = tr.Psc.Transform.tr_module.Psc.Ast.m_name in
+        let em = Psc.find_module tp' name in
+        let sc = Psc.schedule ~sink:true em in
+        let s = Psc.Flowchart.to_compact_string em sc.Psc.sc_flowchart in
+        Alcotest.(check bool) "DOALL inner" true (Util.contains s "DOALL");
+        Alcotest.(check bool) "window 3" true
+          (List.exists
+             (fun (w : Psc.Schedule.window) -> w.Psc.Schedule.w_size = 3)
+             sc.Psc.sc_windows));
+    t "transformed lcs computes the same length" (fun () ->
+        let n = 24 in
+        let tp = Util.load Ps_models.Models.lcs in
+        let tp', tr = Psc.hyperplane ~target:"L" tp in
+        let name = tr.Psc.Transform.tr_module.Psc.Ast.m_name in
+        let r = Psc.run ~name ~sink:true ~trim:true tp' ~inputs:(lcs_inputs n) in
+        Alcotest.(check int) "length" (native_lcs n) (Util.output_int r "len" [||])) ]
+
+let () =
+  Alcotest.run "passes"
+    [ ("fusion", fuse_tests);
+      ("trimming", trim_tests);
+      ("statistics", stats_tests);
+      ("lcs", lcs_tests) ]

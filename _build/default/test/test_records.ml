@@ -1,0 +1,154 @@
+(* Per-field record equations: parsing, elaboration, single-assignment
+   field completeness, scheduling, windowed execution. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let parse_tests =
+  [ t "field lhs parses" (fun () ->
+        let m =
+          Ps_lang.Parser.module_of_string
+            "T: module (a: real): [y: real]; type S = record x : real end; \
+             var s: S; define s.x = a; y = s.x; end T;"
+        in
+        let eq = List.hd m.Ps_lang.Ast.m_eqs in
+        Alcotest.(check (list string)) "path" [ "x" ]
+          (List.hd eq.Ps_lang.Ast.eq_lhs).Ps_lang.Ast.l_path);
+    t "subscripted field lhs parses" (fun () ->
+        let m = Ps_lang.Parser.module_of_string Ps_models.Models.particles in
+        let eq = List.hd m.Ps_lang.Ast.m_eqs in
+        let l = List.hd eq.Ps_lang.Ast.eq_lhs in
+        Alcotest.(check int) "two subs" 2 (List.length l.Ps_lang.Ast.l_subs);
+        Alcotest.(check (list string)) "path" [ "x" ] l.Ps_lang.Ast.l_path);
+    t "field lhs round-trips through the printer" (fun () ->
+        let src = Ps_models.Models.particles in
+        let p = Ps_lang.Parser.program_of_string src in
+        let printed = Ps_lang.Pretty.program_to_string p in
+        Alcotest.(check bool) "printed path" true
+          (Util.contains printed "S[1, P].x =");
+        let p2 = Ps_lang.Parser.program_of_string printed in
+        Alcotest.(check string) "fixpoint" printed
+          (Ps_lang.Pretty.program_to_string p2)) ]
+
+let elab_tests =
+  [ t "field defs carry their path" (fun () ->
+        let tp = Util.load Ps_models.Models.particles in
+        let em = Util.first tp in
+        let q = List.hd em.Psc.Elab.em_eqs in
+        let df = List.hd q.Psc.Elab.q_defs in
+        Alcotest.(check (list string)) "path" [ "x" ] df.Psc.Elab.df_path;
+        Alcotest.(check string) "data" "S" df.Psc.Elab.df_data);
+    t "field type mismatch is rejected" (fun () ->
+        Util.expect_error ~substring:"type" (fun () ->
+            Util.load
+              "T: module (a: real): [y: real]; type S = record x : real end; \
+               var s: S; define s.x = true; y = s.x; end T;"));
+    t "unknown field is rejected" (fun () ->
+        Util.expect_error ~substring:"field" (fun () ->
+            Util.load
+              "T: module (a: real): [y: real]; type S = record x : real end; \
+               var s: S; define s.z = a; y = s.x; end T;"));
+    t "field on a non-record is rejected" (fun () ->
+        Util.expect_error ~substring:"non-record" (fun () ->
+            Util.load
+              "T: module (a: real): [y: real]; var s: real; define s.x = a; \
+               y = s; end T;"));
+    t "missing field definition is an error" (fun () ->
+        Util.expect_error ~substring:"field v" (fun () ->
+            Util.load
+              "T: module (a: real): [y: real]; type S = record x : real; v : \
+               real end; var s: S; define s.x = a; y = s.x; end T;"));
+    t "defining the same field twice is an error" (fun () ->
+        Util.expect_error ~substring:"overlapping" (fun () ->
+            Util.load
+              "T: module (a: real): [y: real]; type S = record x : real end; \
+               var s: S; define s.x = a; s.x = a + 1.0; y = s.x; end T;")) ]
+
+let schedule_tests =
+  [ t "particles schedules with an iterative time loop" (fun () ->
+        let s = Util.compact_schedule Ps_models.Models.particles in
+        Alcotest.(check bool) "DO T" true (Util.contains s "DO T (");
+        Alcotest.(check bool) "both field eqs inside" true
+          (Util.contains s "eq.3" && Util.contains s "eq.4"));
+    t "the state array still windows to 2 planes" (fun () ->
+        Alcotest.(check (list (triple string int int))) "window"
+          [ ("S", 0, 2) ]
+          (Util.windows_of Ps_models.Models.particles)) ]
+
+let exec_tests =
+  let n = 8 and steps = 15 in
+  let inputs =
+    [ ("X0",
+       Psc.Exec.array_real ~dims:[ (1, n) ] (fun ix -> float_of_int ix.(0)));
+      ("V0",
+       Psc.Exec.array_real ~dims:[ (1, n) ] (fun ix -> 0.5 +. (0.1 *. float_of_int ix.(0))));
+      ("N", Psc.Exec.scalar_int n);
+      ("steps", Psc.Exec.scalar_int steps) ]
+  in
+  let native () =
+    Array.init (n + 1) (fun p ->
+        if p = 0 then 0.0
+        else begin
+          let x = ref (float_of_int p) in
+          let v = ref (0.5 +. (0.1 *. float_of_int p)) in
+          for _t = 2 to steps do
+            let x' = !x +. (0.1 *. !v) in
+            let v' = !v *. 0.99 in
+            x := x';
+            v := v'
+          done;
+          !x
+        end)
+  in
+  [ t "particles equals the native integration" (fun () ->
+        let r = Util.run Ps_models.Models.particles inputs in
+        let out = List.assoc "XT" r.Psc.Exec.outputs in
+        let reference = native () in
+        for p = 1 to n do
+          Util.checkf ~eps:0.0
+            (Printf.sprintf "particle %d" p)
+            reference.(p)
+            (Psc.Exec.read_real out [| p |])
+        done);
+    t "windowed equals full allocation" (fun () ->
+        let r1 = Util.run ~use_windows:true Ps_models.Models.particles inputs in
+        let r2 = Util.run ~use_windows:false Ps_models.Models.particles inputs in
+        let d =
+          Util.max_diff
+            (List.assoc "XT" r1.Psc.Exec.outputs)
+            (List.assoc "XT" r2.Psc.Exec.outputs)
+            [ (1, n) ]
+        in
+        Alcotest.(check bool) "bit equal" true (d = 0.0);
+        Alcotest.(check int) "2 planes" (2 * n)
+          (List.assoc "S" r1.Psc.Exec.allocated));
+    t "parallel execution matches" (fun () ->
+        let r1 = Util.run Ps_models.Models.particles inputs in
+        let r2 =
+          Psc.Pool.with_pool 3 (fun pool ->
+              Util.run ~pool Ps_models.Models.particles inputs)
+        in
+        let d =
+          Util.max_diff
+            (List.assoc "XT" r1.Psc.Exec.outputs)
+            (List.assoc "XT" r2.Psc.Exec.outputs)
+            [ (1, n) ]
+        in
+        Alcotest.(check bool) "bit equal" true (d = 0.0));
+    t "scalar record defined per-field" (fun () ->
+        let src =
+          "T: module (a: real; b: real): [y: real]; type S = record x : real; \
+           v : real end; var s: S; define s.x = a + b; s.v = a - b; y = s.x * \
+           s.v; end T;"
+        in
+        let r =
+          Util.run src
+            [ ("a", Psc.Exec.scalar_real 3.0); ("b", Psc.Exec.scalar_real 1.5) ]
+        in
+        Util.checkf "y" ((3.0 +. 1.5) *. (3.0 -. 1.5)) (Util.output_real r "y" [||])) ]
+
+let () =
+  Alcotest.run "records"
+    [ ("parsing", parse_tests);
+      ("elaboration", elab_tests);
+      ("scheduling", schedule_tests);
+      ("execution", exec_tests) ]

@@ -1,0 +1,114 @@
+(* Single-assignment and coverage checking (symbolic, over linear forms). *)
+
+open Ps_sem
+
+let t name f = Alcotest.test_case name `Quick f
+
+let diags src =
+  Sa_check.check_program (Elab.elab_program (Ps_lang.Parser.program_of_string src))
+
+let errors src = Sa_check.errors (diags src)
+
+let warnings src =
+  List.filter (fun d -> d.Sa_check.d_severity = Sa_check.Wwarning) (diags src)
+
+let msg_mentions substring d = Util.contains d.Sa_check.d_msg substring
+
+let wrap ?(types = "") ?(vars = "") eqs =
+  Printf.sprintf
+    "T: module (x: real; N: int): [y: real];%s%s define %s end T;"
+    (if types = "" then "" else " type " ^ types)
+    (if vars = "" then "" else " var " ^ vars)
+    eqs
+
+let clean_tests =
+  [ t "Fig. 1 module is clean" (fun () ->
+        Alcotest.(check int) "no diags" 0 (List.length (diags Ps_models.Models.jacobi)));
+    t "every model is clean" (fun () ->
+        List.iter
+          (fun src -> Alcotest.(check int) "clean" 0 (List.length (errors src)))
+          [ Ps_models.Models.seidel; Ps_models.Models.heat1d;
+            Ps_models.Models.matmul; Ps_models.Models.binomial;
+            Ps_models.Models.prefix_sum; Ps_models.Models.two_module;
+            Ps_models.Models.classify; Ps_models.Models.skewed ]) ]
+
+let missing_tests =
+  [ t "undefined result is an error" (fun () ->
+        let es = errors (wrap "y = x;" |> fun s ->
+          String.concat "" [String.sub s 0 (String.length s)]) in
+        ignore es;
+        let es = errors (wrap ~vars:"z: real;" "y = x;") in
+        Alcotest.(check int) "one error" 1 (List.length es);
+        Alcotest.(check bool) "mentions never defined" true
+          (msg_mentions "never defined" (List.hd es)));
+    t "undefined local array is an error" (fun () ->
+        let es = errors (wrap ~vars:"A: array[1 .. 3] of real;" "y = A[1];") in
+        Alcotest.(check int) "one error" 1 (List.length es)) ]
+
+let overlap_tests =
+  [ t "double definition of a scalar" (fun () ->
+        let es = errors (wrap "y = x; y = x + 1.0;") in
+        Alcotest.(check int) "one error" 1 (List.length es);
+        Alcotest.(check bool) "mentions overlap" true
+          (msg_mentions "overlapping" (List.hd es)));
+    t "same fixed plane twice" (fun () ->
+        let es =
+          errors
+            (wrap ~vars:"A: array[1 .. 3] of real;" "A[1] = x; A[1] = x; y = A[1];")
+        in
+        Alcotest.(check bool) "error found" true (List.length es >= 1));
+    t "distinct constant planes are fine" (fun () ->
+        let ds =
+          diags
+            (wrap ~vars:"A: array[1 .. 3] of real;"
+               "A[1] = x; A[2] = x; A[3] = x; y = A[1];")
+        in
+        Alcotest.(check int) "clean" 0 (List.length ds));
+    t "point vs disjoint symbolic range is fine" (fun () ->
+        (* A[1] and A[K] with K = 2 .. N: provably disjoint. *)
+        let ds =
+          diags
+            (wrap ~types:"K = 2 .. N;" ~vars:"A: array[1 .. N] of real;"
+               "A[1] = x; A[K] = x; y = A[1];")
+        in
+        Alcotest.(check int) "clean" 0 (List.length ds));
+    t "possibly overlapping symbolic ranges warn" (fun () ->
+        (* K = 1 .. N overlaps the fixed plane 1. *)
+        let ws =
+          warnings
+            (wrap ~types:"K = 1 .. N;" ~vars:"A: array[1 .. N] of real;"
+               "A[1] = x; A[K] = x; y = A[1];")
+        in
+        Alcotest.(check bool) "warned" true (List.length ws >= 1)) ]
+
+let coverage_tests =
+  [ t "gap in a partition warns" (fun () ->
+        (* planes 1 and 3 .. N leave plane 2 undefined *)
+        let ws =
+          warnings
+            (wrap ~types:"K = 3 .. N;" ~vars:"A: array[1 .. N] of real;"
+               "A[1] = x; A[K] = x; y = A[1];")
+        in
+        Alcotest.(check bool) "warned about coverage" true
+          (List.exists (msg_mentions "cover") ws));
+    t "adjacent slices cover" (fun () ->
+        let ds =
+          diags
+            (wrap ~types:"K = 2 .. N;" ~vars:"A: array[1 .. N] of real;"
+               "A[1] = x; A[K] = x; y = A[1];")
+        in
+        Alcotest.(check int) "clean" 0 (List.length ds));
+    t "missing first plane warns" (fun () ->
+        let ws =
+          warnings
+            (wrap ~types:"K = 2 .. N;" ~vars:"A: array[1 .. N] of real;"
+               "A[K] = x; y = A[2];")
+        in
+        Alcotest.(check bool) "warned" true (List.exists (msg_mentions "cover") ws)) ]
+
+let () =
+  Alcotest.run "sa_check"
+    [ ("clean programs", clean_tests);
+      ("missing definitions", missing_tests);
+      ("overlap", overlap_tests);
+      ("coverage", coverage_tests) ]

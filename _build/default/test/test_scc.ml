@@ -1,0 +1,167 @@
+(* Strongly-connected-component tests: membership, topological order of
+   the condensation (a qcheck property over random graphs), and the
+   subgraph operations the scheduler relies on. *)
+
+open Ps_graph
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Build a synthetic subgraph over data nodes "n0".."n{k-1}" with the
+   given integer edges. *)
+let synth k edges =
+  let name i = Printf.sprintf "n%d" i in
+  let nodes = List.init k (fun i -> Dgraph.Data (name i)) in
+  let mk (a, b) =
+    { Dgraph.e_src = Dgraph.Data (name a);
+      e_dst = Dgraph.Data (name b);
+      e_kind = Dgraph.Bound;
+      e_subs = [||] }
+  in
+  { Scc.sg_nodes = nodes; sg_edges = List.map mk edges }
+
+let comp_sets sg =
+  List.map
+    (fun c ->
+      List.map
+        (function
+          | Dgraph.Data d -> d
+          | Dgraph.Eq i -> Printf.sprintf "eq.%d" (i + 1))
+        c.Scc.c_nodes
+      |> List.sort compare)
+    (Scc.components sg)
+
+let basic_tests =
+  [ t "singleton nodes, no edges" (fun () ->
+        Alcotest.(check int) "3 comps" 3 (List.length (comp_sets (synth 3 []))));
+    t "two-cycle merges" (fun () ->
+        let cs = comp_sets (synth 3 [ (0, 1); (1, 0) ]) in
+        Alcotest.(check bool) "n0 n1 together" true
+          (List.mem [ "n0"; "n1" ] cs));
+    t "self loop is a single-node scc" (fun () ->
+        let cs = comp_sets (synth 1 [ (0, 0) ]) in
+        Alcotest.(check int) "one comp" 1 (List.length cs));
+    t "chain respects topological order" (fun () ->
+        let cs = comp_sets (synth 4 [ (0, 1); (1, 2); (2, 3) ]) in
+        Alcotest.(check (list (list string))) "order"
+          [ [ "n0" ]; [ "n1" ]; [ "n2" ]; [ "n3" ] ]
+          cs);
+    t "large cycle merges fully" (fun () ->
+        let k = 20 in
+        let edges = List.init k (fun i -> (i, (i + 1) mod k)) in
+        let cs = comp_sets (synth k edges) in
+        Alcotest.(check int) "one comp" 1 (List.length cs);
+        Alcotest.(check int) "all nodes" k (List.length (List.hd cs)));
+    t "intra-component edges retained" (fun () ->
+        let sg = synth 3 [ (0, 1); (1, 0); (1, 2) ] in
+        let c01 =
+          List.find (fun c -> List.length c.Scc.c_nodes = 2) (Scc.components sg)
+        in
+        Alcotest.(check int) "two intra edges" 2 (List.length c01.Scc.c_edges)) ]
+
+let jacobi_tests =
+  [ t "Fig. 5 component membership" (fun () ->
+        let em =
+          List.hd
+            (Ps_sem.Elab.elab_program
+               (Ps_lang.Parser.program_of_string Ps_models.Models.jacobi))
+              .Ps_sem.Elab.ep_modules
+        in
+        let g = Build.build em in
+        let cs = comp_sets (Scc.full_subgraph g) in
+        Alcotest.(check int) "7 components" 7 (List.length cs);
+        (* The only multi-node MSCC is {A, eq.3}. *)
+        let multi = List.filter (fun c -> List.length c > 1) cs in
+        Alcotest.(check (list (list string))) "recursive component"
+          [ [ "A"; "eq.3" ] ]
+          (List.map (List.sort compare) multi));
+    t "producers precede consumers" (fun () ->
+        let em =
+          List.hd
+            (Ps_sem.Elab.elab_program
+               (Ps_lang.Parser.program_of_string Ps_models.Models.jacobi))
+              .Ps_sem.Elab.ep_modules
+        in
+        let g = Build.build em in
+        let cs = comp_sets (Scc.full_subgraph g) in
+        let pos name =
+          let rec go i = function
+            | [] -> -1
+            | c :: rest -> if List.mem name c then i else go (i + 1) rest
+          in
+          go 0 cs
+        in
+        Alcotest.(check bool) "InitialA before eq.1" true (pos "InitialA" < pos "eq.1");
+        Alcotest.(check bool) "eq.1 before eq.3" true (pos "eq.1" < pos "eq.3");
+        Alcotest.(check bool) "eq.3 before eq.2" true (pos "eq.3" < pos "eq.2");
+        Alcotest.(check bool) "eq.2 before newA" true (pos "eq.2" < pos "newA")) ]
+
+let subgraph_tests =
+  [ t "remove_edges splits a cycle" (fun () ->
+        let sg = synth 2 [ (0, 1); (1, 0) ] in
+        let back =
+          List.find
+            (fun e -> e.Dgraph.e_src = Dgraph.Data "n1")
+            sg.Scc.sg_edges
+        in
+        let sg' = Scc.remove_edges sg [ back ] in
+        Alcotest.(check int) "2 comps" 2 (List.length (comp_sets sg')));
+    t "restrict keeps only the given nodes" (fun () ->
+        let sg = synth 3 [ (0, 1); (1, 2) ] in
+        let keep = Dgraph.NodeSet.of_list [ Dgraph.Data "n0"; Dgraph.Data "n1" ] in
+        let sg' = Scc.restrict sg keep in
+        Alcotest.(check int) "2 nodes" 2 (List.length sg'.Scc.sg_nodes);
+        Alcotest.(check int) "1 edge" 1 (List.length sg'.Scc.sg_edges)) ]
+
+(* Property: on a random graph, the component order is a topological
+   order of the condensation. *)
+let topo_prop =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 12 in
+      let* edges = list_size (int_range 0 30) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) in
+      return (n, edges))
+  in
+  QCheck.Test.make ~count:300
+    ~name:"component order is topological"
+    (QCheck.make gen ~print:(fun (n, es) ->
+         Printf.sprintf "n=%d edges=%s" n
+           (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) es))))
+    (fun (n, edges) ->
+      let sg = synth n edges in
+      let cs = comp_sets sg in
+      let index_of name =
+        let rec go i = function
+          | [] -> -1
+          | c :: rest -> if List.mem name c then i else go (i + 1) rest
+        in
+        go 0 cs
+      in
+      List.for_all
+        (fun (a, b) ->
+          let ia = index_of (Printf.sprintf "n%d" a)
+          and ib = index_of (Printf.sprintf "n%d" b) in
+          ia <= ib)
+        edges)
+
+let partition_prop =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 10 in
+      let* edges = list_size (int_range 0 20) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) in
+      return (n, edges))
+  in
+  QCheck.Test.make ~count:300 ~name:"components partition the nodes"
+    (QCheck.make gen ~print:(fun (n, _) -> string_of_int n))
+    (fun (n, edges) ->
+      let sg = synth n edges in
+      let all = List.concat (comp_sets sg) in
+      List.length all = n && List.sort_uniq compare all = List.sort compare all)
+
+let () =
+  Alcotest.run "scc"
+    [ ("basic", basic_tests);
+      ("jacobi", jacobi_tests);
+      ("subgraphs", subgraph_tests);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest topo_prop;
+         QCheck_alcotest.to_alcotest partition_prop ]) ]
