@@ -1,0 +1,24 @@
+.PHONY: all build test fmt lint-examples clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Check dune-file formatting (no ocamlformat in the toolchain, so OCaml
+# sources are exempt).  `make fmt-fix` rewrites in place.
+fmt:
+	dune build @fmt
+
+fmt-fix:
+	dune build @fmt --auto-promote
+
+# Run psc lint over every PS example (also part of `dune runtest`).
+lint-examples: build
+	sh bin/lint_examples.sh _build/default/bin/psc_main.exe examples/ps
+
+clean:
+	dune clean

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Run `psc lint` over every PS example, and verify each example's
+# schedule against its dependency graph (translation validation) under
+# the full pass pipeline.  Exits non-zero if any example produces an
+# error-severity diagnostic or fails verification (warnings are
+# reported but do not fail the run).  Also wired into `dune runtest`
+# via examples/ps/dune.
+#
+# Usage: lint_examples.sh [PSC_EXE] [EXAMPLES_DIR]
+set -eu
+psc=${1:-_build/default/bin/psc_main.exe}
+dir=${2:-examples/ps}
+status=0
+for f in "$dir"/*.ps; do
+  echo "== psc lint $f"
+  "$psc" lint "$f" || status=1
+  echo "== psc schedule --verify-schedule --sink --fuse --trim $f"
+  "$psc" schedule --verify-schedule --sink --fuse --trim "$f" \
+    > /dev/null || status=1
+done
+exit $status

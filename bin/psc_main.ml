@@ -9,10 +9,14 @@ open Cmdliner
 let read_source file =
   if String.equal file "-" then In_channel.input_all In_channel.stdin
   else (
-    let ic = open_in_bin file in
-    let s = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    s)
+    try
+      let ic = open_in_bin file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error m ->
+      Fmt.epr "psc: %s@." m;
+      exit 1)
 
 let load file =
   try Psc.load_string (read_source file)
@@ -22,10 +26,36 @@ let load file =
 
 let handle f = try f () with Psc.Error m -> Fmt.epr "psc: %s@." m; exit 1
 
-let print_warnings t =
-  List.iter
-    (fun d -> Fmt.epr "%a@." Psc.Sa_check.pp_diagnostic d)
-    (Psc.warnings t)
+(* Every subcommand prints diagnostics through this one helper, so text
+   and JSON renderings are uniform across check, lint, and the schedule
+   verifier.  In JSON mode an empty report still prints "[]". *)
+let report ?(format = Psc.Diag.Text) out diags =
+  match Psc.Diag.render format diags with
+  | "" -> ()
+  | s -> Fmt.pf out "%s@." s
+
+let print_warnings t = report Fmt.stderr (Psc.warnings t)
+
+(* Re-derive the legality of a schedule from the dependency graph and
+   abort on any violation (--verify-schedule). *)
+let verify_schedule sc =
+  let diags = Psc.verify sc in
+  report Fmt.stderr diags;
+  if Psc.Diag.errors diags <> [] then begin
+    Fmt.epr "psc: schedule verification failed: %s@." (Psc.Diag.summary diags);
+    exit 1
+  end
+  else Fmt.epr "psc: schedule verified@."
+
+let verify_transform tr =
+  let diags = Psc.Verify.transform tr in
+  report Fmt.stderr diags;
+  if Psc.Diag.errors diags <> [] then begin
+    Fmt.epr "psc: hyperplane verification failed: %s@."
+      (Psc.Diag.summary diags);
+    exit 1
+  end
+  else Fmt.epr "psc: hyperplane derivation verified@."
 
 (* Common arguments *)
 
@@ -55,6 +85,22 @@ let trim_arg =
   in
   Arg.(value & flag & info [ "trim" ] ~doc)
 
+let verify_arg =
+  let doc =
+    "After scheduling, re-derive the legality of the flowchart and its \
+     storage windows from the dependency graph (translation validation) \
+     and fail on any violation."
+  in
+  Arg.(value & flag & info [ "verify-schedule" ] ~doc)
+
+let json_arg =
+  let doc = "Render diagnostics as a JSON array instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let werror_arg =
+  let doc = "Exit non-zero if any warning is reported." in
+  Arg.(value & flag & info [ "werror" ] ~doc)
+
 (* ------------------------------------------------------------------ *)
 
 let parse_cmd =
@@ -69,23 +115,43 @@ let parse_cmd =
     Term.(const run $ file_arg)
 
 let check_cmd =
-  let run file =
+  let run file json werror =
     handle (fun () ->
-        let t = load file in
-        List.iter
-          (fun d -> Fmt.pr "%a@." Psc.Sa_check.pp_diagnostic d)
-          t.Psc.diagnostics;
-        List.iter
-          (fun name ->
-            let em = Psc.find_module t name in
-            Fmt.pr "module %s: %d equations, %d locals@." name
-              (List.length em.Psc.Elab.em_eqs)
-              (List.length em.Psc.Elab.em_locals))
-          (Psc.modules t))
+        let t = Psc.load_string_lenient (read_source file) in
+        let format = if json then Psc.Diag.Json else Psc.Diag.Text in
+        report ~format Fmt.stdout t.Psc.diagnostics;
+        if not json then
+          List.iter
+            (fun name ->
+              let em = Psc.find_module t name in
+              Fmt.pr "module %s: %d equations, %d locals@." name
+                (List.length em.Psc.Elab.em_eqs)
+                (List.length em.Psc.Elab.em_locals))
+            (Psc.modules t);
+        exit (Psc.Diag.exit_code ~werror t.Psc.diagnostics))
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Elaborate and type-check a PS program.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ json_arg $ werror_arg)
+
+let lint_cmd =
+  let run file json werror =
+    handle (fun () ->
+        let t = Psc.load_string_lenient (read_source file) in
+        let diags = Psc.lint t in
+        let format = if json then Psc.Diag.Json else Psc.Diag.Text in
+        report ~format Fmt.stdout diags;
+        if (not json) && diags <> [] then
+          Fmt.pr "%s@." (Psc.Diag.summary diags);
+        exit (Psc.Diag.exit_code ~werror diags))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run every static lint: single-assignment analysis, unused data \
+          and dead equations, symbolically out-of-bounds subscripts, and \
+          virtualization failures.")
+    Term.(const run $ file_arg $ json_arg $ werror_arg)
 
 let graph_cmd =
   let dot =
@@ -107,11 +173,12 @@ let schedule_cmd =
   let compact =
     Arg.(value & flag & info [ "compact" ] ~doc:"One-line flowchart format.")
   in
-  let run file name sink fuse trim compact =
+  let run file name sink fuse trim compact verify =
     handle (fun () ->
         let t = load file in
         let em = Psc.the_module ?name t in
         let sc = Psc.schedule ~sink ~fuse ~trim em in
+        if verify then verify_schedule sc;
         Fmt.pr "Components (Fig. 5):@.%s@.@." (Psc.components_string sc);
         Fmt.pr "Flowchart (Fig. 6/7):@.%s@.@."
           (Psc.flowchart_string ~tree:(not compact) sc);
@@ -122,7 +189,8 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule"
        ~doc:"Schedule a module: components, flowchart, storage windows.")
-    Term.(const run $ file_arg $ module_arg $ sink_arg $ fuse_arg $ trim_arg $ compact)
+    Term.(const run $ file_arg $ module_arg $ sink_arg $ fuse_arg $ trim_arg
+          $ compact $ verify_arg)
 
 let transform_cmd =
   let target =
@@ -132,15 +200,17 @@ let transform_cmd =
       & info [ "target" ] ~docv:"ARRAY"
           ~doc:"Recursively defined local array to transform.")
   in
-  let run file name target =
+  let run file name target verify =
     handle (fun () ->
         let t = load file in
         let t', tr = Psc.hyperplane ?name ~target t in
+        if verify then verify_transform tr;
         print_endline (Psc.Transform.derivation_to_string tr);
         Fmt.pr "@.Transformed module:@.";
         print_endline (Psc.Pretty.module_to_string tr.Psc.Transform.tr_module);
         let em = Psc.find_module t' tr.Psc.Transform.tr_module.Psc.Ast.m_name in
         let sc = Psc.schedule ~sink:true em in
+        if verify then verify_schedule sc;
         Fmt.pr "@.Schedule after transformation:@.%s@."
           (Psc.flowchart_string sc);
         Fmt.pr "@.Storage windows:@.%s@." (Psc.windows_string sc))
@@ -148,7 +218,7 @@ let transform_cmd =
   Cmd.v
     (Cmd.info "transform"
        ~doc:"Apply the hyperplane restructuring transformation (paper sec. 4).")
-    Term.(const run $ file_arg $ module_arg $ target)
+    Term.(const run $ file_arg $ module_arg $ target $ verify_arg)
 
 let scalar_assoc =
   let parse s =
@@ -179,15 +249,18 @@ let emit_c_cmd =
           ~doc:"Also emit a main() harness that fills inputs and prints checksums \
                 (requires every scalar input via --input).")
   in
-  let run file name sink main inputs =
+  let run file name sink main inputs verify =
     handle (fun () ->
         let t = load file in
+        if verify then
+          verify_schedule (Psc.schedule ~sink (Psc.the_module ?name t));
         if main then print_string (Psc.emit_c_main ?name ~sink ~scalars:inputs t)
         else print_string (Psc.emit_c ?name ~sink t))
   in
   Cmd.v
     (Cmd.info "emit-c" ~doc:"Generate C code for a module.")
-    Term.(const run $ file_arg $ module_arg $ sink_arg $ main $ inputs_arg)
+    Term.(const run $ file_arg $ module_arg $ sink_arg $ main $ inputs_arg
+          $ verify_arg)
 
 (* Fill array inputs with the shared deterministic generator. *)
 let default_inputs _t em (scalars : (string * int) list) =
@@ -244,10 +317,11 @@ let run_cmd =
   let no_windows =
     Arg.(value & flag & info [ "no-windows" ] ~doc:"Disable virtual-dimension storage windows.")
   in
-  let run file name sink fuse trim inputs par no_windows =
+  let run file name sink fuse trim inputs par no_windows verify =
     handle (fun () ->
         let t = load file in
         let em = Psc.the_module ?name t in
+        if verify then verify_schedule (Psc.schedule ~sink ~fuse ~trim em);
         let ins = default_inputs t em inputs in
         let exec pool =
           Psc.run ?name ~sink ~fuse ~trim ~use_windows:(not no_windows) ?pool t
@@ -288,7 +362,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Schedule and execute a module on the interpreter substrate.")
     Term.(const run $ file_arg $ module_arg $ sink_arg $ fuse_arg $ trim_arg
-          $ inputs_arg $ par $ no_windows)
+          $ inputs_arg $ par $ no_windows $ verify_arg)
 
 let eqn_cmd =
   let ps_only =
@@ -374,7 +448,7 @@ let main_cmd =
   let doc = "compiler for the PS nonprocedural dataflow language" in
   Cmd.group
     (Cmd.info "psc" ~version:"1.0.0" ~doc)
-    [ parse_cmd; check_cmd; graph_cmd; schedule_cmd; transform_cmd; emit_c_cmd;
-      run_cmd; analyze_cmd; eqn_cmd; demo_cmd ]
+    [ parse_cmd; check_cmd; lint_cmd; graph_cmd; schedule_cmd; transform_cmd;
+      emit_c_cmd; run_cmd; analyze_cmd; eqn_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

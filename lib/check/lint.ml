@@ -1,0 +1,411 @@
+(* Lints: unused data, dead equations, out-of-bounds subscripts, and
+   virtualization failures.
+
+   The out-of-bounds check is the only symbolic one.  A subscript is
+   reported exactly when the lint can *prove* some iteration escapes the
+   declared bounds: each index variable contributes its extreme bound by
+   the sign of its coefficient, and the resulting worst case is compared
+   against the dimension's bounds with a Farkas certificate under the
+   module's subrange non-emptiness facts.  Guards refine the ranges —
+   the paper's Relaxation module reads A[K,I,J-1] legally only because
+   the else branch of "J = 0 or ..." implies J >= 1, so the lint tracks
+   equality and comparison tests against (provable) range boundaries
+   through if expressions. *)
+
+module Diag = Ps_diag.Diag
+module Ast = Ps_lang.Ast
+open Ps_sem
+open Ps_graph
+open Ps_graph.Dgraph
+module Schedule = Ps_sched.Schedule
+module Label = Ps_graph.Label
+
+(* ------------------------------------------------------------------ *)
+(* Unused data and dead equations. *)
+
+let usage (g : Dgraph.t) : Diag.t list =
+  let em = g.g_module in
+  let read = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match e.e_kind, e.e_src with
+      | (Use | Bound), Data d -> Hashtbl.replace read d ()
+      | _ -> ())
+    (Dgraph.edges g);
+  let unused_name n = not (Hashtbl.mem read n) in
+  let unused =
+    List.filter_map
+      (fun (d : Elab.data) ->
+        if unused_name d.Elab.d_name then
+          Some
+            (Diag.diag Diag.Unused_data d.Elab.d_loc
+               "%s is never used (module %s)" d.Elab.d_name em.Elab.em_name)
+        else None)
+      (em.Elab.em_params @ em.Elab.em_locals)
+  in
+  let dead =
+    List.filter_map
+      (fun (q : Elab.eq) ->
+        let only_unused_locals =
+          q.Elab.q_defs <> []
+          && List.for_all
+               (fun (df : Elab.def) ->
+                 match Elab.find_data em df.Elab.df_data with
+                 | Some d ->
+                   d.Elab.d_kind = Elab.Local && unused_name d.Elab.d_name
+                 | None -> false)
+               q.Elab.q_defs
+        in
+        if only_unused_locals then
+          Some
+            (Diag.diag Diag.Dead_equation q.Elab.q_loc
+               "%s defines only %s, which nothing reads" q.Elab.q_name
+               (String.concat ", "
+                  (List.map (fun df -> df.Elab.df_data) q.Elab.q_defs)))
+        else None)
+      em.Elab.em_eqs
+  in
+  unused @ dead
+
+(* ------------------------------------------------------------------ *)
+(* Out-of-bounds subscripts. *)
+
+type bound = { b_lo : Linexpr.t; b_hi : Linexpr.t }
+
+(* Refine the tracked index ranges through one guard, in the given
+   polarity.  Refinements must only *tighten* a range (otherwise the
+   worst case could be overestimated and a legal read reported), so a
+   comparison bound is adopted only when it is provably inside the
+   current one, and a disequality shaves an endpoint only when it
+   provably equals it. *)
+let rec refine (env : (string * bound) list) (c : Ast.expr) (polarity : bool) =
+  let tighten v f =
+    match List.assoc_opt v env with
+    | None -> env
+    | Some b -> (v, f b) :: List.remove_assoc v env
+  in
+  let shave_ne v (x : Linexpr.t) =
+    tighten v (fun b ->
+        if Linexpr.diff_const x b.b_lo = Some 0 then
+          { b with b_lo = Linexpr.add_const 1 b.b_lo }
+        else if Linexpr.diff_const x b.b_hi = Some 0 then
+          { b with b_hi = Linexpr.add_const (-1) b.b_hi }
+        else b)
+  in
+  let clamp_hi v (x : Linexpr.t) =
+    tighten v (fun b ->
+        match Linexpr.diff_const b.b_hi x with
+        | Some d when d >= 0 -> { b with b_hi = x }
+        | _ -> b)
+  in
+  let clamp_lo v (x : Linexpr.t) =
+    tighten v (fun b ->
+        match Linexpr.diff_const x b.b_lo with
+        | Some d when d >= 0 -> { b with b_lo = x }
+        | _ -> b)
+  in
+  let as_var_cmp a b =
+    match (a : Ast.expr).Ast.e with
+    | Ast.Var v when List.mem_assoc v env -> (
+      match Linexpr.of_expr b with
+      | Some x when not (List.mem_assoc v x.Linexpr.terms) -> Some (v, x)
+      | _ -> None)
+    | _ -> None
+  in
+  match c.Ast.e with
+  | Ast.Unop (Ast.Not, a) -> refine env a (not polarity)
+  | Ast.Binop (Ast.And, a, b) when polarity -> refine (refine env a true) b true
+  | Ast.Binop (Ast.Or, a, b) when not polarity ->
+    refine (refine env a false) b false
+  | Ast.Binop (((Ast.Eq | Ast.Ne) as op), a, b) -> (
+    let eq_holds = (op = Ast.Eq) = polarity in
+    match as_var_cmp a b, as_var_cmp b a with
+    | Some (v, x), _ | None, Some (v, x) ->
+      if eq_holds then tighten v (fun _ -> { b_lo = x; b_hi = x })
+      else shave_ne v x
+    | None, None -> env)
+  | Ast.Binop (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), a, b) -> (
+    (* Normalize to [v OP x] with the variable on the left. *)
+    let flipped =
+      match op with
+      | Ast.Lt -> Ast.Gt
+      | Ast.Le -> Ast.Ge
+      | Ast.Gt -> Ast.Lt
+      | Ast.Ge -> Ast.Le
+      | _ -> op
+    in
+    let negated = function
+      | Ast.Lt -> Ast.Ge
+      | Ast.Le -> Ast.Gt
+      | Ast.Gt -> Ast.Le
+      | Ast.Ge -> Ast.Lt
+      | op -> op
+    in
+    match as_var_cmp a b, as_var_cmp b a with
+    | None, None -> env
+    | cmp, cmp_flipped ->
+      let v, x, op =
+        match cmp, cmp_flipped with
+        | Some (v, x), _ -> (v, x, op)
+        | None, Some (v, x) -> (v, x, flipped)
+        | None, None -> assert false
+      in
+      let op = if polarity then op else negated op in
+      (match op with
+       | Ast.Le -> clamp_hi v x
+       | Ast.Lt -> clamp_hi v (Linexpr.add_const (-1) x)
+       | Ast.Ge -> clamp_lo v x
+       | Ast.Gt -> clamp_lo v (Linexpr.add_const 1 x)
+       | _ -> env))
+  | _ -> env
+
+(* Worst-case value of a linear subscript over the tracked ranges:
+   each tracked variable contributes the endpoint selected by the sign
+   of its coefficient; other variables stay symbolic. *)
+let extreme ~(hi : bool) (env : (string * bound) list) (l : Linexpr.t) =
+  List.fold_left
+    (fun acc (v, c) ->
+      let term =
+        match List.assoc_opt v env with
+        | Some b ->
+          if (c > 0) = hi then Linexpr.scale c b.b_hi
+          else Linexpr.scale c b.b_lo
+        | None -> Linexpr.scale c (Linexpr.of_var v)
+      in
+      Linexpr.add acc term)
+    (Linexpr.of_int l.Linexpr.const)
+    l.Linexpr.terms
+
+let subscripts (em : Elab.emodule) : Diag.t list =
+  let facts = Sa_check.range_facts em in
+  let is_data n = Elab.find_data em n <> None in
+  let diags = ref [] in
+  let check_ref (q : Elab.eq) env name (subs : Ast.expr list) =
+    let dims = Stypes.dims (Elab.data_exn em name).Elab.d_ty in
+    List.iteri
+      (fun i sub ->
+        match List.nth_opt dims i with
+        | None -> ()
+        | Some (sr : Stypes.subrange) -> (
+          match
+            ( Linexpr.of_expr sub,
+              Linexpr.of_expr sr.Stypes.sr_lo,
+              Linexpr.of_expr sr.Stypes.sr_hi )
+          with
+          | Some l, Some dlo, Some dhi ->
+            let prove g = Linexpr.prove_nonneg ~assumptions:facts g in
+            let too_high =
+              (* max(sub) >= hi + 1 for some iteration *)
+              prove
+                (Linexpr.add_const (-1) (Linexpr.sub (extreme ~hi:true env l) dhi))
+            in
+            let too_low =
+              prove
+                (Linexpr.add_const (-1) (Linexpr.sub dlo (extreme ~hi:false env l)))
+            in
+            if too_high || too_low then
+              diags :=
+                Diag.diag Diag.Out_of_bounds q.Elab.q_loc
+                  "subscript %d of %s in %s (%s) can %s the declared range \
+                   %s .. %s"
+                  (i + 1) name q.Elab.q_name
+                  (Ps_lang.Pretty.expr_to_string sub)
+                  (if too_high then "exceed" else "fall below")
+                  (Ps_lang.Pretty.expr_to_string sr.Stypes.sr_lo)
+                  (Ps_lang.Pretty.expr_to_string sr.Stypes.sr_hi)
+                :: !diags
+          | _ -> ()))
+      subs
+  in
+  let rec walk q env (e : Ast.expr) =
+    match e.Ast.e with
+    | Ast.Int _ | Ast.Real _ | Ast.Bool _ | Ast.Var _ -> ()
+    | Ast.Index ({ Ast.e = Ast.Var x; _ }, subs) when is_data x ->
+      check_ref q env x subs;
+      List.iter (walk q env) subs
+    | Ast.Index (b, subs) ->
+      walk q env b;
+      List.iter (walk q env) subs
+    | Ast.Field (b, _) -> walk q env b
+    | Ast.Call (_, args) -> List.iter (walk q env) args
+    | Ast.Unop (_, a) -> walk q env a
+    | Ast.Binop (_, a, b) ->
+      walk q env a;
+      walk q env b
+    | Ast.If (c, t, f) ->
+      walk q env c;
+      walk q (refine env c true) t;
+      walk q (refine env c false) f
+  in
+  List.iter
+    (fun (q : Elab.eq) ->
+      let env =
+        List.filter_map
+          (fun (ix : Elab.index) ->
+            match
+              ( Linexpr.of_expr ix.Elab.ix_range.Stypes.sr_lo,
+                Linexpr.of_expr ix.Elab.ix_range.Stypes.sr_hi )
+            with
+            | Some b_lo, Some b_hi -> Some (ix.Elab.ix_var, { b_lo; b_hi })
+            | _ -> None)
+          q.Elab.q_indices
+      in
+      walk q env q.Elab.q_rhs)
+    em.Elab.em_eqs;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Virtualization failures (§3.4), with the failing rule. *)
+
+let virtualization (r : Schedule.result) : Diag.t list =
+  let g = r.Schedule.r_graph in
+  let em = g.g_module in
+  (* The outermost MSCC each node landed in, by display name. *)
+  let component_of =
+    let tbl = Hashtbl.create 16 in
+    List.iteri
+      (fun i (ct : Schedule.component_trace) ->
+        List.iter (fun n -> Hashtbl.replace tbl n i) ct.Schedule.ct_nodes)
+      r.Schedule.r_components;
+    fun name -> Hashtbl.find_opt tbl name
+  in
+  let windowed d p =
+    List.exists
+      (fun (w : Schedule.window) ->
+        String.equal w.Schedule.w_data d && w.Schedule.w_dim = p)
+      r.Schedule.r_windows
+  in
+  let windowed_elsewhere d p =
+    List.exists
+      (fun (w : Schedule.window) ->
+        String.equal w.Schedule.w_data d && w.Schedule.w_dim <> p)
+      r.Schedule.r_windows
+  in
+  let diags = ref [] in
+  List.iter
+    (fun (d : Elab.data) ->
+      if d.Elab.d_kind = Elab.Local then begin
+        let name = d.Elab.d_name in
+        let defines_d q =
+          List.exists
+            (fun e ->
+              match e.e_kind, e.e_src, e.e_dst with
+              | Def, Eq q', Data n -> q' = q && String.equal n name
+              | _ -> false)
+            (Dgraph.edges g)
+        in
+        let uses =
+          List.filter
+            (fun e ->
+              match e.e_kind, e.e_src with
+              | Use, Data n -> String.equal n name
+              | _ -> false)
+            (Dgraph.edges g)
+        in
+        let ndims = List.length (Stypes.dims d.Elab.d_ty) in
+        for p = 0 to ndims - 1 do
+          (* Dimension [p] is a virtualization candidate when some
+             self-dependence is carried exactly there: a negative offset
+             at [p] with identity subscripts on every outer dimension
+             (an outer-carried dependence leaves [p] a plain spatial
+             dimension that must stay fully allocated). *)
+          let identity_before e =
+            let ok = ref true in
+            for k = 0 to p - 1 do
+              (match e.e_subs.(k) with
+               | Label.Affine { offset = 0; _ } -> ()
+               | _ -> ok := false)
+            done;
+            !ok
+          in
+          let recursive =
+            List.exists
+              (fun e ->
+                match e.e_dst with
+                | Eq q when defines_d q -> (
+                  Array.length e.e_subs > p
+                  && identity_before e
+                  &&
+                  match e.e_subs.(p) with
+                  | Label.Affine { offset; _ } -> offset < 0
+                  | _ -> false)
+                | _ -> false)
+              uses
+          in
+          if recursive && not (windowed name p) then begin
+            let inside e =
+              match e.e_dst with
+              | Eq q -> (
+                match
+                  ( component_of (Dgraph.node_name g (Eq q)),
+                    component_of name )
+                with
+                | Some a, Some b -> a = b
+                | _ -> false)
+              | Data _ -> false
+            in
+            let reason =
+              List.find_map
+                (fun e ->
+                  if Array.length e.e_subs <= p then None
+                  else
+                    match e.e_subs.(p), inside e with
+                    | Label.Affine { offset; _ }, true when offset > 0 ->
+                      Some
+                        (Printf.sprintf
+                           "a forward reference (class \"%s\") needs a plane \
+                            not yet computed"
+                           (Label.class_name e.e_subs.(p)))
+                    | (Label.Slice | Label.Opaque | Label.Const_low), true ->
+                      Some
+                        (Printf.sprintf
+                           "a reference of class \"%s\" inside its component \
+                            is not a window access"
+                           (Label.class_name e.e_subs.(p)))
+                    | (Label.Affine _ | Label.Slice | Label.Opaque
+                      | Label.Const_low), false ->
+                      Some
+                        (Printf.sprintf
+                           "it is read outside its component at other than \
+                            the final plane (class \"%s\")"
+                           (Label.class_name e.e_subs.(p)))
+                    | _ -> None)
+                uses
+            in
+            match reason with
+            | Some why ->
+              diags :=
+                Diag.diag Diag.No_virtualization d.Elab.d_loc
+                  "dimension %d of %s is recursively indexed but stays fully \
+                   allocated: %s"
+                  (p + 1) name why
+                :: !diags
+            | None ->
+              if windowed_elsewhere name p then
+                diags :=
+                  Diag.diag Diag.No_virtualization d.Elab.d_loc
+                    "dimension %d of %s stays fully allocated: the \
+                     at-most-one-window rule keeps only the outermost \
+                     scheduled dimension virtual"
+                    (p + 1) name
+                  :: !diags
+          end
+        done
+      end)
+    em.Elab.em_locals;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+
+let module_ (em : Elab.emodule) : Diag.t list =
+  let g = Ps_graph.Build.build em in
+  let sched =
+    try virtualization (Schedule.schedule_graph_of g)
+    with Schedule.Unschedulable { reason; component } ->
+      [ Diag.diag Diag.Unschedulable em.Elab.em_ast.Ast.m_loc
+          "module %s cannot be scheduled: %s (component {%s}); the \
+           hyperplane transformation of sec. 4 may apply"
+          em.Elab.em_name reason
+          (String.concat ", " component) ]
+  in
+  usage g @ subscripts em @ sched

@@ -1,0 +1,33 @@
+(** Static lints over a module and its dependency graph.
+
+    Reported through {!Ps_diag.Diag} with stable codes:
+
+    - [W110] a data item (parameter or local) is never read;
+    - [W111] an equation feeds only unused data;
+    - [E020] a subscript provably escapes the declared bounds of a
+      dimension for some iteration — decided symbolically with
+      {!Ps_sem.Linexpr}, refining index ranges through [if] guards such
+      as the boundary tests of the paper's Relaxation module;
+    - [W112] a recursively indexed dimension stays fully allocated, with
+      the reason virtualization (paper §3.4) fails — a forward
+      reference, a non-affine subscript, an outside read of other than
+      the final plane, or the at-most-one-window rule;
+    - [W113] the basic scheduling algorithm cannot order the module (the
+      hyperplane transformation of §4 may apply).
+
+    All lints are advisory except [E020]; none alter the pipeline. *)
+
+val usage : Ps_graph.Dgraph.t -> Ps_diag.Diag.t list
+(** Unused data items ([W110]) and dead equations ([W111]). *)
+
+val subscripts : Ps_sem.Elab.emodule -> Ps_diag.Diag.t list
+(** Symbolically out-of-bounds subscripts ([E020]). *)
+
+val virtualization : Ps_sched.Schedule.result -> Ps_diag.Diag.t list
+(** Recursively indexed dimensions that fail virtualization, with the
+    failing §3.4 rule ([W112]). *)
+
+val module_ : Ps_sem.Elab.emodule -> Ps_diag.Diag.t list
+(** Every lint over one module: builds the graph, and schedules the
+    module for the virtualization lint — an unschedulable module yields
+    [W113] instead of failing. *)

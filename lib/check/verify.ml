@@ -1,0 +1,386 @@
+(* Independent re-derivation of schedule legality from the dependency
+   graph (paper §3.3-§4).
+
+   The verifier never inspects how a flowchart was produced.  It walks
+   the descriptor tree once to learn, for every equation occurrence, its
+   emission position and enclosing binders; then, for every (definition
+   edge, use edge) pair of every data item, it computes the dependence
+   distance level by level down the shared loop nest and applies the
+   classical legality rules: the first nonzero distance must be positive
+   and must land on an iterative loop; a dependence no loop carries must
+   be satisfied by emission order.
+
+   Conservatism: a distance the labels cannot decide (an opaque or
+   sliced subscript in a shared dimension) is a verification failure,
+   not a pass — except under a SOLVE descriptor, whose producing pass
+   (Sink) discharges exactly that obligation symbolically before
+   emitting it. *)
+
+module Diag = Ps_diag.Diag
+module Loc = Ps_lang.Loc
+open Ps_sem
+open Ps_graph
+open Ps_graph.Dgraph
+module Fc = Ps_sched.Flowchart
+module Schedule = Ps_sched.Schedule
+module Label = Ps_graph.Label
+
+(* ------------------------------------------------------------------ *)
+(* Equation occurrences in a flowchart. *)
+
+type occ = {
+  oc_seq : int;                         (* emission order *)
+  oc_binders : Fc.binder list;          (* outermost first *)
+  oc_aliases : (string * string) list;  (* eq index var -> loop var *)
+}
+
+let occs_of fc =
+  let tbl : (int, occ list) Hashtbl.t = Hashtbl.create 32 in
+  Fc.iter_eqs
+    (fun ~binders ~seq er ->
+      let o =
+        { oc_seq = seq; oc_binders = binders; oc_aliases = er.Fc.er_aliases }
+      in
+      let prev = try Hashtbl.find tbl er.Fc.er_id with Not_found -> [] in
+      Hashtbl.replace tbl er.Fc.er_id (prev @ [ o ]))
+    fc;
+  tbl
+
+let under_solve o =
+  List.exists (function Fc.B_solve _ -> true | Fc.B_loop _ -> false) o.oc_binders
+
+let resolve aliases v = Option.value (List.assoc_opt v aliases) ~default:v
+
+(* Two binder occurrences are the same loop instance exactly when they
+   are the same descriptor record: the traversal hands each loop's body
+   the one record built for it. *)
+let same_binder a b =
+  match a, b with
+  | Fc.B_loop l1, Fc.B_loop l2 -> l1 == l2
+  | Fc.B_solve s1, Fc.B_solve s2 -> s1 == s2
+  | _ -> false
+
+let rec shared_binders bs1 bs2 =
+  match bs1, bs2 with
+  | b1 :: r1, b2 :: r2 when same_binder b1 b2 -> b1 :: shared_binders r1 r2
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Dependence distance along one loop variable.
+
+   The producer writes d[... vd + od ...] and the consumer reads
+   d[... vu + ou ...] in the dimension(s) the loop controls; equal
+   elements mean the consumed value was produced [od - ou] iterations
+   earlier.  [Unrelated] when the loop controls no dimension of the
+   definition (e.g. a fixed boundary plane); [Unknown] when a label is
+   not affine in the loop variable. *)
+
+type dist = Unrelated | Known of int | Unknown
+
+let distance ~(def : edge) ~def_aliases ~(use : edge) ~use_aliases lv =
+  let found = ref [] in
+  Array.iteri
+    (fun p sub ->
+      match sub with
+      | Label.Affine { var = vd; offset = od; _ }
+        when String.equal (resolve def_aliases vd) lv ->
+        let d =
+          if p >= Array.length use.e_subs then Unknown
+          else
+            match use.e_subs.(p) with
+            | Label.Affine { var = vu; offset = ou; _ }
+              when String.equal (resolve use_aliases vu) lv ->
+              Known (od - ou)
+            | _ -> Unknown
+        in
+        found := d :: !found
+      | _ -> ())
+    def.e_subs;
+  match !found with
+  | [] -> Unrelated
+  | l ->
+    if List.exists (function Unknown -> true | _ -> false) l then Unknown
+    else (
+      match List.sort_uniq compare l with [ d ] -> d | _ -> Unknown)
+
+(* ------------------------------------------------------------------ *)
+
+let flowchart ?(windows = []) (g : Dgraph.t) (fc : Fc.t) : Diag.t list =
+  let em = g.g_module in
+  let diags = ref [] in
+  let report d = diags := d :: !diags in
+  let occs = occs_of fc in
+  let occ_of id =
+    match Hashtbl.find_opt occs id with Some (o :: _) -> Some o | _ -> None
+  in
+  let eq_name id =
+    match Elab.find_eq em id with Some q -> q.Elab.q_name | None -> Fmt.str "eq.%d" (id + 1)
+  in
+  let eq_loc id =
+    match Elab.find_eq em id with Some q -> q.Elab.q_loc | None -> Loc.dummy
+  in
+  (* --- structural coverage ------------------------------------------ *)
+  (* Ids appearing in the flowchart must name equations of the module. *)
+  Hashtbl.iter
+    (fun id os ->
+      (match Elab.find_eq em id with
+       | None ->
+         report
+           (Diag.diag Diag.Missing_equation Loc.dummy
+              "the flowchart mentions eq.%d, which the module does not define"
+              (id + 1))
+       | Some _ -> ());
+      if List.length os > 1 then
+        report
+          (Diag.diag Diag.Duplicate_equation (eq_loc id)
+             "%s appears %d times in the flowchart (single assignment emits \
+              each equation once)"
+             (eq_name id) (List.length os)))
+    occs;
+  List.iter
+    (fun (q : Elab.eq) ->
+      match occ_of q.Elab.q_id with
+      | None ->
+        report
+          (Diag.diag Diag.Missing_equation q.Elab.q_loc
+             "%s is missing from the flowchart" q.Elab.q_name)
+      | Some o ->
+        (* Every index variable must be bound by an enclosing binder. *)
+        let bound = List.map Fc.binder_var o.oc_binders in
+        List.iter
+          (fun (ix : Elab.index) ->
+            let lv = resolve o.oc_aliases ix.Elab.ix_var in
+            if not (List.mem lv bound) then
+              report
+                (Diag.diag Diag.Unbound_index q.Elab.q_loc
+                   "index %s of %s is bound by no enclosing loop" ix.Elab.ix_var
+                   q.Elab.q_name))
+          q.Elab.q_indices)
+    em.Elab.em_eqs;
+  (* --- dependence legality ------------------------------------------ *)
+  let def_edges_of =
+    let tbl : (string, edge) Hashtbl.t = Hashtbl.create 32 in
+    List.iter
+      (fun e ->
+        match e.e_kind, e.e_dst with
+        | Def, Data d -> Hashtbl.add tbl d e
+        | _ -> ())
+      (Dgraph.edges g);
+    fun d -> Hashtbl.find_all tbl d
+  in
+  let check_pair ~(def : edge) ~(use : edge) ~data =
+    match def.e_src, use.e_dst with
+    | Eq producer, Eq consumer -> (
+      match occ_of producer, occ_of consumer with
+      | Some po, Some co ->
+        let loc = eq_loc consumer in
+        let pname = eq_name producer and cname = eq_name consumer in
+        let shared = shared_binders po.oc_binders co.oc_binders in
+        (* Scan the shared nest outermost-in until the dependence is
+           carried, violated, or exhausted. *)
+        let rec scan = function
+          | [] ->
+            (* Carried by no loop: emission order must satisfy it. *)
+            if po.oc_seq >= co.oc_seq then
+              report
+                (Diag.diag Diag.Order_violation loc
+                   "%s reads %s from %s in the same iteration, but %s is \
+                    emitted %s"
+                   cname data pname pname
+                   (if po.oc_seq = co.oc_seq then "as the same descriptor"
+                    else "later"))
+          | Fc.B_solve _ :: rest ->
+            (* Both run under the same solved subscript: same value on
+               both sides, distance 0. *)
+            scan rest
+          | Fc.B_loop l :: rest -> (
+            match
+              distance ~def ~def_aliases:po.oc_aliases ~use
+                ~use_aliases:co.oc_aliases l.Fc.lp_var
+            with
+            | Unrelated | Known 0 -> scan rest
+            | Known k when k > 0 -> (
+              match l.Fc.lp_kind with
+              | Fc.Iterative -> () (* carried here; inner levels are free *)
+              | Fc.Parallel ->
+                report
+                  (Diag.diag Diag.Doall_carried loc
+                     "DOALL loop %s carries a dependence: %s reads %s \
+                      produced %d iteration%s earlier by %s"
+                     l.Fc.lp_var cname data k
+                     (if k = 1 then "" else "s")
+                     pname))
+            | Known k ->
+              (* k < 0: the consumer reads a plane the producer has not
+                 written yet at any legal interleaving of this loop. *)
+              report
+                (Diag.diag
+                   (match l.Fc.lp_kind with
+                    | Fc.Parallel -> Diag.Doall_carried
+                    | Fc.Iterative -> Diag.Negative_dependence)
+                   loc
+                   "%s loop %s runs %s before the iteration of %s that \
+                    produces the %s it reads (offset %+d)"
+                   (Fc.kind_name l.Fc.lp_kind) l.Fc.lp_var cname pname data
+                   (-k))
+            | Unknown ->
+              if under_solve co then
+                (* A sunk extraction: Sink proved the solved subscript
+                   stays inside the already-computed window. *)
+                ()
+              else
+                report
+                  (Diag.diag Diag.Unverifiable_dependence loc
+                     "cannot verify the dependence of %s on %s through %s: \
+                      a subscript in the dimension of loop %s is not affine \
+                      in the loop variable"
+                     cname data pname l.Fc.lp_var))
+        in
+        scan shared
+      | _ -> () (* missing occurrences already reported *))
+    | _ -> ()
+  in
+  List.iter
+    (fun (use : edge) ->
+      match use.e_kind, use.e_src with
+      | Use, Data d ->
+        List.iter (fun def -> check_pair ~def ~use ~data:d) (def_edges_of d)
+      | Bound, Data d -> (
+        (* A bound must be available before the consumer's loops start:
+           every producer of the bound datum is emitted earlier and
+           shares no loop with the consumer. *)
+        match use.e_dst with
+        | Eq consumer -> (
+          match occ_of consumer with
+          | None -> ()
+          | Some co ->
+            List.iter
+              (fun (def : edge) ->
+                match def.e_src with
+                | Eq producer -> (
+                  match occ_of producer with
+                  | None -> ()
+                  | Some po ->
+                    if shared_binders po.oc_binders co.oc_binders <> [] then
+                      report
+                        (Diag.diag Diag.Order_violation (eq_loc consumer)
+                           "loop bound %s is computed by %s inside a loop \
+                            shared with %s"
+                           d (eq_name producer) (eq_name consumer))
+                    else if po.oc_seq >= co.oc_seq then
+                      report
+                        (Diag.diag Diag.Order_violation (eq_loc consumer)
+                           "loop bound %s is computed by %s after %s uses it"
+                           d (eq_name producer) (eq_name consumer)))
+                | Data _ -> ())
+              (def_edges_of d))
+        | Data _ -> ())
+      | _ -> ())
+    (Dgraph.edges g);
+  (* --- storage windows (§3.4) --------------------------------------- *)
+  List.iter
+    (fun (w : Schedule.window) ->
+      let loc =
+        match Elab.find_data em w.Schedule.w_data with
+        | Some d -> d.Elab.d_loc
+        | None -> Loc.dummy
+      in
+      let needed = ref 1 in
+      List.iter
+        (fun (e : edge) ->
+          match e.e_kind, e.e_src with
+          | Use, Data d
+            when String.equal d w.Schedule.w_data
+                 && Array.length e.e_subs > w.Schedule.w_dim -> (
+            let consumer_occ =
+              match e.e_dst with Eq q -> occ_of q | Data _ -> None
+            in
+            match e.e_subs.(w.Schedule.w_dim) with
+            | Label.Affine { offset; _ } when offset <= 0 ->
+              if 1 - offset > !needed then needed := 1 - offset
+            | Label.Affine { offset; _ } ->
+              report
+                (Diag.diag Diag.Window_underflow loc
+                   "dimension %d of %s is windowed, but a use reads %d \
+                    plane%s ahead"
+                   (w.Schedule.w_dim + 1) w.Schedule.w_data offset
+                   (if offset = 1 then "" else "s"))
+            | Label.Const_high -> () (* the final plane survives the loop *)
+            | Label.Const_low | Label.Slice | Label.Opaque ->
+              if
+                match consumer_occ with
+                | Some o -> under_solve o
+                | None -> false
+              then () (* discharged by the sinking pass *)
+              else
+                report
+                  (Diag.diag Diag.Unverified_window loc
+                     "dimension %d of %s is windowed, but a use subscript is \
+                      not affine in the loop variable; the window cannot be \
+                      verified"
+                     (w.Schedule.w_dim + 1) w.Schedule.w_data))
+          | _ -> ())
+        (Dgraph.edges g);
+      if w.Schedule.w_size < !needed then
+        report
+          (Diag.diag Diag.Window_underflow loc
+             "dimension %d of %s has window = %d, but a dependence reaches %d \
+              plane%s back (needs %d)"
+             (w.Schedule.w_dim + 1) w.Schedule.w_data w.Schedule.w_size
+             (!needed - 1)
+             (if !needed = 2 then "" else "s")
+             !needed))
+    windows;
+  Diag.sort !diags
+
+let result (r : Schedule.result) =
+  flowchart ~windows:r.Schedule.r_windows r.Schedule.r_graph
+    r.Schedule.r_flowchart
+
+(* ------------------------------------------------------------------ *)
+(* Hyperplane derivations (§4): the Lamport inequalities, edge by edge. *)
+
+let transform (tr : Ps_hyper.Transform.t) : Diag.t list =
+  let module T = Ps_hyper.Transform in
+  let module Imatrix = Ps_hyper.Imatrix in
+  let module Solve = Ps_hyper.Solve in
+  let loc = tr.T.tr_module.Ps_lang.Ast.m_loc in
+  let vec v =
+    "(" ^ String.concat ", " (List.map string_of_int (Array.to_list v)) ^ ")"
+  in
+  let diags = ref [] in
+  List.iter
+    (fun d ->
+      diags :=
+        Diag.diag Diag.Hyperplane_violation loc
+          "time vector %s does not strictly increase along dependence %s \
+           of %s (a . d <= 0)"
+          (vec tr.T.tr_time) (vec d) tr.T.tr_target
+        :: !diags)
+    (Solve.violations tr.T.tr_time tr.T.tr_vectors);
+  let n = Imatrix.dim tr.T.tr_matrix in
+  let det = Imatrix.det tr.T.tr_matrix in
+  if det <> 1 && det <> -1 then
+    diags :=
+      Diag.diag Diag.Non_unimodular loc
+        "the coordinate change for %s has determinant %d (must be +-1 so the \
+         image lattice is exactly the integer lattice)"
+        tr.T.tr_target det
+      :: !diags
+  else if
+    not (Imatrix.equal (Imatrix.mul tr.T.tr_matrix tr.T.tr_inverse) (Imatrix.identity n))
+  then
+    diags :=
+      Diag.diag Diag.Non_unimodular loc
+        "the recorded inverse of the coordinate change for %s is wrong \
+         (T . Tinv is not the identity)"
+        tr.T.tr_target
+      :: !diags;
+  (* The matrix's first row must be the time vector itself. *)
+  if Array.to_list (Imatrix.row tr.T.tr_matrix 0) <> Array.to_list tr.T.tr_time then
+    diags :=
+      Diag.diag Diag.Non_unimodular loc
+        "the first row of the coordinate change for %s is not the time vector"
+        tr.T.tr_target
+      :: !diags;
+  Diag.sort !diags

@@ -34,6 +34,9 @@ module Ineq = Ps_hyper.Ineq
 module Solve = Ps_hyper.Solve
 module Transform = Ps_hyper.Transform
 module Eqn = Ps_eqn.Eqn
+module Diag = Ps_diag.Diag
+module Verify = Ps_check.Verify
+module Lint = Ps_check.Lint
 module Emit = Ps_codegen.Emit
 module Value = Ps_interp.Value
 module Eval = Ps_interp.Eval
@@ -100,6 +103,16 @@ let load_equations src =
        | e :: _ -> error "%s" (Fmt.str "%a" Sa_check.pp_diagnostic e));
       { ast; prog; diagnostics })
 
+(* Like [load_string], but single-assignment errors become diagnostics
+   on the project instead of raising: the lint and check drivers report
+   them all and set the exit code from their severity. *)
+let load_string_lenient src =
+  wrap (fun () ->
+      let ast = Parser.program_of_string src in
+      let prog = Elab.elab_program ast in
+      let diagnostics = Sa_check.check_program prog in
+      { ast; prog; diagnostics })
+
 let load_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -107,8 +120,14 @@ let load_file path =
   close_in ic;
   load_string src
 
-let warnings t =
-  List.filter (fun d -> d.Sa_check.d_severity = Sa_check.Wwarning) t.diagnostics
+let load_file_lenient path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  load_string_lenient src
+
+let warnings t = Diag.warnings t.diagnostics
 
 let modules t = List.map (fun m -> m.Elab.em_name) t.prog.Elab.ep_modules
 
@@ -186,6 +205,25 @@ let emit_c_main ?name ?(sink = false) ?(fuse = false) ?(trim = false) ~scalars t
       let em = the_module ?name t in
       let sc = schedule ~sink ~fuse ~trim em in
       Emit.emit_main ~windows:sc.sc_windows em sc.sc_flowchart ~scalars)
+
+(* ------------------------------------------------------------------ *)
+(* Verification and lints *)
+
+(* Re-derive the legality of a scheduled module's flowchart and windows
+   from its dependency graph (translation validation). *)
+let verify sc =
+  wrap (fun () ->
+      Verify.flowchart ~windows:sc.sc_windows
+        sc.sc_result.Schedule.r_graph sc.sc_flowchart)
+
+(* All diagnostics for a project: single-assignment checks plus every
+   lint, over every module, sorted. *)
+let lint t =
+  wrap (fun () ->
+      let per_module =
+        List.concat_map Lint.module_ t.prog.Elab.ep_modules
+      in
+      Diag.sort (t.diagnostics @ per_module))
 
 (* ------------------------------------------------------------------ *)
 (* Execution *)

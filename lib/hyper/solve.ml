@@ -25,6 +25,8 @@ let dot a d =
 
 let satisfies a vectors = List.for_all (fun d -> dot a d > 0) vectors
 
+let violations a vectors = List.filter (fun d -> dot a d <= 0) vectors
+
 (* An upper bound on the coefficient sum worth searching: if no schedule
    exists with sum below this, the dependences almost certainly admit no
    linear schedule at all (e.g. both d and -d present). *)

@@ -114,6 +114,23 @@ let rec equations (fc : t) =
       | D_data _ -> [])
     fc
 
+type binder = B_loop of loop | B_solve of solve
+
+let binder_var = function B_loop l -> l.lp_var | B_solve s -> s.sv_var
+
+let iter_eqs f (fc : t) =
+  let seq = ref 0 in
+  let rec go binders d =
+    match d with
+    | D_data _ -> ()
+    | D_eq er ->
+      f ~binders:(List.rev binders) ~seq:!seq er;
+      incr seq
+    | D_loop l -> List.iter (go (B_loop l :: binders)) l.lp_body
+    | D_solve s -> List.iter (go (B_solve s :: binders)) s.sv_body
+  in
+  List.iter (go []) fc
+
 let rec map_loops f (fc : t) =
   List.map
     (function

@@ -60,3 +60,15 @@ val equations : t -> int list
 
 val map_loops : (loop -> loop) -> t -> t
 (** Bottom-up rewriting of every loop descriptor. *)
+
+type binder = B_loop of loop | B_solve of solve
+(** An enclosing control descriptor: a real loop, or a solved subscript
+    that binds its variable to a computed value. *)
+
+val binder_var : binder -> string
+
+val iter_eqs : (binders:binder list -> seq:int -> eq_ref -> unit) -> t -> unit
+(** Visit every equation reference in emission (execution) order.
+    [binders] lists the enclosing binders outermost first; [seq] numbers
+    the references in visit order, so comparing two [seq] values decides
+    which equation's straight-line code is emitted first. *)

@@ -7,12 +7,11 @@
    with linear forms over the module inputs and report the rest as
    warnings rather than silently accepting or rejecting. *)
 
-type severity = Werror | Wwarning
+module Diag = Ps_diag.Diag
 
-type diagnostic = { d_severity : severity; d_msg : string; d_loc : Ps_lang.Loc.span }
+type diagnostic = Diag.t
 
-let diag sev loc fmt =
-  Fmt.kstr (fun d_msg -> { d_severity = sev; d_msg; d_loc = loc }) fmt
+let diag = Diag.diag
 
 (* Symbolic interval of one subscript position of one definition. *)
 type slice_pos =
@@ -105,9 +104,12 @@ let check_overlap em (data : Elab.data) defs : diagnostic list =
               | _ -> false)
             p1 p2
         in
-        let sev = if definitely_same then Werror else Wwarning in
+        let code =
+          if definitely_same then Diag.Conflicting_definition
+          else Diag.Possible_overlap
+        in
         Some
-          (diag sev q2.Elab.q_loc
+          (diag code q2.Elab.q_loc
              "%s and %s may define overlapping elements of %s (module %s)"
              q1.Elab.q_name q2.Elab.q_name data.Elab.d_name em.Elab.em_name))
     (pairs defs)
@@ -158,7 +160,7 @@ let check_coverage em (data : Elab.data) defs : diagnostic list =
             defs
         in
         if List.exists Option.is_none pieces then
-          [ diag Wwarning data.Elab.d_loc
+          [ diag Diag.Coverage_unverified data.Elab.d_loc
               "coverage of %s, dimension %d, could not be verified" data.Elab.d_name
               (p + 1) ]
         else
@@ -214,7 +216,7 @@ let check_coverage em (data : Elab.data) defs : diagnostic list =
           in
           if covered then []
           else
-            [ diag Wwarning data.Elab.d_loc
+            [ diag Diag.Coverage_unverified data.Elab.d_loc
                 "definitions of %s may not cover dimension %d completely"
                 data.Elab.d_name (p + 1) ]
     in
@@ -233,7 +235,7 @@ let check_fields (em : Elab.emodule) (data : Elab.data) defs : diagnostic list =
           then None
           else
             Some
-              (diag Werror data.Elab.d_loc
+              (diag Diag.Missing_field data.Elab.d_loc
                  "field %s of %s is never defined (module %s)" fname
                  data.Elab.d_name em.Elab.em_name))
         fields
@@ -245,7 +247,7 @@ let check_module (em : Elab.emodule) : diagnostic list =
     (fun (data : Elab.data) ->
       match defs_of em data.Elab.d_name with
       | [] ->
-        [ diag Werror data.Elab.d_loc "%s is never defined (module %s)"
+        [ diag Diag.Undefined_data data.Elab.d_loc "%s is never defined (module %s)"
             data.Elab.d_name em.Elab.em_name ]
       | defs ->
         (* Coverage applies within each field path separately. *)
@@ -267,9 +269,6 @@ let check_module (em : Elab.emodule) : diagnostic list =
 let check_program (ep : Elab.eprogram) : diagnostic list =
   List.concat_map check_module ep.Elab.ep_modules
 
-let errors diags = List.filter (fun d -> d.d_severity = Werror) diags
+let errors = Diag.errors
 
-let pp_diagnostic ppf d =
-  Fmt.pf ppf "%s: %s (%a)"
-    (match d.d_severity with Werror -> "error" | Wwarning -> "warning")
-    d.d_msg Ps_lang.Loc.pp d.d_loc
+let pp_diagnostic = Diag.pp

@@ -55,6 +55,39 @@ let cli_tests =
     t "check reports module statistics" (fun () ->
         with_source Ps_models.Models.jacobi (fun f ->
             expect_ok ("check " ^ f) [ "module Relaxation: 3 equations, 1 locals" ]));
+    t "lint is quiet on a clean module" (fun () ->
+        with_source Ps_models.Models.jacobi (fun f ->
+            let rc, text = run_cli ("lint " ^ f) in
+            Alcotest.(check int) "exit 0" 0 rc;
+            Alcotest.(check string) "no output" "" (String.trim text)));
+    t "lint reports stable codes in text" (fun () ->
+        with_source
+          "T: module (x: real; u: real): [y: real]; define y = x; end T;"
+          (fun f ->
+            expect_ok ("lint " ^ f)
+              [ "warning[W110]"; "u is never used"; "1 warning" ]));
+    t "lint --json emits a JSON array" (fun () ->
+        with_source
+          "T: module (x: real; u: real): [y: real]; define y = x; end T;"
+          (fun f ->
+            expect_ok ("lint --json " ^ f)
+              [ {|"code":"W110"|}; {|"severity":"warning"|} ]));
+    t "lint --werror turns warnings into failure" (fun () ->
+        with_source
+          "T: module (x: real; u: real): [y: real]; define y = x; end T;"
+          (fun f -> expect_fail ("lint --werror " ^ f) [ "warning[W110]" ]));
+    t "check exits non-zero on an error diagnostic" (fun () ->
+        with_source
+          "T: module (x: real): [y: real]; var z: real; define y = x; end T;"
+          (fun f -> expect_fail ("check " ^ f) [ "error[E001]"; "never defined" ]));
+    t "schedule --verify-schedule accepts the pipeline" (fun () ->
+        with_source Ps_models.Models.jacobi (fun f ->
+            expect_ok ("schedule --verify-schedule --sink --fuse --trim " ^ f)
+              [ "schedule verified" ]));
+    t "transform --verify-schedule validates the derivation" (fun () ->
+        with_source Ps_models.Models.seidel (fun f ->
+            expect_ok ("transform --verify-schedule --target A " ^ f)
+              [ "hyperplane derivation verified"; "schedule verified" ]));
     t "graph lists the paper's edges" (fun () ->
         with_source Ps_models.Models.jacobi (fun f ->
             expect_ok ("graph " ^ f) [ "A -> eq.3 (use) [K - 1, I, J - 1]" ]));

@@ -9,10 +9,9 @@ let diags src =
 
 let errors src = Sa_check.errors (diags src)
 
-let warnings src =
-  List.filter (fun d -> d.Sa_check.d_severity = Sa_check.Wwarning) (diags src)
+let warnings src = Ps_diag.Diag.warnings (diags src)
 
-let msg_mentions substring d = Util.contains d.Sa_check.d_msg substring
+let msg_mentions substring d = Util.contains d.Ps_diag.Diag.d_msg substring
 
 let wrap ?(types = "") ?(vars = "") eqs =
   Printf.sprintf
