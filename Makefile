@@ -1,4 +1,4 @@
-.PHONY: all build test fmt lint-examples clean
+.PHONY: all build test bench-quick fmt lint-examples clean
 
 all: build
 
@@ -7,6 +7,10 @@ build:
 
 test:
 	dune runtest
+
+# Quick benchmark sweep; writes BENCH_runtime.json (the perf trajectory).
+bench-quick: build
+	dune exec bench/main.exe -- --quick --json
 
 # Check dune-file formatting (no ocamlformat in the toolchain, so OCaml
 # sources are exempt).  `make fmt-fix` rewrites in place.

@@ -25,6 +25,12 @@ open Toolkit
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
+(* --json: also write BENCH_runtime.json (per-experiment wall times plus
+   work/span and pool size) so successive PRs accumulate a perf
+   trajectory, and skip the Bechamel part (its statistics live in the
+   text report; the JSON file records the A/B experiments). *)
+let json_mode = Array.exists (fun a -> a = "--json") Sys.argv
+
 (* ------------------------------------------------------------------ *)
 (* Shared setup *)
 
@@ -188,6 +194,137 @@ let part2 () =
   Fmt.pr "@."
 
 (* ------------------------------------------------------------------ *)
+(* Part 2b: runtime A/B — nest collapsing x pool scheduler.
+
+   Three workloads whose DOALL shapes differ:
+   - fig6: the Jacobi relaxation, DO K (DOALL I (DOALL J)) — a
+     rectangular band under an iterative loop (K cheap epochs);
+   - h3: the hyperplane-transformed relaxation with sinking and
+     trimming, DO K' (DOALL* I' (DOALL J')) — a *triangular* wavefront
+     band whose inner extent varies along the sweep;
+   - lcs: the transformed LCS recurrence, DO diag (DOALL cross) — a
+     single varying-extent DOALL per diagonal (collapsing is a no-op;
+     this row isolates the pool protocol).
+
+   For each size: sequential, the fixed-chunk single-queue pool (the
+   runtime as it was — the baseline), work stealing with guided chunks,
+   and stealing plus collapsing.  Each configuration is timed best-of-N
+   and recorded into the JSON trajectory. *)
+
+let experiments : string list ref = ref []
+
+let record ~name ~wall ~(ws : Psc.Analysis.cost) ~pool ~steal ~collapse =
+  experiments :=
+    Printf.sprintf
+      "{\"name\":%S,\"wall_s\":%.6f,\"work\":%.0f,\"span\":%.0f,\"pool\":%d,\"steal\":%b,\"collapse\":%b}"
+      name wall ws.Psc.Analysis.work ws.Psc.Analysis.span pool steal collapse
+    :: !experiments
+
+let ab_pool_size = 4
+
+let time_best f =
+  let reps = if quick then 2 else 5 in
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let _, t = time_it f in
+    if t < !best then best := t
+  done;
+  !best
+
+let part2b () =
+  Fmt.pr "============================================================@.";
+  Fmt.pr "Part 2b: runtime A/B (collapse x pool scheduler; pool = %d)@."
+    ab_pool_size;
+  Fmt.pr "============================================================@.@.";
+  let pool_steal = Psc.Pool.create ab_pool_size in
+  let pool_fixed = Psc.Pool.create ~steal:false ab_pool_size in
+  Fmt.pr "%-12s | %10s %12s %12s %14s@." "experiment" "seq" "fixed-chunk"
+    "steal" "steal+collapse";
+  let ab name ws (runner : ?pool:Psc.Pool.t -> collapse:bool -> unit -> unit) =
+    let t_seq = time_best (fun () -> runner ~collapse:false ()) in
+    let t_fixed =
+      time_best (fun () -> runner ~pool:pool_fixed ~collapse:false ())
+    in
+    let t_steal =
+      time_best (fun () -> runner ~pool:pool_steal ~collapse:false ())
+    in
+    let t_sc = time_best (fun () -> runner ~pool:pool_steal ~collapse:true ()) in
+    record ~name:(name ^ "_seq") ~wall:t_seq ~ws ~pool:1 ~steal:false
+      ~collapse:false;
+    record ~name:(name ^ "_par_fixed") ~wall:t_fixed ~ws ~pool:ab_pool_size
+      ~steal:false ~collapse:false;
+    record ~name:(name ^ "_par_steal") ~wall:t_steal ~ws ~pool:ab_pool_size
+      ~steal:true ~collapse:false;
+    record ~name:(name ^ "_par_steal_collapse") ~wall:t_sc ~ws
+      ~pool:ab_pool_size ~steal:true ~collapse:true;
+    Fmt.pr "%-12s | %10.4f %12.4f %12.4f %14.4f@." name t_seq t_fixed t_steal
+      t_sc
+  in
+  let rel_sizes =
+    if quick then [ (16, 10); (32, 20) ] else [ (16, 10); (32, 20); (64, 40) ]
+  in
+  List.iter
+    (fun (m, maxk) ->
+      let inputs = Ps_models.Models.relaxation_inputs ~m ~maxk in
+      let env = [ ("M", m); ("maxK", maxk) ] in
+      ab
+        (Printf.sprintf "fig6_m%d" m)
+        (Psc.work_span jacobi ~env)
+        (fun ?pool ~collapse () ->
+          ignore (Psc.run ~check:false ?pool ~collapse jacobi ~inputs));
+      ab
+        (Printf.sprintf "h3_m%d" m)
+        (Psc.work_span ~name:hyper_name ~sink:true ~trim:true hyper_project ~env)
+        (fun ?pool ~collapse () ->
+          ignore
+            (Psc.run ~check:false ?pool ~collapse ~name:hyper_name ~sink:true
+               ~trim:true hyper_project ~inputs)))
+    rel_sizes;
+  let lcs_project = Psc.load_string Ps_models.Models.lcs in
+  let lcs_project, lcs_tr = Psc.hyperplane ~target:"L" lcs_project in
+  let lcs_name = lcs_tr.Psc.Transform.tr_module.Psc.Ast.m_name in
+  let lcs_sizes = if quick then [ 64; 128 ] else [ 64; 256; 512 ] in
+  List.iter
+    (fun n ->
+      let inputs =
+        [ ( "X",
+            Psc.Exec.array_int ~dims:[ (1, n) ] (fun ix -> ((ix.(0) * 7) + 3) mod 4) );
+          ( "Y",
+            Psc.Exec.array_int ~dims:[ (1, n) ] (fun ix -> ((ix.(0) * 5) + 1) mod 4) );
+          ("N", Psc.Exec.scalar_int n) ]
+      in
+      ab
+        (Printf.sprintf "lcs_n%d" n)
+        (Psc.work_span ~name:lcs_name ~sink:true ~trim:true lcs_project
+           ~env:[ ("N", n) ])
+        (fun ?pool ~collapse () ->
+          ignore
+            (Psc.run ~check:false ?pool ~collapse ~name:lcs_name ~sink:true
+               ~trim:true lcs_project ~inputs)))
+    lcs_sizes;
+  Psc.Pool.shutdown pool_steal;
+  Psc.Pool.shutdown pool_fixed;
+  Fmt.pr "@."
+
+let write_json path =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": 1,\n\
+    \  \"source\": \"bench/main.ml --json\",\n\
+    \  \"quick\": %b,\n\
+    \  \"host_cores\": %d,\n\
+    \  \"pool_size\": %d,\n\
+    \  \"experiments\": [\n    %s\n  ]\n\
+     }\n"
+    quick
+    (Psc.Pool.recommended_size ())
+    ab_pool_size
+    (String.concat ",\n    " (List.rev !experiments));
+  close_out oc;
+  Fmt.pr "wrote %s (%d experiments)@." path (List.length !experiments)
+
+(* ------------------------------------------------------------------ *)
 (* Part 3: Bechamel micro-benchmarks, one Test.make per experiment *)
 
 let m_b = 32 and maxk_b = 20
@@ -313,5 +450,6 @@ let part3 () =
 let () =
   part1 ();
   part2 ();
-  part3 ();
+  part2b ();
+  if json_mode then write_json "BENCH_runtime.json" else part3 ();
   Fmt.pr "@.All paper artifacts regenerated and checked.@."

@@ -85,6 +85,14 @@ let trim_arg =
   in
   Arg.(value & flag & info [ "trim" ] ~doc)
 
+let collapse_arg =
+  let doc =
+    "Mark perfectly nested DOALL bands for collapsing: the interpreter \
+     flattens a marked band into one combined iteration space, and the C \
+     back end widens the OpenMP pragma with a collapse clause."
+  in
+  Arg.(value & flag & info [ "collapse" ] ~doc)
+
 let verify_arg =
   let doc =
     "After scheduling, re-derive the legality of the flowchart and its \
@@ -173,24 +181,25 @@ let schedule_cmd =
   let compact =
     Arg.(value & flag & info [ "compact" ] ~doc:"One-line flowchart format.")
   in
-  let run file name sink fuse trim compact verify =
+  let run file name sink fuse trim collapse compact verify =
     handle (fun () ->
         let t = load file in
         let em = Psc.the_module ?name t in
-        let sc = Psc.schedule ~sink ~fuse ~trim em in
+        let sc = Psc.schedule ~sink ~fuse ~trim ~collapse em in
         if verify then verify_schedule sc;
         Fmt.pr "Components (Fig. 5):@.%s@.@." (Psc.components_string sc);
         Fmt.pr "Flowchart (Fig. 6/7):@.%s@.@."
           (Psc.flowchart_string ~tree:(not compact) sc);
         if fuse then Fmt.pr "Merged loops: %d@." sc.Psc.sc_merged;
         if trim then Fmt.pr "Trimmed bounds: %d@." sc.Psc.sc_trimmed;
+        if collapse then Fmt.pr "Collapsible band heads: %d@." sc.Psc.sc_collapsed;
         Fmt.pr "Storage windows (sec. 3.4):@.%s@." (Psc.windows_string sc))
   in
   Cmd.v
     (Cmd.info "schedule"
        ~doc:"Schedule a module: components, flowchart, storage windows.")
     Term.(const run $ file_arg $ module_arg $ sink_arg $ fuse_arg $ trim_arg
-          $ compact $ verify_arg)
+          $ collapse_arg $ compact $ verify_arg)
 
 let transform_cmd =
   let target =
@@ -249,18 +258,19 @@ let emit_c_cmd =
           ~doc:"Also emit a main() harness that fills inputs and prints checksums \
                 (requires every scalar input via --input).")
   in
-  let run file name sink main inputs verify =
+  let run file name sink collapse main inputs verify =
     handle (fun () ->
         let t = load file in
         if verify then
-          verify_schedule (Psc.schedule ~sink (Psc.the_module ?name t));
-        if main then print_string (Psc.emit_c_main ?name ~sink ~scalars:inputs t)
-        else print_string (Psc.emit_c ?name ~sink t))
+          verify_schedule (Psc.schedule ~sink ~collapse (Psc.the_module ?name t));
+        if main then
+          print_string (Psc.emit_c_main ?name ~sink ~collapse ~scalars:inputs t)
+        else print_string (Psc.emit_c ?name ~sink ~collapse t))
   in
   Cmd.v
     (Cmd.info "emit-c" ~doc:"Generate C code for a module.")
-    Term.(const run $ file_arg $ module_arg $ sink_arg $ main $ inputs_arg
-          $ verify_arg)
+    Term.(const run $ file_arg $ module_arg $ sink_arg $ collapse_arg $ main
+          $ inputs_arg $ verify_arg)
 
 (* Fill array inputs with the shared deterministic generator. *)
 let default_inputs _t em (scalars : (string * int) list) =
@@ -317,19 +327,28 @@ let run_cmd =
   let no_windows =
     Arg.(value & flag & info [ "no-windows" ] ~doc:"Disable virtual-dimension storage windows.")
   in
-  let run file name sink fuse trim inputs par no_windows verify =
+  let no_steal =
+    Arg.(
+      value & flag
+      & info [ "no-steal" ]
+          ~doc:"Use the fixed-chunk single-queue pool scheduler instead of \
+                work stealing with guided chunks (the A/B baseline).")
+  in
+  let run file name sink fuse trim collapse inputs par no_windows no_steal verify =
     handle (fun () ->
         let t = load file in
         let em = Psc.the_module ?name t in
-        if verify then verify_schedule (Psc.schedule ~sink ~fuse ~trim em);
+        if verify then verify_schedule (Psc.schedule ~sink ~fuse ~trim ~collapse em);
         let ins = default_inputs t em inputs in
         let exec pool =
-          Psc.run ?name ~sink ~fuse ~trim ~use_windows:(not no_windows) ?pool t
-            ~inputs:ins
+          Psc.run ?name ~sink ~fuse ~trim ~collapse
+            ~use_windows:(not no_windows) ?pool t ~inputs:ins
         in
         let r =
           match par with
-          | Some n -> Psc.Pool.with_pool n (fun pool -> exec (Some pool))
+          | Some n ->
+            Psc.Pool.with_pool ~steal:(not no_steal) n (fun pool ->
+                exec (Some pool))
           | None -> exec None
         in
         List.iter
@@ -362,7 +381,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Schedule and execute a module on the interpreter substrate.")
     Term.(const run $ file_arg $ module_arg $ sink_arg $ fuse_arg $ trim_arg
-          $ inputs_arg $ par $ no_windows $ verify_arg)
+          $ collapse_arg $ inputs_arg $ par $ no_windows $ no_steal $ verify_arg)
 
 let eqn_cmd =
   let ps_only =

@@ -26,6 +26,7 @@ type code =
   | Hyperplane_violation
   | Non_unimodular
   | Out_of_bounds
+  | Bad_collapse
   | Unused_data
   | Dead_equation
   | No_virtualization
@@ -49,6 +50,7 @@ let code_id = function
   | Hyperplane_violation -> "E018"
   | Non_unimodular -> "E019"
   | Out_of_bounds -> "E020"
+  | Bad_collapse -> "E021"
   | Unused_data -> "W110"
   | Dead_equation -> "W111"
   | No_virtualization -> "W112"

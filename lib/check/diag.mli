@@ -32,6 +32,8 @@ type code =
   | Non_unimodular           (** E019: the coordinate change is not unimodular *)
   (* Lints (E02x / W11x). *)
   | Out_of_bounds            (** E020: a subscript provably escapes its bounds *)
+  | Bad_collapse             (** E021: a collapse mark sits on something other
+                                 than a perfect DOALL pair *)
   | Unused_data              (** W110: a data item is never read *)
   | Dead_equation            (** W111: an equation only feeds unused items *)
   | No_virtualization        (** W112: a recursively indexed dimension cannot

@@ -157,6 +157,36 @@ let flowchart ?(windows = []) (g : Dgraph.t) (fc : Fc.t) : Diag.t list =
                    q.Elab.q_name))
           q.Elab.q_indices)
     em.Elab.em_eqs;
+  (* --- collapse marks ----------------------------------------------- *)
+  (* A collapse mark licenses flattening the loop with the one DOALL
+     directly inside it, so it may only sit on a *perfect* DOALL pair:
+     both loops Parallel, nothing between the headers.  Legality of the
+     flattened order then follows from the per-axis DOALL checks below
+     (every dependence distance across each axis is 0 or the axis would
+     be rejected as carrying). *)
+  let rec check_marks descs =
+    List.iter
+      (function
+        | Fc.D_loop l ->
+          (if l.Fc.lp_collapse then
+             let ok =
+               l.Fc.lp_kind = Fc.Parallel
+               && (match l.Fc.lp_body with
+                  | [ Fc.D_loop inner ] -> inner.Fc.lp_kind = Fc.Parallel
+                  | _ -> false)
+             in
+             if not ok then
+               report
+                 (Diag.diag Diag.Bad_collapse Loc.dummy
+                    "loop %s is marked collapsible but is not the head of a \
+                     perfect DOALL pair"
+                    l.Fc.lp_var));
+          check_marks l.Fc.lp_body
+        | Fc.D_solve s -> check_marks s.Fc.sv_body
+        | Fc.D_data _ | Fc.D_eq _ -> ())
+      descs
+  in
+  check_marks fc;
   (* --- dependence legality ------------------------------------------ *)
   let def_edges_of =
     let tbl : (string, edge) Hashtbl.t = Hashtbl.create 32 in

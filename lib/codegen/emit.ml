@@ -303,11 +303,26 @@ let rec emit_descriptor st buf ~depth ~indent ~par ~bound
     let ctx = { x_em = (let e, _, _ = st in e); x_indices = bound } in
     let lo = expr_to_c ctx l.Ps_sched.Flowchart.lp_range.Stypes.sr_lo in
     let hi = expr_to_c ctx l.Ps_sched.Flowchart.lp_range.Stypes.sr_hi in
+    (* Depth of the collapsible DOALL band headed here (1 = no band):
+       consecutive [lp_collapse] marks license an OpenMP collapse
+       clause over the perfect nest. *)
+    let rec band_depth (b : Ps_sched.Flowchart.loop) =
+      if b.Ps_sched.Flowchart.lp_collapse then
+        match b.Ps_sched.Flowchart.lp_body with
+        | [ Ps_sched.Flowchart.D_loop inner ] -> 1 + band_depth inner
+        | _ -> 1
+      else 1
+    in
     (match l.Ps_sched.Flowchart.lp_kind with
      | Ps_sched.Flowchart.Parallel ->
-       if par then pf "%s#pragma omp parallel for\n" pad;
-       pf "%sfor (int %s = %s; %s <= %s; %s++) {  /* DOALL (concurrent) */\n" pad v
+       let bd = band_depth l in
+       if par then
+         if bd > 1 then pf "%s#pragma omp parallel for collapse(%d)\n" pad bd
+         else pf "%s#pragma omp parallel for\n" pad;
+       pf "%sfor (int %s = %s; %s <= %s; %s++) {  /* DOALL (%s) */\n" pad v
          lo v hi v
+         (if bd > 1 then "concurrent, collapsible band head"
+          else "concurrent")
      | Ps_sched.Flowchart.Iterative ->
        pf "%sfor (int %s = %s; %s <= %s; %s++) {  /* DO (iterative) */\n" pad v lo
          v hi v);

@@ -29,6 +29,7 @@ module Sink = Ps_sched.Sink
 module Analysis = Ps_sched.Analysis
 module Fuse = Ps_sched.Fuse
 module Trim = Ps_sched.Trim
+module Collapse = Ps_sched.Collapse
 module Imatrix = Ps_hyper.Imatrix
 module Ineq = Ps_hyper.Ineq
 module Solve = Ps_hyper.Solve
@@ -157,11 +158,13 @@ type scheduled = {
   sc_flowchart : Flowchart.t;
   sc_windows : Schedule.window list;
   sc_sunk : Sink.sunk list;
-  sc_merged : int;   (* loops merged by the fusion pass *)
-  sc_trimmed : int;  (* bounds tightened by the trimming pass *)
+  sc_merged : int;     (* loops merged by the fusion pass *)
+  sc_trimmed : int;    (* bounds tightened by the trimming pass *)
+  sc_collapsed : int;  (* DOALL band heads marked by the collapsing pass *)
 }
 
-let schedule ?(sink = false) ?(fuse = false) ?(trim = false) em =
+let schedule ?(sink = false) ?(fuse = false) ?(trim = false) ?(collapse = false)
+    em =
   wrap (fun () ->
       let r = Schedule.schedule em in
       let fc, windows, sunk =
@@ -174,13 +177,20 @@ let schedule ?(sink = false) ?(fuse = false) ?(trim = false) em =
         if fuse then Fuse.apply em r.Schedule.r_graph fc else (fc, 0)
       in
       let fc, trimmed = if trim then Trim.apply em fc else (fc, 0) in
+      let fc, collapsed =
+        if collapse then
+          let fc = Collapse.mark fc in
+          (fc, Collapse.count fc)
+        else (fc, 0)
+      in
       { sc_module = em;
         sc_result = r;
         sc_flowchart = fc;
         sc_windows = windows;
         sc_sunk = sunk;
         sc_merged = merged;
-        sc_trimmed = trimmed })
+        sc_trimmed = trimmed;
+        sc_collapsed = collapsed })
 
 (* Apply the hyperplane transformation to [target] inside module
    [?name]; returns the extended project (transformed module appended)
@@ -194,16 +204,18 @@ let hyperplane ?name ~target t =
       let diagnostics = Sa_check.check_program prog in
       ({ ast; prog; diagnostics }, tr))
 
-let emit_c ?name ?(sink = false) ?(fuse = false) ?(trim = false) t =
+let emit_c ?name ?(sink = false) ?(fuse = false) ?(trim = false)
+    ?(collapse = false) t =
   wrap (fun () ->
       let em = the_module ?name t in
-      let sc = schedule ~sink ~fuse ~trim em in
+      let sc = schedule ~sink ~fuse ~trim ~collapse em in
       Emit.emit_module ~windows:sc.sc_windows em sc.sc_flowchart)
 
-let emit_c_main ?name ?(sink = false) ?(fuse = false) ?(trim = false) ~scalars t =
+let emit_c_main ?name ?(sink = false) ?(fuse = false) ?(trim = false)
+    ?(collapse = false) ~scalars t =
   wrap (fun () ->
       let em = the_module ?name t in
-      let sc = schedule ~sink ~fuse ~trim em in
+      let sc = schedule ~sink ~fuse ~trim ~collapse em in
       Emit.emit_main ~windows:sc.sc_windows em sc.sc_flowchart ~scalars)
 
 (* ------------------------------------------------------------------ *)
@@ -229,10 +241,11 @@ let lint t =
 (* Execution *)
 
 let run ?name ?(sink = false) ?(fuse = false) ?(trim = false)
-    ?(use_windows = true) ?pool ?(check = true) ?(stats = false) t ~inputs =
+    ?(collapse = false) ?(use_windows = true) ?pool ?(check = true)
+    ?(stats = false) t ~inputs =
   wrap (fun () ->
       let em = the_module ?name t in
-      let sc = schedule ~sink ~fuse ~trim em in
+      let sc = schedule ~sink ~fuse ~trim ~collapse em in
       let opts =
         { Exec.default_opts with pool; check; use_windows; collect_stats = stats }
       in

@@ -3,9 +3,11 @@
    The scheduler's flowchart is compiled into nested closures: iterative
    (DO) loops run on the calling domain in index order; parallel (DOALL)
    loops are handed to the domain pool, chunked, with a private frame per
-   chunk.  Only the outermost DOALL of a nest is parallelized (inner
-   DOALLs run sequentially inside each worker), the standard flattening
-   for loop-level parallelism.
+   chunk.  The outermost DOALL of a nest is parallelized; when the
+   [Collapse] pass has marked a perfect DOALL band the whole band is
+   flattened into one combined iteration space first (see
+   [compile_parallel_band]), otherwise inner DOALLs run sequentially
+   inside each worker.
 
    Compilation of each top-level component is deferred until the moment
    it executes, so arrays whose bounds depend on computed scalar locals
@@ -240,24 +242,7 @@ and compile_desc st benv ~par ~max_slot (d : Ps_sched.Flowchart.descriptor) :
          done
      | Ps_sched.Flowchart.Parallel -> (
        match st.st_opts.pool with
-       | Some pool when par ->
-         (* Parallelize this DOALL; inner DOALLs run sequentially. *)
-         let body = compile_descs st benv' ~par:false ~max_slot l.Ps_sched.Flowchart.lp_body in
-         let min_par = st.st_opts.min_par in
-         fun fr ->
-           let lo = lo_f fr and hi = hi_f fr in
-           if hi - lo + 1 < min_par then
-             for v = lo to hi do
-               fr.(slot) <- v;
-               body fr
-             done
-           else
-             Ps_runtime.Pool.parallel_for pool ~lo ~hi (fun clo chi ->
-                 let fr' = Array.copy fr in
-                 for v = clo to chi do
-                   fr'.(slot) <- v;
-                   body fr'
-                 done)
+       | Some pool when par -> compile_parallel_band st benv ~max_slot pool l
        | _ ->
          let body = compile_descs st benv' ~par ~max_slot l.Ps_sched.Flowchart.lp_body in
          fun fr ->
@@ -266,6 +251,229 @@ and compile_desc st benv ~par ~max_slot (d : Ps_sched.Flowchart.descriptor) :
              fr.(slot) <- v;
              body fr
            done))
+
+(* Parallel execution of a DOALL, possibly as the head of a collapsed
+   band.  [Collapse] marks perfect DOALL pairs; this backend flattens as
+   much of the marked chain as the bound shapes allow:
+
+   - a *rectangular* prefix (no inner bound mentions a band variable)
+     becomes one product space decoded by div/mod once per chunk and
+     walked like an odometer;
+   - when only the head is rectangular, a depth-2 *triangular* band
+     (inner bounds depending on the head variable — the wavefront shape)
+     is flattened through per-row prefix sums built once per epoch, with
+     chunk starts located by binary search.
+
+   Either way the decode cost is per *chunk*, not per point; inside a
+   chunk the band variables advance incrementally exactly as the nested
+   loops would.  Whatever is not flattened (deeper chain members, the
+   real body) compiles sequentially inside.
+
+   The fork heuristic compares [min_par] against the *total* point count
+   of the band: exact for a flattened band, and estimated (inner extents
+   sampled at the first row) for an unmarked structural nest, so a
+   [DOALL I(3) (DOALL J(10^6))] still forks even when collapsing is off. *)
+
+and compile_parallel_band st benv ~max_slot pool (l : Ps_sched.Flowchart.loop) :
+    Compile.frame -> unit =
+  let open Ps_sched.Flowchart in
+  let min_par = st.st_opts.min_par in
+  (* The chain of perfectly nested DOALLs headed at [l]: loops marked by
+     [Collapse] when [marked], any perfect DOALL nesting otherwise (used
+     only to estimate the band's point count). *)
+  let rec chain ~marked (l : loop) =
+    match l.lp_body with
+    | [ D_loop inner ]
+      when inner.lp_kind = Parallel && ((not marked) || l.lp_collapse) ->
+      l :: chain ~marked inner
+    | _ -> [ l ]
+  in
+  (* Compile each band loop's bounds with the previous band variables in
+     scope; returns (slot, lo_f, hi_f) outermost first plus the extended
+     environment for the innermost body. *)
+  let compile_bounds benv loops =
+    let rec go benv acc = function
+      | [] -> (List.rev acc, benv)
+      | (bl : loop) :: rest ->
+        let s = List.length benv in
+        if s + 1 > !max_slot then max_slot := s + 1;
+        let cctx = compile_ctx st benv in
+        let lo_f = Compile.compile_int cctx bl.lp_range.Stypes.sr_lo in
+        let hi_f = Compile.compile_int cctx bl.lp_range.Stypes.sr_hi in
+        go ((bl.lp_var, s) :: benv) ((s, lo_f, hi_f) :: acc) rest
+    in
+    go benv [] loops
+  in
+  let range_uses vars (r : Stypes.subrange) =
+    let fv =
+      Ps_lang.Ast.free_vars r.Stypes.sr_lo @ Ps_lang.Ast.free_vars r.Stypes.sr_hi
+    in
+    List.exists (fun v -> List.mem v vars) fv
+  in
+  (* Longest prefix of [rest] whose bounds mention no band variable. *)
+  let rec rect_prefix vars = function
+    | (bl : loop) :: rest when not (range_uses vars bl.lp_range) ->
+      bl :: rect_prefix (bl.lp_var :: vars) rest
+    | _ -> []
+  in
+  let marked = chain ~marked:true l in
+  let band =
+    match marked with
+    | [] | [ _ ] -> `Single
+    | l0 :: rest -> (
+      match rect_prefix [ l0.lp_var ] rest with
+      | _ :: _ as tail -> `Rect (l0 :: tail)
+      | [] -> `Tri (l0, List.hd rest))
+  in
+  match band with
+  | `Single ->
+    let slot = List.length benv in
+    if slot + 1 > !max_slot then max_slot := slot + 1;
+    let cctx = compile_ctx st benv in
+    let lo_f = Compile.compile_int cctx l.lp_range.Stypes.sr_lo in
+    let hi_f = Compile.compile_int cctx l.lp_range.Stypes.sr_hi in
+    let benv' = (l.lp_var, slot) :: benv in
+    let body = compile_descs st benv' ~par:false ~max_slot l.lp_body in
+    (* Estimated band total for the fork decision: product of the
+       structural nest's extents, inner bounds sampled at the first row
+       (the band slots are scratch until the loop runs, so writing the
+       sample values into the frame is harmless). *)
+    let est_bounds, _ = compile_bounds benv (chain ~marked:false l) in
+    let est_total fr =
+      List.fold_left
+        (fun total (s, lo_f, hi_f) ->
+          if total = 0 then 0
+          else begin
+            let lo = lo_f fr and hi = hi_f fr in
+            fr.(s) <- lo;
+            total * max 0 (hi - lo + 1)
+          end)
+        1 est_bounds
+    in
+    fun fr ->
+      let total = est_total fr in
+      let lo = lo_f fr and hi = hi_f fr in
+      if total < min_par then
+        for v = lo to hi do
+          fr.(slot) <- v;
+          body fr
+        done
+      else
+        Ps_runtime.Pool.parallel_for pool ~lo ~hi (fun clo chi ->
+            let fr' = Array.copy fr in
+            for v = clo to chi do
+              fr'.(slot) <- v;
+              body fr'
+            done)
+  | `Rect band ->
+    let bounds, benv_band = compile_bounds benv band in
+    let last = List.nth band (List.length band - 1) in
+    let body = compile_descs st benv_band ~par:false ~max_slot last.lp_body in
+    let bounds = Array.of_list bounds in
+    let k = Array.length bounds in
+    let slots = Array.map (fun (s, _, _) -> s) bounds in
+    fun fr ->
+      let los = Array.make k 0 and his = Array.make k 0 in
+      let total = ref 1 in
+      Array.iteri
+        (fun i (_, lo_f, hi_f) ->
+          let lo = lo_f fr and hi = hi_f fr in
+          los.(i) <- lo;
+          his.(i) <- hi;
+          total := !total * max 0 (hi - lo + 1))
+        bounds;
+      let total = !total in
+      if total > 0 then begin
+        (* Run flattened points [g_lo..g_hi]: div/mod decode of the
+           first point, then an odometer walk. *)
+        let run fr g_lo g_hi =
+          let g = ref g_lo in
+          for i = k - 1 downto 0 do
+            let e = his.(i) - los.(i) + 1 in
+            fr.(slots.(i)) <- los.(i) + (!g mod e);
+            g := !g / e
+          done;
+          for _ = g_lo to g_hi do
+            body fr;
+            let i = ref (k - 1) in
+            let carrying = ref true in
+            while !carrying && !i >= 0 do
+              let s = slots.(!i) in
+              let v = fr.(s) + 1 in
+              if v > his.(!i) then begin
+                fr.(s) <- los.(!i);
+                decr i
+              end
+              else begin
+                fr.(s) <- v;
+                carrying := false
+              end
+            done
+          done
+        in
+        if total < min_par then run fr 0 (total - 1)
+        else
+          Ps_runtime.Pool.parallel_for pool ~lo:0 ~hi:(total - 1)
+            (fun g_lo g_hi ->
+              let fr' = Array.copy fr in
+              run fr' g_lo g_hi)
+      end
+  | `Tri (l0, l1) ->
+    let bounds, benv_band = compile_bounds benv [ l0; l1 ] in
+    let body = compile_descs st benv_band ~par:false ~max_slot l1.lp_body in
+    let slot0, lo0_f, hi0_f = List.nth bounds 0 in
+    let slot1, lo1_f, hi1_f = List.nth bounds 1 in
+    fun fr ->
+      let lo0 = lo0_f fr and hi0 = hi0_f fr in
+      let n = hi0 - lo0 + 1 in
+      if n > 0 then begin
+        (* Row extents and their prefix sums: psum.(r) counts the points
+           before row r, so psum.(n) is the band total. *)
+        let row_lo = Array.make n 0 and row_hi = Array.make n 0 in
+        let psum = Array.make (n + 1) 0 in
+        for r = 0 to n - 1 do
+          fr.(slot0) <- lo0 + r;
+          let lo1 = lo1_f fr and hi1 = hi1_f fr in
+          row_lo.(r) <- lo1;
+          row_hi.(r) <- hi1;
+          psum.(r + 1) <- psum.(r) + max 0 (hi1 - lo1 + 1)
+        done;
+        let total = psum.(n) in
+        if total > 0 then begin
+          let run fr g_lo g_hi =
+            (* Largest row r with psum.(r) <= g_lo (empty rows at the
+               boundary are skipped by taking the largest). *)
+            let a = ref 0 and b = ref (n - 1) in
+            while !a < !b do
+              let m = (!a + !b + 1) / 2 in
+              if psum.(m) <= g_lo then a := m else b := m - 1
+            done;
+            let r = ref !a in
+            let v1 = ref (row_lo.(!r) + (g_lo - psum.(!r))) in
+            let remaining = ref (g_hi - g_lo + 1) in
+            while !remaining > 0 do
+              fr.(slot0) <- lo0 + !r;
+              fr.(slot1) <- !v1;
+              body fr;
+              decr remaining;
+              if !remaining > 0 then begin
+                incr v1;
+                while !v1 > row_hi.(!r) do
+                  (* remaining > 0 guarantees a later non-empty row. *)
+                  incr r;
+                  v1 := row_lo.(!r)
+                done
+              end
+            done
+          in
+          if total < min_par then run fr 0 (total - 1)
+          else
+            Ps_runtime.Pool.parallel_for pool ~lo:0 ~hi:(total - 1)
+              (fun g_lo g_hi ->
+                let fr' = Array.copy fr in
+                run fr' g_lo g_hi)
+        end
+      end
 
 and compile_ctx st (benv : (string * int) list) : Compile.cctx =
   { Compile.k_em = st.st_em;

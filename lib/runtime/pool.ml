@@ -1,94 +1,199 @@
 (* A fixed pool of worker domains executing parallel for-loops.
 
    This is the MIMD substrate the scheduler's DOALL loops target.  The
-   design is deliberately simple and allocation-free on the hot path:
+   hot path is designed around the shape the hyperplane schedules
+   produce — an outer iterative loop issuing one small-to-medium DOALL
+   per time step — so publishing a job must be cheap enough to do
+   thousands of times:
 
-   - [size] worker domains are spawned once and parked on a condition
-     variable;
-   - [parallel_for] publishes a job (function + index range), wakes the
-     workers, and participates itself;
-   - iterations are handed out in contiguous chunks via an atomic
-     fetch-and-add, so uneven iteration costs (e.g. boundary vs interior
-     points) still balance;
-   - the caller returns when every chunk has completed.
+   - [size] worker domains are spawned once; between jobs they spin
+     briefly on the epoch counter and then park on a condition variable,
+     so a caller that issues DOALLs back to back never touches the mutex
+     (an atomic store per epoch, a broadcast only when somebody actually
+     went to sleep);
+   - [parallel_for] splits the index range into one contiguous slice per
+     worker (never smaller than a fixed grain: tiny wavefront DOALLs
+     stay a single slice and don't wake parked workers); every slice
+     has its own atomic cursor, and a worker that exhausts its slice
+     *steals* from the other slices, scanning round-robin from its own
+     position;
+   - claims are guided self-scheduling: each claim takes half of the
+     slice's remainder, clamped between the minimum chunk and a quarter
+     of the slice, so early chunks are large, the tail self-balances,
+     and no preempted worker sits on an outsized claim;
+   - completion is a reusable barrier: an atomic count of unfinished
+     points that the caller spin-waits on after helping — no per-job
+     allocation beyond the one job record.
 
-   Exceptions raised by the body are caught per-worker, the loop is
-   drained, and the first exception is re-raised at the caller. *)
+   Exceptions raised by the body are caught, the first one is recorded,
+   and the remaining iterations are *drained without executing* (claimed
+   and counted, their bodies skipped), so a failing body raises once at
+   the caller instead of thousands of times in the workers.
+
+   For A/B measurement the stealing scheduler can be disabled per pool
+   ([create ~steal:false]): the range then becomes a single shared slice
+   handed out in fixed chunks of span / (4 * size) — the classic static
+   self-scheduling loop, kept as the measurable baseline. *)
 
 type job = {
-  j_lo : int;
-  j_hi : int;             (* inclusive *)
-  j_chunk : int;
   j_body : int -> int -> unit;  (* [body lo hi] runs indices lo..hi *)
-  j_next : int Atomic.t;        (* next unclaimed index *)
-  j_pending : int Atomic.t;     (* chunks not yet finished *)
+  j_next : int Atomic.t array;  (* per-slice cursor (next unclaimed) *)
+  j_limit : int array;          (* per-slice inclusive upper bound *)
+  j_pending : int Atomic.t;     (* points not yet finished *)
   j_error : exn option Atomic.t;
+  j_min_chunk : int;            (* smallest guided claim *)
+  j_max_chunk : int;            (* largest guided claim: bounds how long a
+                                   preempted worker can sit on a chunk *)
+  j_fixed : int;                (* > 0: fixed chunk size (stealing off) *)
 }
 
 type t = {
   p_size : int;                 (* total workers including the caller *)
+  p_steal : bool;
   p_mutex : Mutex.t;
   p_wake : Condition.t;
   p_busy : bool Atomic.t;       (* a job is in flight: re-entrant calls run inline *)
-  mutable p_job : job option;
-  mutable p_epoch : int;        (* bumped for every new job *)
-  mutable p_shutdown : bool;
+  p_job : job option Atomic.t;
+  p_epoch : int Atomic.t;       (* bumped for every new job *)
+  p_sleepers : int Atomic.t;    (* workers parked on [p_wake] *)
+  p_shutdown : bool Atomic.t;
   mutable p_domains : unit Domain.t list;
 }
 
-let run_chunks (job : job) =
+(* How many [cpu_relax] spins a worker performs on the epoch counter
+   before parking.  Large enough that back-to-back DOALL epochs (the
+   wavefront shape) are mutex-free, small enough that an idle pool does
+   not burn a core for long. *)
+let spin_budget = 1024
+
+(* Minimum points a slice is worth: a range smaller than [2 * slice_grain]
+   is published as a single slice, so tiny wavefront DOALLs don't pay
+   per-slice cursor traffic for work the caller finishes alone. *)
+let slice_grain = 32
+
+(* Jobs below this span never broadcast: waking a parked worker costs
+   more than the whole loop.  Workers still spinning from the previous
+   epoch help regardless — that is the back-to-back wavefront case. *)
+let wake_threshold = 64
+
+(* ------------------------------------------------------------------ *)
+(* Claiming and executing chunks *)
+
+(* Claim a chunk from slice [s] of [job]; [None] when the slice is dry.
+   Guided self-scheduling: take half of what remains, never less than
+   the minimum chunk (or exactly [j_fixed] when stealing is off). *)
+let rec claim job s =
+  let cur = Atomic.get job.j_next.(s) in
+  let limit = job.j_limit.(s) in
+  if cur > limit then None
+  else
+    let remaining = limit - cur + 1 in
+    let take =
+      if job.j_fixed > 0 then min job.j_fixed remaining
+      else
+        min remaining
+          (max job.j_min_chunk (min job.j_max_chunk (remaining / 2)))
+    in
+    if Atomic.compare_and_set job.j_next.(s) cur (cur + take) then
+      Some (cur, cur + take - 1)
+    else claim job s
+
+let exec_chunk job lo hi =
+  (* Once a body has failed, later chunks are claimed and counted but
+     not executed, so the loop drains deterministically without raising
+     the same exception once per chunk. *)
+  (if Atomic.get job.j_error = None then
+     try job.j_body lo hi
+     with exn -> ignore (Atomic.compare_and_set job.j_error None (Some exn)));
+  ignore (Atomic.fetch_and_add job.j_pending (-(hi - lo + 1)))
+
+let drain_slice job s =
   let rec loop () =
-    let lo = Atomic.fetch_and_add job.j_next job.j_chunk in
-    if lo <= job.j_hi then begin
-      let hi = min job.j_hi (lo + job.j_chunk - 1) in
-      (try job.j_body lo hi
-       with exn ->
-         (* Record the first failure; keep draining so the caller can
-            finish deterministically. *)
-         ignore (Atomic.compare_and_set job.j_error None (Some exn)));
-      ignore (Atomic.fetch_and_add job.j_pending (-1));
+    match claim job s with
+    | Some (lo, hi) ->
+      exec_chunk job lo hi;
       loop ()
-    end
+    | None -> ()
   in
   loop ()
 
-let worker pool =
+(* Run chunks as worker [index]: own slice first, then steal from the
+   other slices round-robin.  Completion never depends on any *other*
+   worker waking up — whoever runs this to the end has visited every
+   slice, so the caller alone can finish the whole job. *)
+let run_chunks job index =
+  let slices = Array.length job.j_next in
+  let start = if index < slices then index else 0 in
+  for i = 0 to slices - 1 do
+    drain_slice job ((start + i) mod slices)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Workers *)
+
+let worker pool index =
   let rec wait epoch =
-    Mutex.lock pool.p_mutex;
-    while (not pool.p_shutdown) && pool.p_epoch = epoch do
-      Condition.wait pool.p_wake pool.p_mutex
-    done;
-    let job = pool.p_job and epoch' = pool.p_epoch in
-    let stop = pool.p_shutdown in
-    Mutex.unlock pool.p_mutex;
-    if stop then ()
+    let rec spin budget =
+      if Atomic.get pool.p_shutdown then ()
+      else if Atomic.get pool.p_epoch <> epoch then ()
+      else if budget = 0 then park ()
+      else begin
+        Domain.cpu_relax ();
+        spin (budget - 1)
+      end
+    and park () =
+      Mutex.lock pool.p_mutex;
+      Atomic.incr pool.p_sleepers;
+      while
+        (not (Atomic.get pool.p_shutdown)) && Atomic.get pool.p_epoch = epoch
+      do
+        Condition.wait pool.p_wake pool.p_mutex
+      done;
+      Atomic.decr pool.p_sleepers;
+      Mutex.unlock pool.p_mutex
+    in
+    spin spin_budget;
+    if Atomic.get pool.p_shutdown then ()
     else begin
-      (match job with Some j -> run_chunks j | None -> ());
+      (* Reading the epoch before the job is what makes this safe: a job
+         is published before its epoch bump, so whatever epoch we see,
+         the job read below is either that epoch's job (we help), an
+         already-finished one (its cursors are dry), or None (the job
+         completed without us).  Claims are idempotent under re-entry. *)
+      let epoch' = Atomic.get pool.p_epoch in
+      (match Atomic.get pool.p_job with
+       | Some job -> run_chunks job index
+       | None -> ());
       wait epoch'
     end
   in
   wait 0
 
-let create size =
+let create ?(steal = true) size =
   let size = max 1 size in
   let pool =
     { p_size = size;
+      p_steal = steal;
       p_mutex = Mutex.create ();
       p_wake = Condition.create ();
       p_busy = Atomic.make false;
-      p_job = None;
-      p_epoch = 0;
-      p_shutdown = false;
+      p_job = Atomic.make None;
+      p_epoch = Atomic.make 0;
+      p_sleepers = Atomic.make 0;
+      p_shutdown = Atomic.make false;
       p_domains = [] }
   in
-  pool.p_domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool.p_domains <-
+    List.init (size - 1) (fun i -> Domain.spawn (fun () -> worker pool (i + 1)));
   pool
 
 let size pool = pool.p_size
 
+let stealing pool = pool.p_steal
+
 let shutdown pool =
+  Atomic.set pool.p_shutdown true;
   Mutex.lock pool.p_mutex;
-  pool.p_shutdown <- true;
   Condition.broadcast pool.p_wake;
   Mutex.unlock pool.p_mutex;
   List.iter Domain.join pool.p_domains;
@@ -96,48 +201,86 @@ let shutdown pool =
 
 let sequential_for lo hi body = if lo <= hi then body lo hi
 
-(* Default chunk size: aim for several chunks per worker so that uneven
-   iteration costs still balance, without making chunks so small that the
-   fetch-and-add dominates. *)
-let chunk_for pool lo hi =
-  let span = hi - lo + 1 in
-  max 1 (span / (pool.p_size * 4))
-
 let parallel_for ?chunk pool ~lo ~hi (body : int -> int -> unit) =
   if lo > hi then ()
   else if hi = lo then body lo hi
+  else if pool.p_size = 1 then body lo hi
   else if not (Atomic.compare_and_set pool.p_busy false true) then
     (* Re-entrant call (e.g. a nested DOALL reached dynamically): run
-       inline rather than deadlock on the single job slot. *)
+       inline rather than queue behind the outer job. *)
     body lo hi
   else begin
-    let chunk = match chunk with Some c -> max 1 c | None -> chunk_for pool lo hi in
-    let nchunks = ((hi - lo) / chunk) + 1 in
+    let span = hi - lo + 1 in
     let job =
-      { j_lo = lo;
-        j_hi = hi;
-        j_chunk = chunk;
-        j_body = body;
-        j_next = Atomic.make lo;
-        j_pending = Atomic.make nchunks;
-        j_error = Atomic.make None }
+      if pool.p_steal then begin
+        (* One contiguous slice per worker — but never slices smaller
+           than the grain; slice [i] owns [lo + i*len .. ...], the last
+           slice takes the remainder. *)
+        let slices = max 1 (min pool.p_size (span / slice_grain)) in
+        let len = span / slices in
+        let next =
+          Array.init slices (fun i -> Atomic.make (lo + (i * len)))
+        in
+        let limit =
+          Array.init slices (fun i ->
+              if i = slices - 1 then hi else lo + ((i + 1) * len) - 1)
+        in
+        { j_body = body;
+          j_next = next;
+          j_limit = limit;
+          j_pending = Atomic.make span;
+          j_error = Atomic.make None;
+          (* Halving from len bottoms out at min_chunk: an eighth of a
+             slice keeps 8 stealable pieces per slice while claiming no
+             more often than the fixed baseline does. *)
+          j_min_chunk =
+            (match chunk with Some c -> max 1 c | None -> max 1 (len / 8));
+          j_max_chunk = max slice_grain (len / 4);
+          j_fixed = 0 }
+      end
+      else begin
+        (* Baseline scheduler: one shared slice, fixed chunks sized for
+           several chunks per worker. *)
+        let c =
+          match chunk with
+          | Some c -> max 1 c
+          | None -> max 1 (span / (pool.p_size * 4))
+        in
+        { j_body = body;
+          j_next = [| Atomic.make lo |];
+          j_limit = [| hi |];
+          j_pending = Atomic.make span;
+          j_error = Atomic.make None;
+          j_min_chunk = c;
+          j_max_chunk = max_int;
+          j_fixed = c }
+      end
     in
-    ignore job.j_lo;
-    Mutex.lock pool.p_mutex;
-    pool.p_job <- Some job;
-    pool.p_epoch <- pool.p_epoch + 1;
-    Condition.broadcast pool.p_wake;
-    Mutex.unlock pool.p_mutex;
-    (* The caller works too. *)
-    run_chunks job;
-    (* Wait for stragglers (busy-wait is fine: chunks are short-lived and
-       the caller just finished helping). *)
+    (* Publish: job first, then the epoch bump the workers watch.  The
+       mutex is only touched when somebody is actually parked. *)
+    Atomic.set pool.p_job (Some job);
+    Atomic.incr pool.p_epoch;
+    if span >= wake_threshold && Atomic.get pool.p_sleepers > 0 then begin
+      Mutex.lock pool.p_mutex;
+      Condition.broadcast pool.p_wake;
+      Mutex.unlock pool.p_mutex
+    end;
+    (* The caller works too (as worker 0), then waits out stragglers on
+       the reusable barrier: at most one chunk per worker remains in
+       flight, so spin briefly, then yield the processor — on a machine
+       with fewer cores than workers the straggler needs this core to
+       finish its chunk at all. *)
+    run_chunks job 0;
+    let spins = ref 0 in
     while Atomic.get job.j_pending > 0 do
-      Domain.cpu_relax ()
+      incr spins;
+      if !spins >= spin_budget then begin
+        spins := 0;
+        Thread.yield ()
+      end
+      else Domain.cpu_relax ()
     done;
-    Mutex.lock pool.p_mutex;
-    pool.p_job <- None;
-    Mutex.unlock pool.p_mutex;
+    Atomic.set pool.p_job None;
     Atomic.set pool.p_busy false;
     match Atomic.get job.j_error with
     | Some exn -> raise exn
@@ -145,8 +288,8 @@ let parallel_for ?chunk pool ~lo ~hi (body : int -> int -> unit) =
   end
 
 (* Run [f] with a temporary pool of [size] workers. *)
-let with_pool size f =
-  let pool = create size in
+let with_pool ?steal size f =
+  let pool = create ?steal size in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
 let recommended_size () = Domain.recommended_domain_count ()

@@ -1,22 +1,32 @@
 (** A fixed pool of worker domains executing parallel for loops — the
     MIMD substrate the scheduler's DOALL loops target.
 
-    Workers are spawned once and parked; {!parallel_for} publishes a job,
-    participates itself, and hands out contiguous chunks through an
-    atomic fetch-and-add so uneven iteration costs still balance. *)
+    Workers are spawned once; between jobs they spin briefly on an epoch
+    counter and then park, so issuing a job from a tight outer loop
+    (the wavefront shape, [DO K (DOALL ...)]) costs an atomic store per
+    epoch rather than a mutex round-trip.  {!parallel_for} splits the
+    range into per-worker slices with guided self-scheduling chunks;
+    workers that finish their slice steal from the others, so uneven
+    iteration costs still balance. *)
 
 type t
 
-val create : int -> t
+val create : ?steal:bool -> int -> t
 (** [create n] spawns a pool of [n] workers total (including the calling
-    domain); clamped to at least 1. *)
+    domain); clamped to at least 1.  [steal] (default [true]) selects
+    the work-stealing scheduler with guided chunks; [~steal:false] keeps
+    a single shared queue with fixed [span / (4 * size)] chunks — the
+    measurable baseline for A/B runs. *)
 
 val size : t -> int
+
+val stealing : t -> bool
+(** Whether this pool uses the work-stealing scheduler. *)
 
 val shutdown : t -> unit
 (** Terminate and join the workers.  The pool must not be used after. *)
 
-val with_pool : int -> (t -> 'a) -> 'a
+val with_pool : ?steal:bool -> int -> (t -> 'a) -> 'a
 (** Run with a temporary pool, shutting it down on exit (also on
     exceptions). *)
 
@@ -24,9 +34,10 @@ val parallel_for : ?chunk:int -> t -> lo:int -> hi:int -> (int -> int -> unit) -
 (** [parallel_for pool ~lo ~hi body] runs [body a b] over disjoint chunks
     covering [lo..hi] (inclusive), concurrently.  Empty ranges do
     nothing.  A re-entrant call from inside a running job executes
-    inline.  If bodies raise, the loop is drained and the first exception
-    re-raised at the caller.  [chunk] overrides the chunk size (default:
-    span / (4 * size), at least 1). *)
+    inline.  If bodies raise, the remaining iterations are drained
+    without executing and the first exception is re-raised at the
+    caller.  [chunk] sets the minimum claim size (stealing mode) or the
+    fixed chunk size (baseline mode); at least 1. *)
 
 val sequential_for : int -> int -> (int -> int -> unit) -> unit
 (** [sequential_for lo hi body] is [body lo hi] when the range is

@@ -1,0 +1,19 @@
+(** DOALL nest collapsing (marking pass).
+
+    Detects perfectly nested DOALL bands — a DOALL whose body is exactly
+    one descriptor, itself a DOALL — and sets {!Flowchart.loop.lp_collapse}
+    on the head, licensing the interpreter and code generator to flatten
+    the band into one combined iteration space.  Legality per axis is the
+    DOALL guarantee the scheduler already established (dependence
+    distance zero across every axis of the band); {!Verify} checks that
+    marks sit only on such perfect pairs. *)
+
+val mark : Flowchart.t -> Flowchart.t
+(** Mark every collapsible band head, bottom-up; a depth-[k] perfect
+    DOALL nest gets [k-1] marks (each non-innermost header). *)
+
+val count : Flowchart.t -> int
+(** Number of collapse marks present. *)
+
+val clear : Flowchart.t -> Flowchart.t
+(** Remove all collapse marks (the A/B baseline). *)

@@ -32,6 +32,12 @@ and loop = {
   lp_var : string;              (* canonical loop variable *)
   lp_range : Stypes.subrange;   (* bounds of the loop *)
   lp_kind : loop_kind;
+  lp_collapse : bool;
+      (* Head of a perfectly nested DOALL band: the interpreter and code
+         generator may flatten this loop together with the DOALL
+         immediately inside it into one combined iteration space.
+         Marked by the [Collapse] pass; always false straight out of the
+         scheduler. *)
   lp_body : descriptor list;
 }
 
@@ -52,6 +58,11 @@ type t = descriptor list
 
 let kind_name = function Iterative -> "DO" | Parallel -> "DOALL"
 
+(* Display form of a loop's keyword; a [*] marks the head of a
+   collapsible DOALL band, so marked and unmarked flowcharts are
+   distinguishable in goldens while unmarked output is unchanged. *)
+let loop_keyword l = kind_name l.lp_kind ^ if l.lp_collapse then "*" else ""
+
 (* Compact single-line form used throughout the paper's Fig. 5:
    "DO K (DOALL I (DOALL J (eq.3)))". *)
 let rec pp_compact em ppf (fc : t) =
@@ -61,7 +72,7 @@ and pp_descriptor_compact em ppf = function
   | D_data d -> Fmt.pf ppf "%s" d
   | D_eq { er_id; _ } -> Fmt.string ppf (Elab.eq_exn em er_id).Elab.q_name
   | D_loop l ->
-    Fmt.pf ppf "%s %s (%a)" (kind_name l.lp_kind) l.lp_var (pp_compact em) l.lp_body
+    Fmt.pf ppf "%s %s (%a)" (loop_keyword l) l.lp_var (pp_compact em) l.lp_body
   | D_solve s ->
     Fmt.pf ppf "SOLVE %s = %s (%a)" s.sv_var
       (Ps_lang.Pretty.expr_to_string s.sv_rhs)
@@ -77,7 +88,7 @@ and pp_descriptor_tree em ppf = function
   | D_data d -> Fmt.string ppf d
   | D_eq { er_id; _ } -> Fmt.string ppf (Elab.eq_exn em er_id).Elab.q_name
   | D_loop l ->
-    Fmt.pf ppf "@[<v2>%s %s (@,%a@]@,)" (kind_name l.lp_kind) l.lp_var
+    Fmt.pf ppf "@[<v2>%s %s (@,%a@]@,)" (loop_keyword l) l.lp_var
       (fun ppf body -> pp_tree em ppf body)
       l.lp_body
   | D_solve s ->

@@ -362,6 +362,7 @@ and schedule_component st (sg : Scc.subgraph) (comp : Scc.component) : Flowchart
           { lp_var = ch.ch_loop_var;
             lp_range = ch.ch_range;
             lp_kind = kind;
+            lp_collapse = false;
             lp_body = body } ])
 
 (* ------------------------------------------------------------------ *)

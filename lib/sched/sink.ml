@@ -89,7 +89,7 @@ let rec data_used em (e : Ast.expr) acc =
 let rec extraction_shape (d : Flowchart.descriptor) =
   match d with
   | Flowchart.D_eq er -> Some ([], er)
-  | Flowchart.D_loop { lp_kind = Flowchart.Parallel; lp_var; lp_range; lp_body = [ inner ] } -> (
+  | Flowchart.D_loop { lp_kind = Flowchart.Parallel; lp_var; lp_range; lp_body = [ inner ]; _ } -> (
     match extraction_shape inner with
     | Some (vars, er) -> Some ((lp_var, lp_range) :: vars, er)
     | None -> None)
@@ -286,6 +286,7 @@ let apply (em : Elab.emodule) (sched : Schedule.result) : result =
                         { lp_var = v;
                           lp_range = range;
                           lp_kind = Flowchart.Parallel;
+                          lp_collapse = false;
                           lp_body = [ body ] })
                     remaining inner
                 in

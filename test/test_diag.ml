@@ -113,19 +113,21 @@ let all_models =
     ("particles", M.particles); ("lcs", M.lcs) ]
 
 let pass_combos =
-  [ ("plain", false, false, false); ("sink", true, false, false);
-    ("fuse", false, true, false); ("trim", false, false, true);
-    ("all", true, true, true) ]
+  [ ("plain", false, false, false, false); ("sink", true, false, false, false);
+    ("fuse", false, true, false, false); ("trim", false, false, true, false);
+    ("collapse", false, false, false, true); ("all", true, true, true, false);
+    ("all+collapse", true, true, true, true) ]
 
 (* Schedule every module of [src] under the given passes; modules the
    basic algorithm cannot order are skipped (that is what the
    hyperplane transformation is for). *)
-let scheduled ?(sink = false) ?(fuse = false) ?(trim = false) src =
+let scheduled ?(sink = false) ?(fuse = false) ?(trim = false)
+    ?(collapse = false) src =
   let t = Psc.load_string src in
   List.filter_map
     (fun name ->
       let em = Psc.find_module t name in
-      try Some (Psc.schedule ~sink ~fuse ~trim em)
+      try Some (Psc.schedule ~sink ~fuse ~trim ~collapse em)
       with Psc.Error _ -> None)
     (Psc.modules t)
 
@@ -134,13 +136,13 @@ let accept_tests =
         List.iter
           (fun (mname, src) ->
             List.iter
-              (fun (pname, sink, fuse, trim) ->
+              (fun (pname, sink, fuse, trim, collapse) ->
                 List.iter
                   (fun sc ->
                     let diags = Psc.verify sc in
                     if Diag.errors diags <> [] then
                       Alcotest.failf "%s [%s]: %s" mname pname (codes diags))
-                  (scheduled ~sink ~fuse ~trim src))
+                  (scheduled ~sink ~fuse ~trim ~collapse src))
               pass_combos)
           all_models);
     t "the transformed relaxation verifies end to end" (fun () ->

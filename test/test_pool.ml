@@ -5,7 +5,7 @@ open Ps_runtime
 
 let t name f = Alcotest.test_case name `Quick f
 
-let with_pool n f = Pool.with_pool n f
+let with_pool ?steal n f = Pool.with_pool ?steal n f
 
 let sum_range pool lo hi chunk =
   let acc = Atomic.make 0 in
@@ -94,6 +94,91 @@ let error_tests =
              with Boom -> ());
             Alcotest.(check int) "sum after" (expected 0 99) (sum_range pool 0 99 None))) ]
 
+(* The stealing scheduler and the fixed-chunk baseline it is measured
+   against.  Stealing is the default, so the suites above already run on
+   it; these pin down what is specific to each mode. *)
+let stealing_tests =
+  [ t "stealing is on by default and reported" (fun () ->
+        with_pool 3 (fun pool ->
+            Alcotest.(check bool) "default" true (Pool.stealing pool)));
+    t "no-steal pool reports stealing off" (fun () ->
+        with_pool ~steal:false 3 (fun pool ->
+            Alcotest.(check bool) "off" false (Pool.stealing pool)));
+    t "no-steal pool sums a range" (fun () ->
+        with_pool ~steal:false 4 (fun pool ->
+            Alcotest.(check int) "sum" (expected 0 999) (sum_range pool 0 999 None)));
+    t "no-steal visits every index exactly once" (fun () ->
+        with_pool ~steal:false 4 (fun pool ->
+            let n = 2000 in
+            let marks = Array.make n 0 in
+            Pool.parallel_for pool ~lo:0 ~hi:(n - 1) (fun a b ->
+                for i = a to b do
+                  marks.(i) <- marks.(i) + 1
+                done);
+            Alcotest.(check bool) "all once" true
+              (Array.for_all (fun c -> c = 1) marks)));
+    t "skewed work still visits every index exactly once" (fun () ->
+        (* All the weight sits in the last slice, so finishing relies on
+           stealing (or on the caller's own round-robin sweep). *)
+        with_pool 4 (fun pool ->
+            let n = 1024 in
+            let marks = Array.make n 0 in
+            Pool.parallel_for pool ~lo:0 ~hi:(n - 1) (fun a b ->
+                for i = a to b do
+                  if i >= 3 * n / 4 then begin
+                    let s = ref 0 in
+                    for k = 0 to 2000 do s := !s + k done;
+                    ignore !s
+                  end;
+                  marks.(i) <- marks.(i) + 1
+                done);
+            Alcotest.(check bool) "all once" true
+              (Array.for_all (fun c -> c = 1) marks)));
+    t "exception in a foreign slice still propagates" (fun () ->
+        (* The failing indices live in the last slice; the caller only
+           reaches them by stealing, which is where the error record has
+           to make it back from. *)
+        with_pool 4 (fun pool ->
+            match
+              Pool.parallel_for pool ~lo:0 ~hi:9999 (fun _ b ->
+                  if b > 9000 then raise Boom)
+            with
+            | exception Boom -> ()
+            | () -> Alcotest.fail "expected Boom"));
+    t "failed job drains without re-running bodies" (fun () ->
+        with_pool 4 (fun pool ->
+            let executed = Atomic.make 0 in
+            (try
+               Pool.parallel_for pool ~lo:0 ~hi:99_999 (fun _ _ ->
+                   Atomic.incr executed;
+                   raise Boom)
+             with Boom -> ());
+            (* Guided chunking yields dozens of chunks here; once the
+               first body fails the rest must be claimed-and-skipped, so
+               only the handful in flight at that instant ever ran. *)
+            Alcotest.(check bool) "drained" true (Atomic.get executed < 20)));
+    t "no-steal pool is usable after an exception" (fun () ->
+        with_pool ~steal:false 4 (fun pool ->
+            (try
+               Pool.parallel_for pool ~lo:0 ~hi:100 (fun _ _ -> raise Boom)
+             with Boom -> ());
+            Alcotest.(check int) "sum after" (expected 0 99)
+              (sum_range pool 0 99 None)));
+    t "nested loops across two pools both fork" (fun () ->
+        (* An inner loop on a *different* idle pool takes the real forking
+           path even while the outer job is in flight. *)
+        with_pool 3 (fun outer ->
+            with_pool 2 (fun inner ->
+                let acc = Atomic.make 0 in
+                Pool.parallel_for outer ~lo:0 ~hi:7 (fun a b ->
+                    for _i = a to b do
+                      Pool.parallel_for inner ~lo:0 ~hi:3 (fun c d ->
+                          for _j = c to d do
+                            ignore (Atomic.fetch_and_add acc 1)
+                          done)
+                    done);
+                Alcotest.(check int) "all iterations" 32 (Atomic.get acc)))) ]
+
 let determinism_prop =
   QCheck.Test.make ~count:60 ~name:"parallel sum equals sequential sum"
     QCheck.(triple (int_range 0 300) (int_range 0 300) (int_range 1 64))
@@ -101,9 +186,18 @@ let determinism_prop =
       with_pool 3 (fun pool ->
           sum_range pool lo (lo + span) (Some chunk) = expected lo (lo + span)))
 
+let no_steal_prop =
+  QCheck.Test.make ~count:60 ~name:"fixed-chunk baseline sum equals sequential sum"
+    QCheck.(triple (int_range 0 300) (int_range 0 300) (int_range 1 64))
+    (fun (lo, span, chunk) ->
+      with_pool ~steal:false 3 (fun pool ->
+          sum_range pool lo (lo + span) (Some chunk) = expected lo (lo + span)))
+
 let () =
   Alcotest.run "pool"
     [ ("basic", basic_tests);
       ("reuse", reuse_tests);
       ("errors", error_tests);
-      ("properties", [ QCheck_alcotest.to_alcotest determinism_prop ]) ]
+      ("stealing", stealing_tests);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest [ determinism_prop; no_steal_prop ]) ]

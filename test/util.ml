@@ -20,9 +20,9 @@ let windows_of ?(sink = false) src =
     sc.Psc.sc_windows
 
 (* Run a module and return the outputs. *)
-let run ?pool ?sink ?fuse ?trim ?use_windows ?stats ?name src inputs =
+let run ?pool ?sink ?fuse ?trim ?collapse ?use_windows ?stats ?name src inputs =
   let t = load src in
-  Psc.run ?pool ?sink ?fuse ?trim ?use_windows ?stats ?name t ~inputs
+  Psc.run ?pool ?sink ?fuse ?trim ?collapse ?use_windows ?stats ?name t ~inputs
 
 let output_real r name idx =
   Psc.Exec.read_real (List.assoc name r.Psc.Exec.outputs) idx
