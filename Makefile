@@ -1,4 +1,4 @@
-.PHONY: all build test bench-quick fmt lint-examples clean
+.PHONY: all build test bench-quick fmt lint-examples trace-demo clean
 
 all: build
 
@@ -23,6 +23,14 @@ fmt-fix:
 # Run psc lint over every PS example (also part of `dune runtest`).
 lint-examples: build
 	sh bin/lint_examples.sh _build/default/bin/psc_main.exe examples/ps
+
+# Trace a full compile + run of the relaxation example and validate the
+# emitted Chrome trace file (loadable in Perfetto / chrome://tracing).
+trace-demo: build
+	_build/default/bin/psc_main.exe run --trace trace_demo.json \
+	  --par 4 --stats -i M=64 -i maxK=20 examples/ps/relaxation.ps
+	_build/default/bin/psc_main.exe trace-check trace_demo.json
+	@echo "trace-demo: trace_demo.json is valid"
 
 clean:
 	dune clean

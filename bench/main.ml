@@ -213,11 +213,23 @@ let part2 () =
 
 let experiments : string list ref = ref []
 
-let record ~name ~wall ~(ws : Psc.Analysis.cost) ~pool ~steal ~collapse =
+(* Every row carries the pool-observability fields; sequential rows
+   report zeros so consumers can treat the schema as uniform. *)
+let record ~name ~wall ~(ws : Psc.Analysis.cost) ~pool ~steal ~collapse ~stats =
+  let steals, attempts, util, imb =
+    match (stats : Psc.Pool.summary option) with
+    | None -> (0, 0, 0.0, 0.0)
+    | Some sm ->
+      ( sm.Psc.Pool.sm_steals,
+        sm.Psc.Pool.sm_steal_attempts,
+        sm.Psc.Pool.sm_utilization,
+        sm.Psc.Pool.sm_imbalance )
+  in
   experiments :=
     Printf.sprintf
-      "{\"name\":%S,\"wall_s\":%.6f,\"work\":%.0f,\"span\":%.0f,\"pool\":%d,\"steal\":%b,\"collapse\":%b}"
+      "{\"name\":%S,\"wall_s\":%.6f,\"work\":%.0f,\"span\":%.0f,\"pool\":%d,\"steal\":%b,\"collapse\":%b,\"steals\":%d,\"steal_attempts\":%d,\"utilization\":%.4f,\"imbalance\":%.3f}"
       name wall ws.Psc.Analysis.work ws.Psc.Analysis.span pool steal collapse
+      steals attempts util imb
     :: !experiments
 
 let ab_pool_size = 4
@@ -238,25 +250,34 @@ let part2b () =
   Fmt.pr "============================================================@.@.";
   let pool_steal = Psc.Pool.create ab_pool_size in
   let pool_fixed = Psc.Pool.create ~steal:false ab_pool_size in
+  (* Pool counters are gated on the metrics flag; turn it on for the A/B
+     section so every pooled row carries steal/utilization data, and off
+     again afterwards so part 3's micro-benchmarks run uninstrumented. *)
+  Psc.Metrics.set_enabled true;
   Fmt.pr "%-12s | %10s %12s %12s %14s@." "experiment" "seq" "fixed-chunk"
     "steal" "steal+collapse";
+  (* Timings aggregate over [time_best]'s reps, and so do the pool
+     counters: utilization and imbalance are ratios of the accumulated
+     sums, which is what we want reported. *)
+  let timed_pool pool ~collapse
+      (runner : ?pool:Psc.Pool.t -> collapse:bool -> unit -> unit) =
+    Psc.Pool.reset_stats pool;
+    let t = time_best (fun () -> runner ~pool ~collapse ()) in
+    (t, Psc.Pool.summary pool)
+  in
   let ab name ws (runner : ?pool:Psc.Pool.t -> collapse:bool -> unit -> unit) =
     let t_seq = time_best (fun () -> runner ~collapse:false ()) in
-    let t_fixed =
-      time_best (fun () -> runner ~pool:pool_fixed ~collapse:false ())
-    in
-    let t_steal =
-      time_best (fun () -> runner ~pool:pool_steal ~collapse:false ())
-    in
-    let t_sc = time_best (fun () -> runner ~pool:pool_steal ~collapse:true ()) in
+    let t_fixed, sm_fixed = timed_pool pool_fixed ~collapse:false runner in
+    let t_steal, sm_steal = timed_pool pool_steal ~collapse:false runner in
+    let t_sc, sm_sc = timed_pool pool_steal ~collapse:true runner in
     record ~name:(name ^ "_seq") ~wall:t_seq ~ws ~pool:1 ~steal:false
-      ~collapse:false;
+      ~collapse:false ~stats:None;
     record ~name:(name ^ "_par_fixed") ~wall:t_fixed ~ws ~pool:ab_pool_size
-      ~steal:false ~collapse:false;
+      ~steal:false ~collapse:false ~stats:(Some sm_fixed);
     record ~name:(name ^ "_par_steal") ~wall:t_steal ~ws ~pool:ab_pool_size
-      ~steal:true ~collapse:false;
+      ~steal:true ~collapse:false ~stats:(Some sm_steal);
     record ~name:(name ^ "_par_steal_collapse") ~wall:t_sc ~ws
-      ~pool:ab_pool_size ~steal:true ~collapse:true;
+      ~pool:ab_pool_size ~steal:true ~collapse:true ~stats:(Some sm_sc);
     Fmt.pr "%-12s | %10.4f %12.4f %12.4f %14.4f@." name t_seq t_fixed t_steal
       t_sc
   in
@@ -304,6 +325,7 @@ let part2b () =
     lcs_sizes;
   Psc.Pool.shutdown pool_steal;
   Psc.Pool.shutdown pool_fixed;
+  Psc.Metrics.set_enabled false;
   Fmt.pr "@."
 
 let write_json path =

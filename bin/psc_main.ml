@@ -109,6 +109,34 @@ let werror_arg =
   let doc = "Exit non-zero if any warning is reported." in
   Arg.(value & flag & info [ "werror" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Record a span trace of the compiler pipeline and write it to $(docv) \
+     as Chrome trace-event JSON (loadable in Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Run [f] with tracing enabled, writing the trace on every exit path.
+   Several subcommands finish through [exit] (which does not unwind), so
+   the writer is registered with [at_exit] as well as [Fun.protect]; the
+   [written] flag keeps the two paths from double-writing. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Psc.Trace.set_enabled true;
+    let written = ref false in
+    let write () =
+      if not !written then begin
+        written := true;
+        Psc.Trace.set_enabled false;
+        try Psc.Trace.write path
+        with Sys_error m -> Fmt.epr "psc: cannot write trace: %s@." m
+      end
+    in
+    at_exit write;
+    Fun.protect ~finally:write f
+
 (* ------------------------------------------------------------------ *)
 
 let parse_cmd =
@@ -123,8 +151,9 @@ let parse_cmd =
     Term.(const run $ file_arg)
 
 let check_cmd =
-  let run file json werror =
+  let run file json werror trace =
     handle (fun () ->
+        with_trace trace @@ fun () ->
         let t = Psc.load_string_lenient (read_source file) in
         let format = if json then Psc.Diag.Json else Psc.Diag.Text in
         report ~format Fmt.stdout t.Psc.diagnostics;
@@ -140,11 +169,12 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Elaborate and type-check a PS program.")
-    Term.(const run $ file_arg $ json_arg $ werror_arg)
+    Term.(const run $ file_arg $ json_arg $ werror_arg $ trace_arg)
 
 let lint_cmd =
-  let run file json werror =
+  let run file json werror trace =
     handle (fun () ->
+        with_trace trace @@ fun () ->
         let t = Psc.load_string_lenient (read_source file) in
         let diags = Psc.lint t in
         let format = if json then Psc.Diag.Json else Psc.Diag.Text in
@@ -159,7 +189,7 @@ let lint_cmd =
          "Run every static lint: single-assignment analysis, unused data \
           and dead equations, symbolically out-of-bounds subscripts, and \
           virtualization failures.")
-    Term.(const run $ file_arg $ json_arg $ werror_arg)
+    Term.(const run $ file_arg $ json_arg $ werror_arg $ trace_arg)
 
 let graph_cmd =
   let dot =
@@ -181,8 +211,9 @@ let schedule_cmd =
   let compact =
     Arg.(value & flag & info [ "compact" ] ~doc:"One-line flowchart format.")
   in
-  let run file name sink fuse trim collapse compact verify =
+  let run file name sink fuse trim collapse compact verify trace =
     handle (fun () ->
+        with_trace trace @@ fun () ->
         let t = load file in
         let em = Psc.the_module ?name t in
         let sc = Psc.schedule ~sink ~fuse ~trim ~collapse em in
@@ -199,7 +230,7 @@ let schedule_cmd =
     (Cmd.info "schedule"
        ~doc:"Schedule a module: components, flowchart, storage windows.")
     Term.(const run $ file_arg $ module_arg $ sink_arg $ fuse_arg $ trim_arg
-          $ collapse_arg $ compact $ verify_arg)
+          $ collapse_arg $ compact $ verify_arg $ trace_arg)
 
 let transform_cmd =
   let target =
@@ -209,8 +240,9 @@ let transform_cmd =
       & info [ "target" ] ~docv:"ARRAY"
           ~doc:"Recursively defined local array to transform.")
   in
-  let run file name target verify =
+  let run file name target verify trace =
     handle (fun () ->
+        with_trace trace @@ fun () ->
         let t = load file in
         let t', tr = Psc.hyperplane ?name ~target t in
         if verify then verify_transform tr;
@@ -227,7 +259,7 @@ let transform_cmd =
   Cmd.v
     (Cmd.info "transform"
        ~doc:"Apply the hyperplane restructuring transformation (paper sec. 4).")
-    Term.(const run $ file_arg $ module_arg $ target $ verify_arg)
+    Term.(const run $ file_arg $ module_arg $ target $ verify_arg $ trace_arg)
 
 let scalar_assoc =
   let parse s =
@@ -258,8 +290,9 @@ let emit_c_cmd =
           ~doc:"Also emit a main() harness that fills inputs and prints checksums \
                 (requires every scalar input via --input).")
   in
-  let run file name sink collapse main inputs verify =
+  let run file name sink collapse main inputs verify trace =
     handle (fun () ->
+        with_trace trace @@ fun () ->
         let t = load file in
         if verify then
           verify_schedule (Psc.schedule ~sink ~collapse (Psc.the_module ?name t));
@@ -270,7 +303,7 @@ let emit_c_cmd =
   Cmd.v
     (Cmd.info "emit-c" ~doc:"Generate C code for a module.")
     Term.(const run $ file_arg $ module_arg $ sink_arg $ collapse_arg $ main
-          $ inputs_arg $ verify_arg)
+          $ inputs_arg $ verify_arg $ trace_arg)
 
 (* Fill array inputs with the shared deterministic generator. *)
 let default_inputs _t em (scalars : (string * int) list) =
@@ -334,8 +367,26 @@ let run_cmd =
           ~doc:"Use the fixed-chunk single-queue pool scheduler instead of \
                 work stealing with guided chunks (the A/B baseline).")
   in
-  let run file name sink fuse trim collapse inputs par no_windows no_steal verify =
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"After execution, print per-worker pool statistics (chunks, \
+                steals, parks, busy time, utilization, imbalance) and the \
+                top-10 hottest loops with their source locations.")
+  in
+  let metrics_json =
+    Arg.(
+      value & flag
+      & info [ "metrics-json" ]
+          ~doc:"After execution, print the metrics registry as a JSON array.")
+  in
+  let run file name sink fuse trim collapse inputs par no_windows no_steal verify
+      stats metrics_json trace =
     handle (fun () ->
+        with_trace trace @@ fun () ->
+        if stats || metrics_json then Psc.Metrics.set_enabled true;
+        if stats then Psc.Prof.set_enabled true;
         let t = load file in
         let em = Psc.the_module ?name t in
         if verify then verify_schedule (Psc.schedule ~sink ~fuse ~trim ~collapse em);
@@ -344,11 +395,16 @@ let run_cmd =
           Psc.run ?name ~sink ~fuse ~trim ~collapse
             ~use_windows:(not no_windows) ?pool t ~inputs:ins
         in
+        (* The pool's per-worker table must be rendered before [with_pool]
+           drains the counters into the registry on the way out. *)
+        let pool_table = ref None in
         let r =
           match par with
           | Some n ->
             Psc.Pool.with_pool ~steal:(not no_steal) n (fun pool ->
-                exec (Some pool))
+                let r = exec (Some pool) in
+                if stats then pool_table := Some (Psc.Pool.render_stats pool);
+                r)
           | None -> exec None
         in
         List.iter
@@ -376,12 +432,21 @@ let run_cmd =
         Fmt.pr "--- storage ---@.";
         List.iter
           (fun (nm, words) -> Fmt.pr "%s: %d words@." nm words)
-          r.Psc.Exec.allocated)
+          r.Psc.Exec.allocated;
+        if stats then begin
+          Fmt.pr "--- pool ---@.";
+          (match !pool_table with
+           | Some table -> Fmt.pr "%s" table
+           | None -> Fmt.pr "no pool (run with --par N to collect pool stats)@.");
+          Fmt.pr "--- hot loops ---@.%s" (Psc.Prof.render_table ~limit:10 ())
+        end;
+        if metrics_json then Fmt.pr "%s@." (Psc.Metrics.render_json ()))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Schedule and execute a module on the interpreter substrate.")
     Term.(const run $ file_arg $ module_arg $ sink_arg $ fuse_arg $ trim_arg
-          $ collapse_arg $ inputs_arg $ par $ no_windows $ no_steal $ verify_arg)
+          $ collapse_arg $ inputs_arg $ par $ no_windows $ no_steal $ verify_arg
+          $ stats_flag $ metrics_json $ trace_arg)
 
 let eqn_cmd =
   let ps_only =
@@ -463,11 +528,38 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Reproduce every figure of the paper from built-in sources.")
     Term.(const run $ const ())
 
+let trace_check_cmd =
+  let run file =
+    handle (fun () ->
+        let text = read_source file in
+        match Psc.Trace.parse_chrome text with
+        | exception Psc.Trace.Invalid_trace m ->
+          Fmt.epr "psc: invalid trace: %s@." m;
+          exit 1
+        | events -> (
+          match Psc.Trace.validate events with
+          | Ok () ->
+            Fmt.pr "trace ok: %d events, %d threads@." (List.length events)
+              (List.length
+                 (List.sort_uniq compare
+                    (List.map (fun e -> e.Psc.Trace.ev_tid) events)))
+          | Error m ->
+            Fmt.epr "psc: invalid trace: %s@." m;
+            exit 1))
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a Chrome trace-event file produced by --trace: every B \
+          span is closed by a matching E and timestamps are monotone per \
+          thread.")
+    Term.(const run $ file_arg)
+
 let main_cmd =
   let doc = "compiler for the PS nonprocedural dataflow language" in
   Cmd.group
     (Cmd.info "psc" ~version:"1.0.0" ~doc)
     [ parse_cmd; check_cmd; lint_cmd; graph_cmd; schedule_cmd; transform_cmd;
-      emit_c_cmd; run_cmd; analyze_cmd; eqn_cmd; demo_cmd ]
+      emit_c_cmd; run_cmd; analyze_cmd; eqn_cmd; demo_cmd; trace_check_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

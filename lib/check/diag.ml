@@ -32,6 +32,7 @@ type code =
   | No_virtualization
   | Unschedulable
   | Unverified_window
+  | Sequential_doall
 
 let code_id = function
   | Undefined_data -> "E001"
@@ -56,6 +57,7 @@ let code_id = function
   | No_virtualization -> "W112"
   | Unschedulable -> "W113"
   | Unverified_window -> "W114"
+  | Sequential_doall -> "W120"
 
 let code_severity c =
   match (code_id c).[0] with 'E' -> Error | _ -> Warning

@@ -42,6 +42,9 @@ type code =
                                  module; the hyperplane transform may apply *)
   | Unverified_window        (** W114: a window's safety rests on a
                                  non-affine use the verifier cannot bound *)
+  | Sequential_doall         (** W120: a scheduled DOALL's constant trip count
+                                 is below the pool's wake threshold, so it
+                                 runs effectively sequentially *)
 
 val code_id : code -> string
 (** The stable identifier, e.g. ["E010"]. *)

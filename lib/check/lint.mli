@@ -13,7 +13,10 @@
       reference, a non-affine subscript, an outside read of other than
       the final plane, or the at-most-one-window rule;
     - [W113] the basic scheduling algorithm cannot order the module (the
-      hyperplane transformation of §4 may apply).
+      hyperplane transformation of §4 may apply);
+    - [W120] a scheduled DOALL's constant trip count is below the
+      runtime pool's wake threshold, so it runs effectively
+      sequentially.
 
     All lints are advisory except [E020]; none alter the pipeline. *)
 
@@ -26,6 +29,11 @@ val subscripts : Ps_sem.Elab.emodule -> Ps_diag.Diag.t list
 val virtualization : Ps_sched.Schedule.result -> Ps_diag.Diag.t list
 (** Recursively indexed dimensions that fail virtualization, with the
     failing §3.4 rule ([W112]). *)
+
+val wake_check :
+  Ps_sem.Elab.emodule -> Ps_sched.Schedule.result -> Ps_diag.Diag.t list
+(** Outermost DOALLs whose constant trip count is below
+    {!Ps_runtime.Pool.wake_threshold} ([W120]). *)
 
 val module_ : Ps_sem.Elab.emodule -> Ps_diag.Diag.t list
 (** Every lint over one module: builds the graph, and schedules the

@@ -106,6 +106,7 @@ let distance ~(def : edge) ~def_aliases ~(use : edge) ~use_aliases lv =
 (* ------------------------------------------------------------------ *)
 
 let flowchart ?(windows = []) (g : Dgraph.t) (fc : Fc.t) : Diag.t list =
+  Ps_obs.Trace.with_span "verify" @@ fun () ->
   let em = g.g_module in
   let diags = ref [] in
   let report d = diags := d :: !diags in

@@ -356,6 +356,7 @@ let rec emit_descriptor st buf ~depth ~indent ~par ~bound
 
 let emit_module ?(windows = []) (em : Elab.emodule) (fc : Ps_sched.Flowchart.t) :
     string =
+  Ps_obs.Trace.with_span "emit" @@ fun () ->
   let buf = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let ctx = { x_em = em; x_indices = [] } in

@@ -43,6 +43,9 @@ module Value = Ps_interp.Value
 module Eval = Ps_interp.Eval
 module Exec = Ps_interp.Exec
 module Pool = Ps_runtime.Pool
+module Trace = Ps_obs.Trace
+module Metrics = Ps_obs.Metrics
+module Prof = Ps_obs.Prof
 
 exception Error of string
 
@@ -83,9 +86,12 @@ type t = {
 
 let load_string src =
   wrap (fun () ->
-      let ast = Parser.program_of_string src in
-      let prog = Elab.elab_program ast in
-      let diagnostics = Sa_check.check_program prog in
+      Trace.with_span "load" @@ fun () ->
+      let ast = Trace.with_span "parse" (fun () -> Parser.program_of_string src) in
+      let prog = Trace.with_span "elab" (fun () -> Elab.elab_program ast) in
+      let diagnostics =
+        Trace.with_span "sa_check" (fun () -> Sa_check.check_program prog)
+      in
       (match Sa_check.errors diagnostics with
        | [] -> ()
        | e :: _ -> error "%s" (Fmt.str "%a" Sa_check.pp_diagnostic e));
@@ -95,10 +101,13 @@ let load_string src =
    and load the resulting module as a project. *)
 let load_equations src =
   wrap (fun () ->
-      let m = Eqn.translate src in
+      Trace.with_span "load" @@ fun () ->
+      let m = Trace.with_span "parse" (fun () -> Eqn.translate src) in
       let ast = [ m ] in
-      let prog = Elab.elab_program ast in
-      let diagnostics = Sa_check.check_program prog in
+      let prog = Trace.with_span "elab" (fun () -> Elab.elab_program ast) in
+      let diagnostics =
+        Trace.with_span "sa_check" (fun () -> Sa_check.check_program prog)
+      in
       (match Sa_check.errors diagnostics with
        | [] -> ()
        | e :: _ -> error "%s" (Fmt.str "%a" Sa_check.pp_diagnostic e));
@@ -109,9 +118,12 @@ let load_equations src =
    them all and set the exit code from their severity. *)
 let load_string_lenient src =
   wrap (fun () ->
-      let ast = Parser.program_of_string src in
-      let prog = Elab.elab_program ast in
-      let diagnostics = Sa_check.check_program prog in
+      Trace.with_span "load" @@ fun () ->
+      let ast = Trace.with_span "parse" (fun () -> Parser.program_of_string src) in
+      let prog = Trace.with_span "elab" (fun () -> Elab.elab_program ast) in
+      let diagnostics =
+        Trace.with_span "sa_check" (fun () -> Sa_check.check_program prog)
+      in
       { ast; prog; diagnostics })
 
 let load_file path =
@@ -166,6 +178,7 @@ type scheduled = {
 let schedule ?(sink = false) ?(fuse = false) ?(trim = false) ?(collapse = false)
     em =
   wrap (fun () ->
+      Trace.with_span "schedule" @@ fun () ->
       let r = Schedule.schedule em in
       let fc, windows, sunk =
         if sink then
@@ -232,6 +245,7 @@ let verify sc =
    lint, over every module, sorted. *)
 let lint t =
   wrap (fun () ->
+      Trace.with_span "lint" @@ fun () ->
       let per_module =
         List.concat_map Lint.module_ t.prog.Elab.ep_modules
       in

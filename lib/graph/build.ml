@@ -76,6 +76,7 @@ let bound_vars em name =
   |> List.filter (is_data em)
 
 let build (em : Elab.emodule) : t =
+  Ps_obs.Trace.with_span "graph.build" @@ fun () ->
   let datas = em.Elab.em_params @ em.Elab.em_results @ em.Elab.em_locals in
   let data_nodes = List.map (fun (d : Elab.data) -> Data d.Elab.d_name) datas in
   let eq_nodes = List.map (fun (q : Elab.eq) -> Eq q.Elab.q_id) em.Elab.em_eqs in

@@ -33,6 +33,7 @@ type component = {
    can reach has been emitted, i.e. consumers first; reversing the output
    gives producers-first (topological) order. *)
 let components (sg : subgraph) : component list =
+  Ps_obs.Trace.with_span "graph.scc" @@ fun () ->
   let adj = Hashtbl.create 64 in
   List.iter
     (fun e ->

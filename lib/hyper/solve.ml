@@ -40,6 +40,7 @@ let default_limit vectors =
   (4 * n * maxc) + 8
 
 let solve ?limit (vectors : int array list) : int array =
+  Ps_obs.Trace.with_span "hyper.solve" @@ fun () ->
   match vectors with
   | [] -> raise (No_schedule "no dependence vectors")
   | v0 :: _ ->

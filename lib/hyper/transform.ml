@@ -120,6 +120,7 @@ let and_chain cs =
 (* ------------------------------------------------------------------ *)
 
 let apply (em : Elab.emodule) ~(target : string) : t =
+  Ps_obs.Trace.with_span "hyper.transform" @@ fun () ->
   let deps = Ineq.extract em ~target in
   let time = Solve.solve deps.Ineq.dep_vectors in
   let matrix = Solve.complete time in

@@ -17,6 +17,8 @@
 
 open Ps_sem
 open Value
+module Trace = Ps_obs.Trace
+module Prof = Ps_obs.Prof
 
 exception Runtime_error = Eval.Runtime_error
 
@@ -201,6 +203,20 @@ and compile_desc st benv ~par ~max_slot (d : Ps_sched.Flowchart.descriptor) :
     fun _ -> ignore (slab_of st name)
   | Ps_sched.Flowchart.D_eq { er_id; er_aliases } ->
     let w = compile_equation st benv ~aliases:er_aliases er_id in
+    let w =
+      (* Profiler sites are created at compile time (once per node) so
+         the execution wrapper is just clock-read + two atomic adds; a
+         disabled profiler leaves the closure untouched. *)
+      if Prof.enabled () then begin
+        let q = Elab.eq_exn st.st_em er_id in
+        let site = Prof.register ~kind:"eq" ~loc:q.Elab.q_loc q.Elab.q_name in
+        fun fr ->
+          let t0 = Ps_obs.Metrics.now_ns () in
+          w fr;
+          Prof.hit site ~ns:(Ps_obs.Metrics.now_ns () - t0)
+      end
+      else w
+    in
     if st.st_opts.collect_stats then (
       let c = st.st_evals in
       fun fr ->
@@ -231,26 +247,65 @@ and compile_desc st benv ~par ~max_slot (d : Ps_sched.Flowchart.descriptor) :
     let lo_f = Compile.compile_int cctx l.Ps_sched.Flowchart.lp_range.Stypes.sr_lo in
     let hi_f = Compile.compile_int cctx l.Ps_sched.Flowchart.lp_range.Stypes.sr_hi in
     let benv' = (l.Ps_sched.Flowchart.lp_var, slot) :: benv in
-    (match l.Ps_sched.Flowchart.lp_kind with
-     | Ps_sched.Flowchart.Iterative ->
-       let body = compile_descs st benv' ~par ~max_slot l.Ps_sched.Flowchart.lp_body in
-       fun fr ->
-         let lo = lo_f fr and hi = hi_f fr in
-         for v = lo to hi do
-           fr.(slot) <- v;
-           body fr
-         done
-     | Ps_sched.Flowchart.Parallel -> (
-       match st.st_opts.pool with
-       | Some pool when par -> compile_parallel_band st benv ~max_slot pool l
-       | _ ->
-         let body = compile_descs st benv' ~par ~max_slot l.Ps_sched.Flowchart.lp_body in
-         fun fr ->
-           let lo = lo_f fr and hi = hi_f fr in
-           for v = lo to hi do
-             fr.(slot) <- v;
-             body fr
-           done))
+    let f =
+      match l.Ps_sched.Flowchart.lp_kind with
+      | Ps_sched.Flowchart.Iterative ->
+        let body = compile_descs st benv' ~par ~max_slot l.Ps_sched.Flowchart.lp_body in
+        fun fr ->
+          let lo = lo_f fr and hi = hi_f fr in
+          for v = lo to hi do
+            fr.(slot) <- v;
+            body fr
+          done
+      | Ps_sched.Flowchart.Parallel -> (
+        match st.st_opts.pool with
+        | Some pool when par -> compile_parallel_band st benv ~max_slot pool l
+        | _ ->
+          let body = compile_descs st benv' ~par ~max_slot l.Ps_sched.Flowchart.lp_body in
+          fun fr ->
+            let lo = lo_f fr and hi = hi_f fr in
+            for v = lo to hi do
+              fr.(slot) <- v;
+              body fr
+            done)
+    in
+    profile_loop st l f
+
+(* Loop-level profiling: a site per compiled loop node (inclusive time,
+   so a hot inner equation also surfaces through its enclosing DOALL),
+   named after the loop header and anchored at the first equation the
+   loop body schedules. *)
+and first_eq_loc st (descs : Ps_sched.Flowchart.t) : Ps_lang.Loc.span option =
+  List.find_map
+    (fun d ->
+      match d with
+      | Ps_sched.Flowchart.D_eq { er_id; _ } ->
+        Some (Elab.eq_exn st.st_em er_id).Elab.q_loc
+      | Ps_sched.Flowchart.D_loop l -> first_eq_loc st l.Ps_sched.Flowchart.lp_body
+      | Ps_sched.Flowchart.D_solve s -> first_eq_loc st s.Ps_sched.Flowchart.sv_body
+      | Ps_sched.Flowchart.D_data _ -> None)
+    descs
+
+and profile_loop st (l : Ps_sched.Flowchart.loop) (f : Compile.frame -> unit) :
+    Compile.frame -> unit =
+  if not (Prof.enabled ()) then f
+  else begin
+    let name =
+      (match l.Ps_sched.Flowchart.lp_kind with
+       | Ps_sched.Flowchart.Parallel -> "DOALL "
+       | Ps_sched.Flowchart.Iterative -> "DO ")
+      ^ l.Ps_sched.Flowchart.lp_var
+    in
+    let site =
+      Prof.register
+        ?loc:(first_eq_loc st l.Ps_sched.Flowchart.lp_body)
+        ~kind:"loop" name
+    in
+    fun fr ->
+      let t0 = Ps_obs.Metrics.now_ns () in
+      f fr;
+      Prof.hit site ~ns:(Ps_obs.Metrics.now_ns () - t0)
+  end
 
 (* Parallel execution of a DOALL, possibly as the head of a collapsed
    band.  [Collapse] marks perfect DOALL pairs; this backend flattens as
@@ -638,6 +693,7 @@ and run_scheduled ~opts ~prog (em : Elab.emodule)
 and run_flowchart ~opts ~prog (em : Elab.emodule)
     ~(flowchart : Ps_sched.Flowchart.t) ~(windows : Ps_sched.Schedule.window list)
     ~inputs : run_result =
+  Trace.with_span ~args:[ ("module", em.Elab.em_name) ] "run" @@ fun () ->
   let st =
     { st_prog = prog;
       st_em = em;

@@ -1,0 +1,217 @@
+(* Process-wide metrics registry: counters, gauges, log2 histograms.
+
+   Like [Trace], the registry is off by default and instrumented call
+   sites are expected to guard on [enabled ()] — one atomic load — so
+   the hot paths of the runtime pool stay free when nobody is watching.
+   The metric operations themselves are unconditional lock-free atomics;
+   registration (get-or-create by name) takes a mutex but happens once
+   per site.
+
+   Values are integers.  Quantities that are naturally fractional
+   (utilizations, ratios) are registered in scaled units and named
+   accordingly (…_permille, …_ns); the renderers print raw integers and
+   leave unit interpretation to the name, which keeps both the text and
+   JSON forms trivially parseable. *)
+
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+
+let set_enabled b = Atomic.set enabled_flag b
+
+type counter = { c_name : string; c_v : int Atomic.t }
+
+type gauge = { g_name : string; g_v : int Atomic.t }
+
+(* Power-of-two buckets: bucket [i] counts samples in [2^i, 2^(i+1)).
+   62 buckets cover the non-negative int range. *)
+let nbuckets = 62
+
+type histogram = {
+  h_name : string;
+  h_buckets : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_min : int Atomic.t;  (* max_int until the first sample *)
+  h_max : int Atomic.t;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let mutex = Mutex.create ()
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 32
+
+let with_registry f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let get_or_create name make classify =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+        match classify m with
+        | Some x -> x
+        | None -> invalid_arg (name ^ " is registered as a different metric kind"))
+      | None ->
+        let m, x = make () in
+        Hashtbl.add registry name m;
+        x)
+
+let counter name =
+  get_or_create name
+    (fun () ->
+      let c = { c_name = name; c_v = Atomic.make 0 } in
+      (C c, c))
+    (function C c -> Some c | _ -> None)
+
+let gauge name =
+  get_or_create name
+    (fun () ->
+      let g = { g_name = name; g_v = Atomic.make 0 } in
+      (G g, g))
+    (function G g -> Some g | _ -> None)
+
+let histogram name =
+  get_or_create name
+    (fun () ->
+      let h =
+        { h_name = name;
+          h_buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0;
+          h_min = Atomic.make max_int;
+          h_max = Atomic.make 0 }
+      in
+      (H h, h))
+    (function H h -> Some h | _ -> None)
+
+let incr c = ignore (Atomic.fetch_and_add c.c_v 1)
+
+let add c n = ignore (Atomic.fetch_and_add c.c_v n)
+
+let counter_value c = Atomic.get c.c_v
+
+let set g v = Atomic.set g.g_v v
+
+let gauge_value g = Atomic.get g.g_v
+
+let bucket_of v =
+  if v <= 0 then 0
+  else
+    let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
+    min (nbuckets - 1) (go 0 v)
+
+(* Racy-but-convergent min/max: a lost CAS retries against the fresher
+   bound, so the final value is exact once writers quiesce. *)
+let rec update_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then update_min a v
+
+let rec update_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then update_max a v
+
+let observe h v =
+  ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of v) 1);
+  ignore (Atomic.fetch_and_add h.h_count 1);
+  ignore (Atomic.fetch_and_add h.h_sum v);
+  update_min h.h_min v;
+  update_max h.h_max v
+
+type histogram_snapshot = {
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int;   (* 0 when empty *)
+  hs_max : int;
+  hs_mean : float;
+}
+
+let snapshot h =
+  let count = Atomic.get h.h_count in
+  let sum = Atomic.get h.h_sum in
+  { hs_count = count;
+    hs_sum = sum;
+    hs_min = (if count = 0 then 0 else Atomic.get h.h_min);
+    hs_max = Atomic.get h.h_max;
+    hs_mean = (if count = 0 then 0.0 else float_of_int sum /. float_of_int count) }
+
+let reset () =
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | C c -> Atomic.set c.c_v 0
+          | G g -> Atomic.set g.g_v 0
+          | H h ->
+            Array.iter (fun b -> Atomic.set b 0) h.h_buckets;
+            Atomic.set h.h_count 0;
+            Atomic.set h.h_sum 0;
+            Atomic.set h.h_min max_int;
+            Atomic.set h.h_max 0)
+        registry)
+
+let clear () = with_registry (fun () -> Hashtbl.reset registry)
+
+let sorted_metrics () =
+  let all = with_registry (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) registry []) in
+  let name = function C c -> c.c_name | G g -> g.g_name | H h -> h.h_name in
+  List.sort (fun a b -> String.compare (name a) (name b)) all
+
+let find name = with_registry (fun () -> Hashtbl.find_opt registry name)
+
+let counter_value_opt name =
+  match find name with Some (C c) -> Some (counter_value c) | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Renderers *)
+
+let render_text () =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun m ->
+      match m with
+      | C c -> Buffer.add_string b (Printf.sprintf "%-32s %d\n" c.c_name (counter_value c))
+      | G g -> Buffer.add_string b (Printf.sprintf "%-32s %d\n" g.g_name (gauge_value g))
+      | H h ->
+        let s = snapshot h in
+        Buffer.add_string b
+          (Printf.sprintf "%-32s count=%d sum=%d min=%d max=%d mean=%.1f\n"
+             h.h_name s.hs_count s.hs_sum s.hs_min s.hs_max s.hs_mean))
+    (sorted_metrics ());
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_json () =
+  let row m =
+    match m with
+    | C c ->
+      Printf.sprintf "{\"name\":\"%s\",\"kind\":\"counter\",\"value\":%d}"
+        (json_escape c.c_name) (counter_value c)
+    | G g ->
+      Printf.sprintf "{\"name\":\"%s\",\"kind\":\"gauge\",\"value\":%d}"
+        (json_escape g.g_name) (gauge_value g)
+    | H h ->
+      let s = snapshot h in
+      Printf.sprintf
+        "{\"name\":\"%s\",\"kind\":\"histogram\",\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"mean\":%.3f}"
+        (json_escape h.h_name) s.hs_count s.hs_sum s.hs_min s.hs_max s.hs_mean
+  in
+  "[" ^ String.concat "," (List.map row (sorted_metrics ())) ^ "]"
+
+(* ------------------------------------------------------------------ *)
+(* Clock shared with the pool and the profiler. *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)

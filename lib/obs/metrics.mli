@@ -1,0 +1,67 @@
+(** Process-wide metrics registry: counters, gauges, log2 histograms.
+
+    Off by default; instrumented call sites guard on {!enabled} (one
+    atomic load).  Metric updates are lock-free atomics; registration by
+    name takes a mutex once per site.  All values are integers — scale
+    and name fractional quantities explicitly ([…_ns], […_permille]). *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+type counter
+
+type gauge
+
+type histogram
+
+val counter : string -> counter
+(** Get or create by name.
+    @raise Invalid_argument if the name exists with another kind. *)
+
+val gauge : string -> gauge
+
+val histogram : string -> histogram
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+val set : gauge -> int -> unit
+
+val gauge_value : gauge -> int
+
+val observe : histogram -> int -> unit
+
+type histogram_snapshot = {
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int;  (** 0 when empty *)
+  hs_max : int;
+  hs_mean : float;
+}
+
+val snapshot : histogram -> histogram_snapshot
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations are kept). *)
+
+val clear : unit -> unit
+(** Drop all registrations — tests only; live [counter] handles held by
+    instrumented code keep working but detach from the registry. *)
+
+val counter_value_opt : string -> int option
+(** Look up a counter by name (None if absent or not a counter). *)
+
+val render_text : unit -> string
+(** One metric per line, sorted by name: [name value] for counters and
+    gauges, [name count=… sum=… min=… max=… mean=…] for histograms. *)
+
+val render_json : unit -> string
+(** A JSON array of [{"name","kind",...}] rows, sorted by name. *)
+
+val now_ns : unit -> int
+(** Wall clock in nanoseconds — the clock shared by the pool counters
+    and the profiler. *)

@@ -1,0 +1,386 @@
+(* Span-based tracing with a Chrome trace-event exporter.
+
+   The recorder is off by default and every instrumented call site pays
+   one atomic load on the disabled path — [with_span] tests the flag
+   before touching the clock, the mutex, or the event store, so the
+   compiler pipeline can stay permanently instrumented.
+
+   When enabled, spans are recorded as Begin/End event pairs carrying
+   the recording domain's id, and exported in the Chrome trace-event
+   JSON format ("traceEvents"), which Perfetto and chrome://tracing load
+   directly.  Timestamps are microseconds from [set_enabled true] and
+   are made globally monotone at record time (the store's mutex already
+   serializes events, so clamping against the previous timestamp costs
+   nothing extra), which in turn makes them monotone per thread.
+
+   The module also ships the inverse direction — a minimal JSON reader
+   ([Json]), a trace parser ([parse_chrome]) and a structural validator
+   ([validate]) — so tests and `psc trace-check` can round-trip an
+   emitted file: every B closed by a matching E, per-thread timestamp
+   monotonicity, proper nesting. *)
+
+type phase = Begin | End | Instant
+
+type event = {
+  ev_name : string;
+  ev_ph : phase;
+  ev_ts : float;  (* microseconds since the trace was enabled *)
+  ev_tid : int;
+  ev_args : (string * string) list;
+}
+
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+
+let mutex = Mutex.create ()
+
+(* Most recent first; [events ()] reverses. *)
+let store : event list ref = ref []
+
+let epoch = ref 0.0
+
+let last_ts = ref 0.0
+
+let reset () =
+  Mutex.lock mutex;
+  store := [];
+  epoch := Unix.gettimeofday ();
+  last_ts := 0.0;
+  Mutex.unlock mutex
+
+let set_enabled b =
+  if b && not (Atomic.get enabled_flag) then reset ();
+  Atomic.set enabled_flag b
+
+let record ?(args = []) ph name =
+  let tid = (Domain.self () :> int) in
+  Mutex.lock mutex;
+  let ts = max ((Unix.gettimeofday () -. !epoch) *. 1e6) !last_ts in
+  last_ts := ts;
+  store := { ev_name = name; ev_ph = ph; ev_ts = ts; ev_tid = tid; ev_args = args } :: !store;
+  Mutex.unlock mutex
+
+let events () = List.rev !store
+
+let instant ?args name = if enabled () then record ?args Instant name
+
+(* The workhorse: one atomic load when disabled; Begin/End around [f]
+   (End also on exception) when enabled. *)
+let with_span ?args name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    record ?args Begin name;
+    Fun.protect ~finally:(fun () -> record End name) f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let phase_letter = function Begin -> "B" | End -> "E" | Instant -> "i"
+
+let event_to_json e =
+  let args =
+    match e.ev_args with
+    | [] -> ""
+    | kvs ->
+      Printf.sprintf ",\"args\":{%s}"
+        (String.concat ","
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+              kvs))
+  in
+  Printf.sprintf
+    "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d%s}"
+    (json_escape e.ev_name) (phase_letter e.ev_ph) e.ev_ts e.ev_tid args
+
+let to_chrome_json () =
+  Printf.sprintf
+    "{\"traceEvents\":[\n%s\n],\"displayTimeUnit\":\"ms\"}\n"
+    (String.concat ",\n" (List.map event_to_json (events ())))
+
+let write path =
+  let oc = open_out path in
+  output_string oc (to_chrome_json ());
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON reader, for the round-trip tests and `trace-check`. *)
+
+module Json = struct
+  type t =
+    | Obj of (string * t) list
+    | Arr of t list
+    | Str of string
+    | Num of float
+    | Bool of bool
+    | Null
+
+  exception Parse_error of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else '\000' in
+    let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt in
+    let rec skip_ws () =
+      match peek () with
+      | ' ' | '\t' | '\n' | '\r' ->
+        incr pos;
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      skip_ws ();
+      if peek () <> c then fail "expected %c at offset %d" c !pos;
+      incr pos
+    in
+    let lit w v =
+      let l = String.length w in
+      if !pos + l <= n && String.sub s !pos l = w then begin
+        pos := !pos + l;
+        v
+      end
+      else fail "bad literal at offset %d" !pos
+    in
+    let string_lit () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          let c = peek () in
+          incr pos;
+          (match c with
+           | 'n' -> Buffer.add_char b '\n'
+           | 't' -> Buffer.add_char b '\t'
+           | 'r' -> Buffer.add_char b '\r'
+           | '"' | '\\' | '/' -> Buffer.add_char b c
+           | 'u' ->
+             if !pos + 4 > n then fail "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
+              | Some _ -> Buffer.add_char b '?'
+              | None -> fail "bad \\u escape %s" hex)
+           | _ -> fail "unsupported escape \\%c" c);
+          go ()
+        | c ->
+          incr pos;
+          Buffer.add_char b c;
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = '}' then begin
+          incr pos;
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = string_lit () in
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            if peek () = ',' then begin
+              incr pos;
+              members ((k, v) :: acc)
+            end
+            else begin
+              expect '}';
+              List.rev ((k, v) :: acc)
+            end
+          in
+          Obj (members [])
+      | '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = ']' then begin
+          incr pos;
+          Arr []
+        end
+        else
+          let rec elems acc =
+            let v = value () in
+            skip_ws ();
+            if peek () = ',' then begin
+              incr pos;
+              elems (v :: acc)
+            end
+            else begin
+              expect ']';
+              List.rev (v :: acc)
+            end
+          in
+          Arr (elems [])
+      | '"' -> Str (string_lit ())
+      | 't' -> lit "true" (Bool true)
+      | 'f' -> lit "false" (Bool false)
+      | 'n' -> lit "null" Null
+      | _ ->
+        let start = !pos in
+        while
+          !pos < n
+          &&
+          match s.[!pos] with
+          | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+          | _ -> false
+        do
+          incr pos
+        done;
+        if !pos = start then fail "unexpected character at offset %d" !pos;
+        Num (float_of_string (String.sub s start (!pos - start)))
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage at offset %d" !pos;
+    v
+
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+end
+
+exception Invalid_trace of string
+
+let invalid fmt = Printf.ksprintf (fun m -> raise (Invalid_trace m)) fmt
+
+(* Parse a Chrome trace-event file back into events (in file order).
+   Accepts both the {"traceEvents": [...]} object form we emit and a
+   bare event array. *)
+let parse_chrome (text : string) : event list =
+  let j =
+    try Json.parse text with Json.Parse_error m -> invalid "bad JSON: %s" m
+  in
+  let rows =
+    match j with
+    | Json.Arr rows -> rows
+    | Json.Obj _ -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.Arr rows) -> rows
+      | _ -> invalid "no traceEvents array")
+    | _ -> invalid "trace is neither an object nor an array"
+  in
+  List.map
+    (fun row ->
+      let str k =
+        match Json.member k row with
+        | Some (Json.Str s) -> s
+        | _ -> invalid "event lacks string field %S" k
+      in
+      let num k =
+        match Json.member k row with
+        | Some (Json.Num f) -> f
+        | _ -> invalid "event lacks numeric field %S" k
+      in
+      let ph =
+        match str "ph" with
+        | "B" -> Begin
+        | "E" -> End
+        | "i" | "I" -> Instant
+        | p -> invalid "unsupported event phase %S" p
+      in
+      let args =
+        match Json.member "args" row with
+        | Some (Json.Obj kvs) ->
+          List.filter_map
+            (function k, Json.Str v -> Some (k, v) | _ -> None)
+            kvs
+        | _ -> []
+      in
+      { ev_name = str "name";
+        ev_ph = ph;
+        ev_ts = num "ts";
+        ev_tid = int_of_float (num "tid");
+        ev_args = args })
+    rows
+
+(* Structural validation: per thread, timestamps never decrease, every E
+   matches the innermost open B, and no span is left open. *)
+let validate (evs : event list) : (unit, string) result =
+  let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let last : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  let stack tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks tid s;
+      s
+  in
+  let err = ref None in
+  List.iter
+    (fun e ->
+      if !err = None then begin
+        (match Hashtbl.find_opt last e.ev_tid with
+         | Some t when e.ev_ts < t ->
+           err :=
+             Some
+               (Printf.sprintf
+                  "timestamps go backwards on tid %d at %S (%.3f < %.3f)"
+                  e.ev_tid e.ev_name e.ev_ts t)
+         | _ -> ());
+        Hashtbl.replace last e.ev_tid e.ev_ts;
+        match e.ev_ph with
+        | Begin ->
+          let s = stack e.ev_tid in
+          s := e.ev_name :: !s
+        | End -> (
+          let s = stack e.ev_tid in
+          match !s with
+          | top :: rest when String.equal top e.ev_name -> s := rest
+          | top :: _ ->
+            err :=
+              Some
+                (Printf.sprintf "E %S closes open span %S on tid %d" e.ev_name
+                   top e.ev_tid)
+          | [] ->
+            err :=
+              Some
+                (Printf.sprintf "E %S with no open span on tid %d" e.ev_name
+                   e.ev_tid))
+        | Instant -> ()
+      end)
+    evs;
+  (match !err with
+   | None ->
+     Hashtbl.iter
+       (fun tid s ->
+         match !s with
+         | [] -> ()
+         | open_ :: _ when !err = None ->
+           err :=
+             Some (Printf.sprintf "span %S left open on tid %d" open_ tid)
+         | _ -> ())
+       stacks
+   | Some _ -> ());
+  match !err with None -> Ok () | Some m -> Error m

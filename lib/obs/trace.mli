@@ -1,0 +1,73 @@
+(** Span-based tracing with a Chrome trace-event JSON exporter.
+
+    Off by default: every instrumented call site pays exactly one atomic
+    load until {!set_enabled}[ true].  Spans nest per thread (the
+    recording domain's id becomes the Chrome [tid]), timestamps are
+    microseconds from the moment tracing was enabled and are monotone
+    per thread.  The emitted file loads in Perfetto / chrome://tracing
+    and round-trips through {!parse_chrome} and {!validate}. *)
+
+type phase = Begin | End | Instant
+
+type event = {
+  ev_name : string;
+  ev_ph : phase;
+  ev_ts : float;  (** microseconds since the trace was enabled *)
+  ev_tid : int;
+  ev_args : (string * string) list;
+}
+
+val enabled : unit -> bool
+(** One atomic load — the cost of every disabled call site. *)
+
+val set_enabled : bool -> unit
+(** Enabling also {!reset}s the store and restarts the clock. *)
+
+val reset : unit -> unit
+(** Drop all recorded events and restart the trace clock. *)
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], bracketing it with Begin/End events
+    when tracing is enabled (the End is recorded even when [f] raises).
+    When disabled this is [f ()] after a single atomic load. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+(** A zero-duration marker event. *)
+
+val events : unit -> event list
+(** Everything recorded since the last reset, in record order. *)
+
+val to_chrome_json : unit -> string
+(** The Chrome trace-event rendering ({v {"traceEvents": [...]} v}). *)
+
+val write : string -> unit
+(** Write {!to_chrome_json} to a file. *)
+
+(** A minimal JSON reader (no external dependency), shared by the trace
+    parser, `psc trace-check`, and the test suites. *)
+module Json : sig
+  type t =
+    | Obj of (string * t) list
+    | Arr of t list
+    | Str of string
+    | Num of float
+    | Bool of bool
+    | Null
+
+  exception Parse_error of string
+
+  val parse : string -> t
+
+  val member : string -> t -> t option
+end
+
+exception Invalid_trace of string
+
+val parse_chrome : string -> event list
+(** Parse a Chrome trace-event file (object or bare-array form) back
+    into events, in file order.
+    @raise Invalid_trace on malformed input. *)
+
+val validate : event list -> (unit, string) result
+(** Per-thread structural checks: timestamps never decrease, every [E]
+    closes the matching innermost [B], nothing is left open. *)

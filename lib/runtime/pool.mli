@@ -45,3 +45,59 @@ val sequential_for : int -> int -> (int -> int -> unit) -> unit
 
 val recommended_size : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
+
+val wake_threshold : int
+(** Jobs whose span is below this never wake parked workers — waking
+    costs more than the whole loop.  Exposed so the lint pass can warn
+    about DOALLs that will run effectively sequentially (W120). *)
+
+(** {1 Statistics}
+
+    Collected only while {!Ps_obs.Metrics.enabled} — every disabled
+    call site in the hot path costs a single atomic load.  Whether a
+    given job is measured is captured when it is published, so flipping
+    the flag mid-job cannot half-count work. *)
+
+type worker_stats = {
+  ws_chunks : int;          (** chunks claimed *)
+  ws_points : int;          (** iteration points executed *)
+  ws_steal_attempts : int;  (** claim attempts on foreign slices *)
+  ws_steals : int;          (** chunks claimed from foreign slices *)
+  ws_parks : int;           (** times this worker went to sleep *)
+  ws_wakes : int;           (** times it was woken from a park *)
+  ws_busy_ns : int;         (** wall time spent executing job chunks *)
+}
+
+type summary = {
+  sm_jobs : int;            (** measured [parallel_for] invocations *)
+  sm_elapsed_ns : int;      (** wall time inside those invocations *)
+  sm_busy_ns : int;         (** sum of worker busy time *)
+  sm_utilization : float;   (** busy / (elapsed × size), in [0,1] *)
+  sm_imbalance : float;     (** mean over jobs of max/mean worker points;
+                                1.0 is perfectly balanced *)
+  sm_chunks : int;
+  sm_points : int;
+  sm_steal_attempts : int;
+  sm_steals : int;
+  sm_parks : int;
+  sm_wakes : int;
+}
+
+val stats : t -> worker_stats array
+(** Cumulative per-worker counters since creation or {!reset_stats};
+    index 0 is the calling domain.  Call between jobs for exact values. *)
+
+val summary : t -> summary
+(** Pool-wide rollup of {!stats} plus per-job imbalance/elapsed data. *)
+
+val reset_stats : t -> unit
+(** Zero all counters.  Call between jobs, not while one is in flight. *)
+
+val drain_stats : t -> unit
+(** Flush the counters into the {!Ps_obs.Metrics} registry
+    ([pool.steals], [pool.busy_ns], [pool.utilization_permille], …) and
+    zero them.  {!with_pool} does this automatically on the way out when
+    the registry is enabled. *)
+
+val render_stats : t -> string
+(** Human-readable per-worker table plus the {!summary} header line. *)

@@ -52,7 +52,8 @@ and mark_desc (d : Flowchart.descriptor) : Flowchart.descriptor =
     Flowchart.D_solve { s with Flowchart.sv_body = mark_descs s.Flowchart.sv_body }
   | (Flowchart.D_data _ | Flowchart.D_eq _) as d -> d
 
-let mark (fc : Flowchart.t) : Flowchart.t = mark_descs fc
+let mark (fc : Flowchart.t) : Flowchart.t =
+  Ps_obs.Trace.with_span "schedule.collapse" (fun () -> mark_descs fc)
 
 let rec count (fc : Flowchart.t) =
   List.fold_left

@@ -229,6 +229,7 @@ let rec fuse_list g em stats (fc : Flowchart.t) : Flowchart.t =
    many merges were performed. *)
 let apply (em : Elab.emodule) (g : Dgraph.t) (fc : Flowchart.t) :
     Flowchart.t * int =
+  Ps_obs.Trace.with_span "schedule.fuse" @@ fun () ->
   let stats = { merged = 0 } in
   let fc = fuse_list g em stats fc in
   (fc, stats.merged)

@@ -368,6 +368,7 @@ and schedule_component st (sg : Scc.subgraph) (comp : Scc.component) : Flowchart
 (* ------------------------------------------------------------------ *)
 
 let schedule_graph_of (g : Dgraph.t) : result =
+  Ps_obs.Trace.with_span "schedule.graph" @@ fun () ->
   let em = g.g_module in
   let st =
     { st_graph = g;

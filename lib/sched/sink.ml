@@ -118,6 +118,7 @@ let loop_dim_of em body_eq_ids ~data ~lp_var =
 (* ---------------------------------------------------------------- *)
 
 let apply (em : Elab.emodule) (sched : Schedule.result) : result =
+  Ps_obs.Trace.with_span "schedule.sink" @@ fun () ->
   let facts = range_facts em in
   let graph = sched.Schedule.r_graph in
   let windows = ref sched.Schedule.r_windows in

@@ -166,4 +166,4 @@ let rec trim_list em ~outer (fc : Flowchart.t) : Flowchart.t * int =
 (* Entry point: returns the flowchart with tightened inner bounds and the
    number of bounds converted from guard disjuncts. *)
 let apply (em : Elab.emodule) (fc : Flowchart.t) : Flowchart.t * int =
-  trim_list em ~outer:[] fc
+  Ps_obs.Trace.with_span "schedule.trim" (fun () -> trim_list em ~outer:[] fc)

@@ -228,6 +228,35 @@ let tests =
               Alcotest.failf "%s: collapse flag mismatch" name;
             if suffix "_seq" && int_of_float (num (field "pool" r)) <> 1 then
               Alcotest.failf "%s: sequential row has a pool" name)
+          (experiments ()));
+    t "every row carries the pool observability fields" (fun () ->
+        (* The four fields added with the runtime metrics: absent keys
+           fail [field]; sequential rows must be all-zero, pooled rows
+           must show real utilization (the pool counters were on). *)
+        List.iter
+          (fun r ->
+            let name = str (field "name" r) in
+            let steals = num (field "steals" r) in
+            let attempts = num (field "steal_attempts" r) in
+            let util = num (field "utilization" r) in
+            let imb = num (field "imbalance" r) in
+            if attempts < steals then
+              Alcotest.failf "%s: steals (%.0f) exceed attempts (%.0f)" name
+                steals attempts;
+            if Util.contains name "_seq" then begin
+              if steals <> 0.0 || attempts <> 0.0 || util <> 0.0 || imb <> 0.0
+              then Alcotest.failf "%s: sequential row has pool stats" name
+            end
+            else begin
+              if not (util > 0.0) then
+                Alcotest.failf "%s: pooled row has zero utilization" name;
+              if not (imb >= 1.0) then
+                Alcotest.failf "%s: imbalance %.3f below 1.0" name imb;
+              (* The fixed-chunk scheduler has one shared queue: nothing
+                 to steal, by construction. *)
+              if Util.contains name "_par_fixed" && steals <> 0.0 then
+                Alcotest.failf "%s: fixed-chunk row reports steals" name
+            end)
           (experiments ())) ]
 
 let () = Alcotest.run "bench_json" [ ("trajectory", tests) ]

@@ -298,7 +298,28 @@ let lint_tests =
         Alcotest.(check bool) "W113" true (has Diag.Unschedulable ds));
     t "lcs reports the at-most-one-window rule (W112)" (fun () ->
         Alcotest.(check bool) "W112" true
-          (has Diag.No_virtualization (lint M.lcs))) ]
+          (has Diag.No_virtualization (lint M.lcs)));
+    t "a tiny constant-trip DOALL is W120" (fun () ->
+        let ds =
+          lint
+            "T: module (x: real): [y: real]; type I = 1 .. 10; var A: array \
+             [1 .. 10] of real; define A[I] = x; y = A[10]; end T;"
+        in
+        Alcotest.(check bool) "W120" true (has Diag.Sequential_doall ds));
+    t "a wide constant-trip DOALL is not W120" (fun () ->
+        let ds =
+          lint
+            "T: module (x: real): [y: real]; type I = 1 .. 1000; var A: array \
+             [1 .. 1000] of real; define A[I] = x; y = A[1000]; end T;"
+        in
+        Alcotest.(check bool) "no W120" false (has Diag.Sequential_doall ds));
+    t "a symbolic-bound DOALL is not W120" (fun () ->
+        let ds =
+          lint
+            "T: module (x: real; N: int): [y: real]; type I = 1 .. N; var A: \
+             array [1 .. N] of real; define A[I] = x; y = A[N]; end T;"
+        in
+        Alcotest.(check bool) "no W120" false (has Diag.Sequential_doall ds)) ]
 
 let () =
   Alcotest.run "diag"
