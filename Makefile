@@ -1,12 +1,19 @@
-.PHONY: all build test bench-quick fmt lint-examples trace-demo clean
+.PHONY: all build test fuzz-smoke bench-quick fmt lint-examples trace-demo clean
 
 all: build
 
 build:
 	dune build
 
-test:
+test: fuzz-smoke
 	dune runtest
+
+# Bounded differential fuzzing pass: every generated module must agree
+# across the sequential, stolen, collapsed and hyperplane execution
+# paths (plus emitted C when a compiler is present).  Part of `make
+# test`; a longer campaign is `psc fuzz --seed 1 --count 200`.
+fuzz-smoke: build
+	_build/default/bin/psc_main.exe fuzz --seed 1 --count 50
 
 # Quick benchmark sweep; writes BENCH_runtime.json (the perf trajectory).
 bench-quick: build

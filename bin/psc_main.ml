@@ -117,25 +117,33 @@ let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 (* Run [f] with tracing enabled, writing the trace on every exit path.
-   Several subcommands finish through [exit] (which does not unwind), so
-   the writer is registered with [at_exit] as well as [Fun.protect]; the
-   [written] flag keeps the two paths from double-writing. *)
+   Several subcommands finish through [exit] (which does not unwind
+   [Fun.protect]), so the writer must also run from [at_exit] — and the
+   two paths must never both write the file.  The write is idempotent by
+   construction: one pending request at a time, consumed by whichever
+   path gets there first, with a single process-wide [at_exit] handler
+   (re-registering per command would stack handlers if a driver ever ran
+   several traced commands in one process). *)
+let pending_trace : string option ref = ref None
+
+let flush_trace () =
+  match !pending_trace with
+  | None -> ()
+  | Some path ->
+    pending_trace := None;
+    Psc.Trace.set_enabled false;
+    (try Psc.Trace.write path
+     with Sys_error m -> Fmt.epr "psc: cannot write trace: %s@." m)
+
+let () = at_exit flush_trace
+
 let with_trace trace f =
   match trace with
   | None -> f ()
   | Some path ->
     Psc.Trace.set_enabled true;
-    let written = ref false in
-    let write () =
-      if not !written then begin
-        written := true;
-        Psc.Trace.set_enabled false;
-        try Psc.Trace.write path
-        with Sys_error m -> Fmt.epr "psc: cannot write trace: %s@." m
-      end
-    in
-    at_exit write;
-    Fun.protect ~finally:write f
+    pending_trace := Some path;
+    Fun.protect ~finally:flush_trace f
 
 (* ------------------------------------------------------------------ *)
 
@@ -555,11 +563,114 @@ let trace_check_cmd =
           thread.")
     Term.(const run $ file_arg)
 
+(* Differential fuzzing: generate random well-typed modules, run them
+   through every execution path, compare element-wise; minimize and
+   archive any disagreement. *)
+let fuzz_cmd =
+  let seed_arg =
+    let doc = "Campaign seed (each case derives its own stream)." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"INT" ~doc)
+  in
+  let count_arg =
+    let doc = "Number of generated programs." in
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"INT" ~doc)
+  in
+  let paths_arg =
+    let doc =
+      "Comma-separated execution paths to differentiate against the \
+       sequential reference: nowin, nocheck, passes, steal, collapse, \
+       hyper, hyper-par, c — or 'all' (default).  The 'c' path is \
+       skipped when no C compiler is installed."
+    in
+    Arg.(value & opt string "all" & info [ "paths" ] ~docv:"LIST" ~doc)
+  in
+  let corpus_arg =
+    let doc = "Write minimized failing programs to $(docv) (created if needed)." in
+    Arg.(value & opt (some string) None & info [ "out-corpus" ] ~docv:"DIR" ~doc)
+  in
+  let par_arg =
+    let doc = "Worker-pool size for the parallel paths." in
+    Arg.(value & opt int 4 & info [ "par" ] ~docv:"INT" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay corpus file(s) or directories of .ps files instead of \
+       generating (repeatable); exits non-zero if any entry disagrees."
+    in
+    Arg.(value & opt_all string [] & info [ "replay" ] ~docv:"PATH" ~doc)
+  in
+  let run seed count paths_s corpus par replay =
+    let paths =
+      if String.equal paths_s "all" then Ps_fuzz.Fuzz.default_paths
+      else
+        String.split_on_char ',' paths_s
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun s ->
+               match Ps_fuzz.Diff.path_of_name s with
+               | Some p -> p
+               | None ->
+                 Fmt.epr "psc: unknown path %s@." s;
+                 exit 2)
+    in
+    if replay <> [] then begin
+      let files =
+        List.concat_map
+          (fun p ->
+            if Sys.is_directory p then
+              Sys.readdir p |> Array.to_list
+              |> List.filter (fun f -> Filename.check_suffix f ".ps")
+              |> List.sort compare
+              |> List.map (Filename.concat p)
+            else [ p ])
+          replay
+      in
+      let bad = ref 0 in
+      List.iter
+        (fun f ->
+          match Ps_fuzz.Fuzz.replay_file ~pool_size:par ~paths f with
+          | Ok () -> Fmt.pr "replay %s: ok@." f
+          | Error v ->
+            incr bad;
+            Fmt.pr "replay %s: MISMATCH: %s@." f v)
+        files;
+      Fmt.pr "%d corpus entries, %d mismatches@." (List.length files) !bad;
+      if !bad > 0 then exit 1
+    end
+    else begin
+      let cfg =
+        { Ps_fuzz.Fuzz.fz_seed = seed;
+          fz_count = count;
+          fz_paths = paths;
+          fz_pool = par;
+          fz_out_corpus = corpus;
+          fz_log = (fun m -> Fmt.pr "%s@." m) }
+      in
+      let r = Ps_fuzz.Fuzz.campaign cfg in
+      Fmt.pr
+        "fuzz: %d cases, %d agreed, %d mismatches (hyperplane ran on %d, C ran on %d)@."
+        r.Ps_fuzz.Fuzz.r_count r.Ps_fuzz.Fuzz.r_agreed
+        (List.length r.Ps_fuzz.Fuzz.r_failures)
+        r.Ps_fuzz.Fuzz.r_hyper_applied r.Ps_fuzz.Fuzz.r_cc_run;
+      if r.Ps_fuzz.Fuzz.r_failures <> [] then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate random well-typed PS modules and \
+          compare every execution path (interpreter variants, parallel \
+          pool, collapsed bands, hyperplane transformation, emitted C) \
+          against the sequential reference; minimize and archive any \
+          disagreement.")
+    Term.(const run $ seed_arg $ count_arg $ paths_arg $ corpus_arg $ par_arg $ replay_arg)
+
 let main_cmd =
   let doc = "compiler for the PS nonprocedural dataflow language" in
   Cmd.group
     (Cmd.info "psc" ~version:"1.0.0" ~doc)
     [ parse_cmd; check_cmd; lint_cmd; graph_cmd; schedule_cmd; transform_cmd;
-      emit_c_cmd; run_cmd; analyze_cmd; eqn_cmd; demo_cmd; trace_check_cmd ]
+      emit_c_cmd; run_cmd; analyze_cmd; eqn_cmd; demo_cmd; trace_check_cmd;
+      fuzz_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -25,6 +25,7 @@ type code =
   | Window_underflow
   | Hyperplane_violation
   | Non_unimodular
+  | Window_clobber
   | Out_of_bounds
   | Bad_collapse
   | Unused_data
@@ -50,6 +51,7 @@ let code_id = function
   | Window_underflow -> "E017"
   | Hyperplane_violation -> "E018"
   | Non_unimodular -> "E019"
+  | Window_clobber -> "E022"
   | Out_of_bounds -> "E020"
   | Bad_collapse -> "E021"
   | Unused_data -> "W110"

@@ -30,6 +30,10 @@ type code =
   | Hyperplane_violation     (** E018: the time vector fails a Lamport
                                  inequality (paper sec. 4) *)
   | Non_unimodular           (** E019: the coordinate change is not unimodular *)
+  | Window_clobber           (** E022: a write from outside the producing loop
+                                 lands inside a storage window, so it would be
+                                 overwritten (or overwrite live planes) before
+                                 its readers run *)
   (* Lints (E02x / W11x). *)
   | Out_of_bounds            (** E020: a subscript provably escapes its bounds *)
   | Bad_collapse             (** E021: a collapse mark sits on something other

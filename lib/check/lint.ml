@@ -356,14 +356,15 @@ let virtualization (r : Schedule.result) : Diag.t list =
                            "a forward reference (class \"%s\") needs a plane \
                             not yet computed"
                            (Label.class_name e.e_subs.(p)))
-                    | (Label.Slice | Label.Opaque | Label.Const_low), true ->
+                    | (Label.Slice | Label.Opaque | Label.Const_low
+                      | Label.Const_mid _), true ->
                       Some
                         (Printf.sprintf
                            "a reference of class \"%s\" inside its component \
                             is not a window access"
                            (Label.class_name e.e_subs.(p)))
                     | (Label.Affine _ | Label.Slice | Label.Opaque
-                      | Label.Const_low), false ->
+                      | Label.Const_low | Label.Const_mid _), false ->
                       Some
                         (Printf.sprintf
                            "it is read outside its component at other than \
@@ -372,7 +373,48 @@ let virtualization (r : Schedule.result) : Diag.t list =
                     | _ -> None)
                 uses
             in
-            match reason with
+            (* Write side (mirrors [Schedule.analyze_virtual]): a window
+               is also refused when another component writes the array
+               sweeping this dimension, since those writes would be
+               clobbered before their readers run.  Boundary planes
+               (constant subscripts near the lower bound) are the
+               allowed exception. *)
+            let write_reason =
+              List.find_map
+                (fun e ->
+                  match e.e_kind, e.e_dst with
+                  | Def, Data n
+                    when String.equal n name && Array.length e.e_subs > p -> (
+                    let inside_def =
+                      match e.e_src with
+                      | Eq q -> (
+                        match
+                          ( component_of (Dgraph.node_name g (Eq q)),
+                            component_of name )
+                        with
+                        | Some a, Some b -> a = b
+                        | _ -> false)
+                      | Data _ -> false
+                    in
+                    match e.e_subs.(p), inside_def with
+                    | Label.Affine { offset = 0; _ }, true -> None
+                    | (Label.Const_low | Label.Const_mid _), false -> None
+                    | sub, false ->
+                      Some
+                        (Printf.sprintf
+                           "it is written outside its component (class \
+                            \"%s\"), which would be clobbered by the window"
+                           (Label.class_name sub))
+                    | sub, true ->
+                      Some
+                        (Printf.sprintf
+                           "a write of class \"%s\" inside its component \
+                            does not march with the loop"
+                           (Label.class_name sub)))
+                  | _ -> None)
+                (Dgraph.edges g)
+            in
+            match (match reason with Some _ -> reason | None -> write_reason) with
             | Some why ->
               diags :=
                 Diag.diag Diag.No_virtualization d.Elab.d_loc

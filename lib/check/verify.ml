@@ -337,7 +337,7 @@ let flowchart ?(windows = []) (g : Dgraph.t) (fc : Fc.t) : Diag.t list =
                    (w.Schedule.w_dim + 1) w.Schedule.w_data offset
                    (if offset = 1 then "" else "s"))
             | Label.Const_high -> () (* the final plane survives the loop *)
-            | Label.Const_low | Label.Slice | Label.Opaque ->
+            | Label.Const_low | Label.Const_mid _ | Label.Slice | Label.Opaque ->
               if
                 match consumer_occ with
                 | Some o -> under_solve o
@@ -360,7 +360,95 @@ let flowchart ?(windows = []) (g : Dgraph.t) (fc : Fc.t) : Diag.t list =
              (w.Schedule.w_dim + 1) w.Schedule.w_data w.Schedule.w_size
              (!needed - 1)
              (if !needed = 2 then "" else "s")
-             !needed))
+             !needed);
+      (* --- write side --------------------------------------------- *)
+      (* A windowed dimension reuses a plane's slot every w_size
+         iterations, so every write must either march in step with the
+         producing loop (aligned, offset 0, under the *same* loop
+         record as the aligned reads) or fill a startup plane within
+         the first w_size slots before the loop runs.  An aligned
+         write under a different loop — e.g. a DOALL in another
+         component sweeping the dimension — pushes the whole extent
+         through the window before the readers run. *)
+      let binder_of id var =
+        match occ_of id with
+        | None -> None
+        | Some o ->
+          let v = resolve o.oc_aliases var in
+          List.find_map
+            (function
+              | Fc.B_loop l when String.equal l.Fc.lp_var v -> Some l
+              | Fc.B_loop _ | Fc.B_solve _ -> None)
+            o.oc_binders
+      in
+      let aligned = ref [] in
+      let record_aligned q var =
+        match binder_of q var with
+        | Some l -> aligned := (q, l) :: !aligned
+        | None ->
+          report
+            (Diag.diag Diag.Unbound_index (eq_loc q)
+               "%s subscripts dimension %d of windowed %s with %s, but no \
+                enclosing loop binds it"
+               (eq_name q) (w.Schedule.w_dim + 1) w.Schedule.w_data var)
+      in
+      List.iter
+        (fun (e : edge) ->
+          match e.e_kind, e.e_src, e.e_dst with
+          | Def, Eq q, Data d
+            when String.equal d w.Schedule.w_data
+                 && Array.length e.e_subs > w.Schedule.w_dim -> (
+            match e.e_subs.(w.Schedule.w_dim) with
+            | Label.Affine { var; offset = 0; _ } -> record_aligned q var
+            | Label.Affine { offset; _ } ->
+              report
+                (Diag.diag Diag.Window_clobber (eq_loc q)
+                   "dimension %d of %s is windowed, but %s writes it at \
+                    offset %d from the loop variable"
+                   (w.Schedule.w_dim + 1) w.Schedule.w_data (eq_name q) offset)
+            | Label.Const_low -> ()
+            | Label.Const_mid k ->
+              if k >= w.Schedule.w_size then
+                report
+                  (Diag.diag Diag.Window_clobber (eq_loc q)
+                     "dimension %d of %s is windowed with %d plane%s, but %s \
+                      writes boundary plane lower+%d, outside the startup \
+                      window"
+                     (w.Schedule.w_dim + 1) w.Schedule.w_data w.Schedule.w_size
+                     (if w.Schedule.w_size = 1 then "" else "s")
+                     (eq_name q) k)
+            | Label.Const_high | Label.Slice | Label.Opaque ->
+              report
+                (Diag.diag Diag.Unverified_window (eq_loc q)
+                   "dimension %d of %s is windowed, but %s writes it with a \
+                    subscript the verifier cannot place (class \"%s\")"
+                   (w.Schedule.w_dim + 1) w.Schedule.w_data (eq_name q)
+                   (Label.class_name e.e_subs.(w.Schedule.w_dim))))
+          | Use, Data d, Eq q
+            when String.equal d w.Schedule.w_data
+                 && Array.length e.e_subs > w.Schedule.w_dim -> (
+            match e.e_subs.(w.Schedule.w_dim) with
+            | Label.Affine { var; offset; _ } when offset <= 0 -> (
+              match occ_of q with
+              | Some o when under_solve o -> () (* discharged by Sink *)
+              | _ -> record_aligned q var)
+            | _ -> ())
+          | _ -> ())
+        (Dgraph.edges g);
+      (match !aligned with
+       | [] -> ()
+       | (q0, l0) :: rest ->
+         List.iter
+           (fun (q, l) ->
+             if not (l == l0) then
+               report
+                 (Diag.diag Diag.Window_clobber (eq_loc q)
+                    "dimension %d of %s is windowed, but %s and %s access it \
+                     under different loops, so the window is overwritten \
+                     between them"
+                    (w.Schedule.w_dim + 1) w.Schedule.w_data (eq_name q)
+                    (eq_name q0)))
+           rest))
     windows;
   Diag.sort !diags
 

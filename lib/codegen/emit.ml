@@ -51,6 +51,14 @@ type ectx = {
 
 let is_data ctx n = Elab.find_data ctx.x_em n <> None
 
+(* Scalar results are passed as pointers (a by-value parameter would lose
+   the write), so both reads and the defining assignment dereference. *)
+let scalar_result ctx n =
+  List.exists
+    (fun (d : Elab.data) ->
+      String.equal d.Elab.d_name n && Stypes.dims d.Elab.d_ty = [])
+    ctx.x_em.Elab.em_results
+
 let enum_ordinal ctx name =
   List.find_map
     (fun (_, ctors) ->
@@ -113,7 +121,9 @@ let rec emit_expr ctx buf (e : Ps_lang.Ast.expr) =
     pf "%s" s
   | Bool b -> pf "%s" (if b then "1" else "0")
   | Var x ->
-    if List.mem x ctx.x_indices || is_data ctx x then pf "%s" (c_name x)
+    if List.mem x ctx.x_indices then pf "%s" (c_name x)
+    else if is_data ctx x then
+      if scalar_result ctx x then pf "(*%s)" (c_name x) else pf "%s" (c_name x)
     else (
       match enum_ordinal ctx x with
       | Some ord -> pf "%d" ord
@@ -150,11 +160,20 @@ let rec emit_expr ctx buf (e : Ps_lang.Ast.expr) =
     pf "(!";
     emit_expr ctx buf a;
     pf ")"
+  | Binop ((Idiv | Imod) as op, a, b) ->
+    (* Never raw / and %: zero is undefined behavior in C, and the
+       helpers pin the rounding to the interpreter's (truncated
+       quotient, remainder with the dividend's sign) with a zero trap. *)
+    pf "%s(" (match op with Idiv -> "PS_DIV" | _ -> "PS_MOD");
+    emit_expr ctx buf a;
+    pf ", ";
+    emit_expr ctx buf b;
+    pf ")"
   | Binop (op, a, b) ->
     let sym =
       match op with
       | Add -> "+" | Sub -> "-" | Mul -> "*"
-      | Div -> "/" | Idiv -> "/" | Imod -> "%"
+      | Div -> "/" | Idiv | Imod -> assert false
       | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
       | And -> "&&" | Or -> "||"
     in
@@ -249,7 +268,7 @@ let emit_layout buf (al : array_layout) =
          (fun p (_, _, window) ->
            match window with
            | Some _ ->
-             Printf.sprintf "((size_t)(((i%d) - %s_lo%d) %% %s_w%d)) * %s_s%d" p
+             Printf.sprintf "((size_t)PS_WRAP((i%d) - %s_lo%d, %s_w%d)) * %s_s%d" p
                al.al_name p al.al_name p al.al_name p
            | None ->
              Printf.sprintf "((size_t)((i%d) - %s_lo%d)) * %s_s%d" p al.al_name p
@@ -293,7 +312,9 @@ let rec emit_descriptor st buf ~depth ~indent ~par ~bound
              | Elab.Sub_fixed e -> expr_to_c ctx e)
            df.Elab.df_subs
        in
-       if subs = [] then pf "%s%s = %s;  /* %s */\n" pad name (expr_to_c ctx rhs) q.Elab.q_name
+       if subs = [] then
+         let lhs = if scalar_result ctx df.Elab.df_data then "*" ^ name else name in
+         pf "%s%s = %s;  /* %s */\n" pad lhs (expr_to_c ctx rhs) q.Elab.q_name
        else
          pf "%s%s_AT(%s) = %s;  /* %s */\n" pad name (String.concat ", " subs)
            (expr_to_c ctx rhs) q.Elab.q_name
@@ -361,9 +382,22 @@ let emit_module ?(windows = []) (em : Elab.emodule) (fc : Ps_sched.Flowchart.t) 
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let ctx = { x_em = em; x_indices = [] } in
   pf "/* Generated by psc from PS module %s. */\n" em.Elab.em_name;
-  pf "#include <stdlib.h>\n#include <math.h>\n\n";
+  pf "#include <stdlib.h>\n#include <stdio.h>\n#include <math.h>\n\n";
   pf "#define PS_MIN(a, b) ((a) < (b) ? (a) : (b))\n";
-  pf "#define PS_MAX(a, b) ((a) > (b) ? (a) : (b))\n\n";
+  pf "#define PS_MAX(a, b) ((a) > (b) ? (a) : (b))\n";
+  pf "/* Integer division with the interpreter's semantics: a zero divisor\n";
+  pf "   traps (the raw C operators are undefined there), the quotient\n";
+  pf "   truncates toward zero and the remainder takes the dividend's sign\n";
+  pf "   (C99 semantics, matching OCaml's / and mod). */\n";
+  pf "static inline int PS_DIV(int a, int b) {\n";
+  pf "  if (b == 0) { fprintf(stderr, \"ps runtime error: division by zero\\n\"); exit(2); }\n";
+  pf "  return a / b;\n}\n";
+  pf "static inline int PS_MOD(int a, int b) {\n";
+  pf "  if (b == 0) { fprintf(stderr, \"ps runtime error: mod by zero\\n\"); exit(2); }\n";
+  pf "  return a %% b;\n}\n";
+  pf "/* Euclidean remainder: virtual-dimension subscripts must land inside\n";
+  pf "   the window even for negative relative indices (sec 3.4). */\n";
+  pf "#define PS_WRAP(i, w) ((((i) %% (w)) + (w)) %% (w))\n\n";
   (* Enumerations. *)
   List.iter
     (fun (ename, ctors) ->
@@ -374,7 +408,10 @@ let emit_module ?(windows = []) (em : Elab.emodule) (fc : Ps_sched.Flowchart.t) 
   let param_sig (d : Elab.data) =
     let ct = ctype_str (ctype_of_ty d.Elab.d_ty) in
     match Stypes.dims d.Elab.d_ty with
-    | [] -> Printf.sprintf "%s %s" ct (c_name d.Elab.d_name)
+    | [] ->
+      if d.Elab.d_kind = Elab.Output then
+        Printf.sprintf "%s *%s" ct (c_name d.Elab.d_name)
+      else Printf.sprintf "%s %s" ct (c_name d.Elab.d_name)
     | _ ->
       let const = if d.Elab.d_kind = Elab.Input then "const " else "" in
       Printf.sprintf "%s%s *%s" const ct (c_name d.Elab.d_name)
@@ -477,10 +514,20 @@ let emit_main ?(windows = []) (em : Elab.emodule) (fc : Ps_sched.Flowchart.t)
   in
   List.iter (emit_alloc ~fill:true) em.Elab.em_params;
   List.iter (emit_alloc ~fill:false) em.Elab.em_results;
+  (* Scalar results live in main and are passed by address. *)
+  List.iter
+    (fun (d : Elab.data) ->
+      if Stypes.dims d.Elab.d_ty = [] then
+        pf "  %s %s = 0;\n" (ctype_str (ctype_of_ty d.Elab.d_ty)) (c_name d.Elab.d_name))
+    em.Elab.em_results;
   (* Call. *)
   let args =
-    List.map (fun (d : Elab.data) -> c_name d.Elab.d_name)
-      (em.Elab.em_params @ em.Elab.em_results)
+    List.map (fun (d : Elab.data) -> c_name d.Elab.d_name) em.Elab.em_params
+    @ List.map
+        (fun (d : Elab.data) ->
+          let nm = c_name d.Elab.d_name in
+          if Stypes.dims d.Elab.d_ty = [] then "&" ^ nm else nm)
+        em.Elab.em_results
   in
   pf "  %s(%s);\n" (c_name em.Elab.em_name) (String.concat ", " args);
   (* Checksums. *)

@@ -1,0 +1,377 @@
+(* The differential oracle: one generated (or corpus) program, run
+   through every execution path the compiler offers, outputs compared
+   element-wise against the sequential reference.
+
+   All interpreter paths must agree bit for bit — collapse, stealing and
+   the hyperplane transformation reorder iterations but never the
+   operations inside one element's expression.  The C path is compared
+   through the emitted main()'s checksums (same row-major order, same
+   IEEE arithmetic), with a tiny relative tolerance as a guard against
+   libm differences.
+
+   A path that traps at runtime agrees with a reference that also traps
+   (the trap itself is defined semantics: the interpreter and the
+   emitted C both stop on zero divisors); a trap on one side only is a
+   mismatch. *)
+
+type path =
+  | Seq        (* plain sequential interpreter: the reference *)
+  | Nowin      (* full storage, no virtual windows *)
+  | Nocheck    (* unchecked subscript fast path *)
+  | Passes     (* sink + fuse + trim *)
+  | Steal      (* work-stealing pool *)
+  | Collapse   (* pooled, DOALL bands collapsed, bounds trimmed *)
+  | Hyper      (* hyperplane-transformed module, sequential *)
+  | Hyper_par  (* hyperplane-transformed, pooled + collapsed *)
+  | Cc         (* emitted C, compiled and executed *)
+
+let all_paths = [ Seq; Nowin; Nocheck; Passes; Steal; Collapse; Hyper; Hyper_par; Cc ]
+
+let path_name = function
+  | Seq -> "seq"
+  | Nowin -> "nowin"
+  | Nocheck -> "nocheck"
+  | Passes -> "passes"
+  | Steal -> "steal"
+  | Collapse -> "collapse"
+  | Hyper -> "hyper"
+  | Hyper_par -> "hyper-par"
+  | Cc -> "c"
+
+let path_of_name = function
+  | "seq" -> Some Seq
+  | "nowin" -> Some Nowin
+  | "nocheck" -> Some Nocheck
+  | "passes" -> Some Passes
+  | "steal" -> Some Steal
+  | "collapse" -> Some Collapse
+  | "hyper" -> Some Hyper
+  | "hyper-par" -> Some Hyper_par
+  | "c" | "cc" -> Some Cc
+  | _ -> None
+
+type outcome =
+  | Outputs of (string * Psc.Value.value) list
+  | Checksums of (string * float) list  (* the C path reports sums only *)
+  | Trap of string                      (* defined runtime trap *)
+  | Skip of string                      (* path not applicable here *)
+
+type case_result = {
+  cr_outcomes : (path * outcome) list;  (* reference first *)
+  cr_verdict : string option;           (* [None] = every path agreed *)
+}
+
+let have_cc =
+  lazy (Sys.command "command -v cc > /dev/null 2>&1" = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Generic deterministic inputs for corpus programs (mirrors both the
+   emitted main()'s fill and the generator's [Gen.inputs]): real arrays
+   get the shared pseudo-random fill in row-major order; int and bool
+   arrays get the same truncation the C harness applies — zero. *)
+
+let default_inputs (em : Psc.Elab.emodule) ~(scalars : (string * int) list) :
+    (string * Psc.Value.value) list =
+  List.map
+    (fun (d : Psc.Elab.data) ->
+      let name = d.Psc.Elab.d_name in
+      match Psc.Stypes.dims d.Psc.Elab.d_ty with
+      | [] -> (
+        match List.assoc_opt name scalars with
+        | Some v -> (name, Psc.Exec.scalar_int v)
+        | None -> Psc.error "fuzz: no value for scalar input %s" name)
+      | dims ->
+        let env v = List.assoc_opt v scalars in
+        let bounds =
+          List.map
+            (fun (sr : Psc.Stypes.subrange) ->
+              let ev e =
+                match Psc.Linexpr.of_expr e with
+                | Some le -> Psc.Linexpr.eval env le
+                | None -> Psc.error "fuzz: input %s has a nonlinear bound" name
+              in
+              (ev sr.Psc.Stypes.sr_lo, ev sr.Psc.Stypes.sr_hi))
+            dims
+        in
+        let kind = Psc.Value.kind_of_ty (Psc.Stypes.elem_ty d.Psc.Elab.d_ty) in
+        (match kind with
+         | Psc.Value.KReal ->
+           let exts = List.map (fun (lo, hi) -> hi - lo + 1) bounds in
+           let strides =
+             let rec go = function
+               | [] -> []
+               | _ :: rest as l -> List.fold_left ( * ) 1 (List.tl l) :: go rest
+             in
+             go exts
+           in
+           ( name,
+             Psc.Exec.array_real ~dims:bounds (fun ix ->
+                 let flat = ref 0 in
+                 List.iteri
+                   (fun p st -> flat := !flat + ((ix.(p) - fst (List.nth bounds p)) * st))
+                   strides;
+                 Ps_models.Models.fill_value !flat) )
+         | Psc.Value.KInt -> (name, Psc.Exec.array_int ~dims:bounds (fun _ -> 0))
+         | _ -> Psc.error "fuzz: unsupported input element type for %s" name))
+    em.Psc.Elab.em_params
+
+(* ------------------------------------------------------------------ *)
+(* Element-wise comparison *)
+
+let eq_float a b = a = b || Float.compare a b = 0
+
+let eq_scalar (a : Psc.Value.scalar) (b : Psc.Value.scalar) =
+  match (a, b) with
+  | Psc.Value.Sc_int x, Psc.Value.Sc_int y -> x = y
+  | Psc.Value.Sc_real x, Psc.Value.Sc_real y -> eq_float x y
+  | Psc.Value.Sc_bool x, Psc.Value.Sc_bool y -> x = y
+  | Psc.Value.Sc_enum (_, x), Psc.Value.Sc_enum (_, y) -> x = y
+  | _ -> Psc.Value.equal_scalar a b
+
+let pp_sc (s : Psc.Value.scalar) =
+  match s with
+  | Psc.Value.Sc_int n -> string_of_int n
+  | Psc.Value.Sc_real v -> Printf.sprintf "%.17g" v
+  | Psc.Value.Sc_bool b -> string_of_bool b
+  | Psc.Value.Sc_enum (_, o) -> Printf.sprintf "enum#%d" o
+  | Psc.Value.Sc_record _ -> "<record>"
+
+(* Iterate the declared box of a slab. *)
+let iter_box (s : Psc.Value.slab) f =
+  let n = Psc.Value.ndims s in
+  let ix = Array.map (fun di -> di.Psc.Value.di_lo) s.Psc.Value.s_dims in
+  if Array.exists (fun di -> di.Psc.Value.di_extent <= 0) s.Psc.Value.s_dims then ()
+  else
+    let rec advance p =
+      if p < 0 then false
+      else begin
+        let di = s.Psc.Value.s_dims.(p) in
+        ix.(p) <- ix.(p) + 1;
+        if ix.(p) < di.Psc.Value.di_lo + di.Psc.Value.di_extent then true
+        else begin
+          ix.(p) <- di.Psc.Value.di_lo;
+          advance (p - 1)
+        end
+      end
+    in
+    let continue_ = ref true in
+    while !continue_ do
+      f ix;
+      continue_ := advance (n - 1)
+    done
+
+let compare_value name (a : Psc.Value.value) (b : Psc.Value.value) : string option =
+  match (a, b) with
+  | Psc.Value.Vscalar x, Psc.Value.Vscalar y ->
+    if eq_scalar x y then None
+    else Some (Printf.sprintf "%s: %s vs %s" name (pp_sc x) (pp_sc y))
+  | Psc.Value.Varray sa, Psc.Value.Varray sb ->
+    let dims_of (s : Psc.Value.slab) =
+      Array.to_list
+        (Array.map (fun di -> (di.Psc.Value.di_lo, di.Psc.Value.di_extent)) s.Psc.Value.s_dims)
+    in
+    if dims_of sa <> dims_of sb then Some (Printf.sprintf "%s: shapes differ" name)
+    else begin
+      let bad = ref None in
+      iter_box sa (fun ix ->
+          if !bad = None then begin
+            let x = Psc.Value.get_scalar sa ix and y = Psc.Value.get_scalar sb ix in
+            if not (eq_scalar x y) then
+              bad :=
+                Some
+                  (Printf.sprintf "%s[%s]: %s vs %s" name
+                     (String.concat ", " (Array.to_list (Array.map string_of_int ix)))
+                     (pp_sc x) (pp_sc y))
+          end);
+      !bad
+    end
+  | _ -> Some (Printf.sprintf "%s: scalar vs array" name)
+
+let compare_outputs (ref_out : (string * Psc.Value.value) list)
+    (out : (string * Psc.Value.value) list) : string option =
+  if List.length ref_out <> List.length out then Some "different result sets"
+  else
+    List.fold_left
+      (fun acc (name, v) ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+          match List.assoc_opt name out with
+          | None -> Some (Printf.sprintf "%s: missing result" name)
+          | Some v' -> compare_value name v v'))
+      None ref_out
+
+let checksum (v : Psc.Value.value) : float =
+  match v with
+  | Psc.Value.Vscalar s -> Psc.Value.as_float s
+  | Psc.Value.Varray sl ->
+    let acc = ref 0.0 in
+    iter_box sl (fun ix -> acc := !acc +. Psc.Value.as_float (Psc.Value.get_scalar sl ix));
+    !acc
+
+let compare_checksums (ref_out : (string * Psc.Value.value) list)
+    (sums : (string * float) list) : string option =
+  List.fold_left
+    (fun acc (name, c) ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+        match List.assoc_opt name ref_out with
+        | None -> Some (Printf.sprintf "%s: C result unknown to the interpreter" name)
+        | Some v ->
+          let i = checksum v in
+          let close =
+            eq_float c i
+            || abs_float (c -. i) <= 1e-9 *. Float.max 1.0 (Float.max (abs_float c) (abs_float i))
+          in
+          if close then None
+          else Some (Printf.sprintf "%s: C checksum %.17g vs interpreter %.17g" name c i)))
+    None sums
+
+(* ------------------------------------------------------------------ *)
+(* Path runners *)
+
+let trapping f = try f () with Psc.Error m -> Trap m
+
+let interp_outputs f = trapping (fun () -> Outputs (f ()).Psc.Exec.outputs)
+
+(* The first local array the hyperplane transformation accepts. *)
+let hyper_project tp =
+  let em = Psc.default_module tp in
+  let targets =
+    List.filter_map
+      (fun (d : Psc.Elab.data) ->
+        if Psc.Stypes.dims d.Psc.Elab.d_ty = [] then None else Some d.Psc.Elab.d_name)
+      em.Psc.Elab.em_locals
+  in
+  let rec try_targets = function
+    | [] -> None
+    | target :: rest -> (
+      match Psc.hyperplane ~target tp with
+      | tp', tr -> Some (tp', tr.Psc.Transform.tr_module.Psc.Ast.m_name)
+      | exception Psc.Error _ -> try_targets rest)
+  in
+  try_targets targets
+
+let run_c tp ~scalars : outcome =
+  if not (Lazy.force have_cc) then Skip "no C compiler"
+  else (
+      match Psc.emit_c_main ~scalars tp with
+      | exception Psc.Error m -> Trap ("emit: " ^ m)
+      | csrc ->
+        let dir = Filename.temp_file "ps_fuzz" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o700;
+        let cleanup () = ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))) in
+        Fun.protect ~finally:cleanup @@ fun () ->
+        let src = Filename.concat dir "prog.c" in
+        let exe = Filename.concat dir "prog" in
+        let oc = open_out src in
+        output_string oc csrc;
+        close_out oc;
+        let rc =
+          Sys.command
+            (Printf.sprintf "cc -O1 -o %s %s -lm 2> %s" (Filename.quote exe)
+               (Filename.quote src)
+               (Filename.quote (Filename.concat dir "cc.log")))
+        in
+        if rc <> 0 then Trap (Printf.sprintf "cc failed (exit %d)" rc)
+        else begin
+          let ic = Unix.open_process_in (Filename.quote exe) in
+          let lines = ref [] in
+          (try
+             while true do
+               lines := input_line ic :: !lines
+             done
+           with End_of_file -> ());
+          let status = Unix.close_process_in ic in
+          match status with
+          | Unix.WEXITED 0 ->
+            let parse line =
+              match String.split_on_char ' ' line with
+              | [ name; v ] -> (
+                match float_of_string_opt v with
+                | Some f -> Some (name, f)
+                | None -> None)
+              | _ -> None
+            in
+            let sums = List.filter_map parse (List.rev !lines) in
+            if sums = [] then Trap "C binary produced no checksums" else Checksums sums
+          | Unix.WEXITED n -> Trap (Printf.sprintf "C binary exited with %d" n)
+          | Unix.WSIGNALED n | Unix.WSTOPPED n ->
+            Trap (Printf.sprintf "C binary killed by signal %d" n)
+        end)
+
+let run_path ~pool tp ~inputs ~scalars (p : path) : outcome =
+  match p with
+  | Seq -> interp_outputs (fun () -> Psc.run tp ~inputs)
+  | Nowin -> interp_outputs (fun () -> Psc.run ~use_windows:false tp ~inputs)
+  | Nocheck -> interp_outputs (fun () -> Psc.run ~check:false tp ~inputs)
+  | Passes -> interp_outputs (fun () -> Psc.run ~sink:true ~fuse:true ~trim:true tp ~inputs)
+  | Steal -> interp_outputs (fun () -> Psc.run ~pool tp ~inputs)
+  | Collapse -> interp_outputs (fun () -> Psc.run ~pool ~collapse:true ~trim:true tp ~inputs)
+  | Hyper -> (
+    match hyper_project tp with
+    | None -> Skip "hyperplane not applicable"
+    | Some (tp', name) -> interp_outputs (fun () -> Psc.run ~name ~sink:true tp' ~inputs)
+    | exception Psc.Error m -> Trap m)
+  | Hyper_par -> (
+    match hyper_project tp with
+    | None -> Skip "hyperplane not applicable"
+    | Some (tp', name) ->
+      interp_outputs (fun () ->
+          Psc.run ~name ~sink:true ~trim:true ~collapse:true ~pool tp' ~inputs)
+    | exception Psc.Error m -> Trap m)
+  | Cc -> run_c tp ~scalars
+
+(* ------------------------------------------------------------------ *)
+
+let judge (reference : outcome) (p : path) (o : outcome) : string option =
+  match (reference, o) with
+  | _, Skip _ -> None
+  | Trap _, Trap _ -> None  (* both paths stop on the same defined trap *)
+  | Trap m, _ -> Some (Printf.sprintf "%s: reference trapped (%s) but path did not" (path_name p) m)
+  | Outputs _, Trap m -> Some (Printf.sprintf "%s: trapped: %s" (path_name p) m)
+  | Outputs r, Outputs out -> (
+    match compare_outputs r out with
+    | None -> None
+    | Some m -> Some (Printf.sprintf "%s: %s" (path_name p) m))
+  | Outputs r, Checksums sums -> (
+    match compare_checksums r sums with
+    | None -> None
+    | Some m -> Some (Printf.sprintf "%s: %s" (path_name p) m))
+  | (Checksums _ | Skip _), _ -> Some (Printf.sprintf "%s: unusable reference" (path_name p))
+
+let check ?(pool_size = 4) ~(paths : path list) tp ~inputs ~scalars : case_result =
+  Psc.Pool.with_pool ~steal:true pool_size @@ fun pool ->
+  let reference = run_path ~pool tp ~inputs ~scalars Seq in
+  let others = List.filter (fun p -> p <> Seq) paths in
+  let outcomes =
+    List.map (fun p -> (p, run_path ~pool tp ~inputs ~scalars p)) others
+  in
+  let verdict =
+    List.fold_left
+      (fun acc (p, o) -> match acc with Some _ -> acc | None -> judge reference p o)
+      None outcomes
+  in
+  { cr_outcomes = (Seq, reference) :: outcomes; cr_verdict = verdict }
+
+(* Run one source text end to end: load, derive inputs, differentiate.
+   Loading or scheduling errors are reported as a verdict of their own —
+   a generated program must always compile. *)
+let check_source ?(pool_size = 4) ~paths ~scalars src : case_result =
+  match Psc.load_string src with
+  | exception Psc.Error m ->
+    { cr_outcomes = []; cr_verdict = Some ("load: " ^ m) }
+  | tp -> (
+    let em = Psc.default_module tp in
+    match default_inputs em ~scalars with
+    | exception Psc.Error m -> { cr_outcomes = []; cr_verdict = Some ("inputs: " ^ m) }
+    | inputs -> check ~pool_size ~paths tp ~inputs ~scalars)
+
+let check_spec ?(pool_size = 4) ~paths (spec : Gen.spec) : case_result =
+  let src = Gen.render spec in
+  match Psc.load_string src with
+  | exception Psc.Error m ->
+    { cr_outcomes = []; cr_verdict = Some ("load: " ^ m) }
+  | tp -> check ~pool_size ~paths tp ~inputs:(Gen.inputs spec) ~scalars:(Gen.scalars spec)

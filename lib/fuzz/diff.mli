@@ -1,0 +1,59 @@
+(** The differential oracle: run one program through every execution
+    path and compare outputs element-wise against the sequential
+    reference.  Interpreter paths must agree bit for bit; the C path is
+    compared through its checksums.  A defined runtime trap (zero
+    divisor) agrees with a reference trap; a one-sided trap is a
+    mismatch. *)
+
+type path =
+  | Seq        (** plain sequential interpreter: the reference *)
+  | Nowin      (** full storage, no virtual windows *)
+  | Nocheck    (** unchecked subscript fast path *)
+  | Passes     (** sink + fuse + trim *)
+  | Steal      (** work-stealing pool *)
+  | Collapse   (** pooled, DOALL bands collapsed, bounds trimmed *)
+  | Hyper      (** hyperplane-transformed module, sequential *)
+  | Hyper_par  (** hyperplane-transformed, pooled + collapsed *)
+  | Cc         (** emitted C, compiled and executed *)
+
+val all_paths : path list
+val path_name : path -> string
+val path_of_name : string -> path option
+
+type outcome =
+  | Outputs of (string * Psc.Value.value) list
+  | Checksums of (string * float) list
+  | Trap of string
+  | Skip of string
+
+type case_result = {
+  cr_outcomes : (path * outcome) list;  (** reference first *)
+  cr_verdict : string option;           (** [None] = every path agreed *)
+}
+
+val have_cc : bool Lazy.t
+
+val default_inputs :
+  Psc.Elab.emodule -> scalars:(string * int) list -> (string * Psc.Value.value) list
+(** Deterministic inputs for any module: real arrays get the shared
+    row-major fill, int/bool arrays the zero fill the C harness's cast
+    produces, scalars come from [scalars].
+    @raise Psc.Error when a scalar has no value. *)
+
+val checksum : Psc.Value.value -> float
+(** Row-major sum over the declared box (the emitted main()'s sum). *)
+
+val check :
+  ?pool_size:int ->
+  paths:path list ->
+  Psc.t ->
+  inputs:(string * Psc.Value.value) list ->
+  scalars:(string * int) list ->
+  case_result
+
+val check_source :
+  ?pool_size:int -> paths:path list -> scalars:(string * int) list -> string -> case_result
+(** Load a source text, derive inputs, differentiate.  Load errors
+    become a verdict (a fuzz-generated program must always compile). *)
+
+val check_spec : ?pool_size:int -> paths:path list -> Gen.spec -> case_result

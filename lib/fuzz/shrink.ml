@@ -1,0 +1,27 @@
+(* Greedy spec-level minimizer.
+
+   [Gen.shrink] proposes one-step candidates ordered most-aggressive
+   first (smaller sizes, fewer reads, simpler expressions); we take the
+   first candidate that still fails and restart from it.  The total
+   number of property evaluations is capped, so shrinking a pathological
+   case cannot stall a campaign. *)
+
+let minimize ?(max_evals = 250) ~(fails : Gen.spec -> bool) (spec : Gen.spec) : Gen.spec =
+  let evals = ref 0 in
+  let budget_fails s =
+    if !evals >= max_evals then false
+    else begin
+      incr evals;
+      fails s
+    end
+  in
+  let rec go s =
+    let rec first = function
+      | [] -> None
+      | c :: rest -> if budget_fails c then Some c else first rest
+    in
+    match first (Gen.shrink s) with
+    | Some c -> go c
+    | None -> s
+  in
+  go spec

@@ -1,0 +1,7 @@
+(** Greedy spec-level minimizer over [Gen.shrink] candidates. *)
+
+val minimize : ?max_evals:int -> fails:(Gen.spec -> bool) -> Gen.spec -> Gen.spec
+(** [minimize ~fails spec] repeatedly replaces [spec] by its first
+    shrink candidate that still satisfies [fails], until none does or
+    [max_evals] property evaluations (default 250) are spent.  The
+    result always satisfies [fails] if [spec] did. *)

@@ -22,6 +22,7 @@ type sub_exp =
   | Affine of { var : string; offset : int; target_pos : int }
       (* var + offset, where var is the equation index at [target_pos] *)
   | Const_low                (* equals the dimension's lower bound *)
+  | Const_mid of int         (* equals the lower bound + a positive constant *)
   | Const_high               (* equals the dimension's upper bound *)
   | Slice                    (* dimension left unsubscripted *)
   | Opaque                   (* any other expression *)
@@ -50,14 +51,17 @@ let classify (q : Elab.eq) (sr : Stypes.subrange) (e : Ps_lang.Ast.expr) : sub_e
       Affine { var = v; offset = l.Linexpr.const; target_pos }
     | [] -> (
       (* No index variables: compare against the declared bounds. *)
-      let cmp bound =
+      let diff bound =
         match Linexpr.of_expr bound with
-        | Some b -> Linexpr.diff_const l b = Some 0
-        | None -> false
+        | Some b -> Linexpr.diff_const l b
+        | None -> None
       in
-      if cmp sr.Stypes.sr_lo then Const_low
-      else if cmp sr.Stypes.sr_hi then Const_high
-      else Opaque)
+      if diff sr.Stypes.sr_lo = Some 0 then Const_low
+      else if diff sr.Stypes.sr_hi = Some 0 then Const_high
+      else (
+        match diff sr.Stypes.sr_lo with
+        | Some k when k > 0 -> Const_mid k
+        | _ -> Opaque))
     | _ -> Opaque)
 
 let is_identity = function Affine { offset = 0; _ } -> true | _ -> false
@@ -71,6 +75,7 @@ let pp ppf = function
   | Affine { var; offset; _ } when offset < 0 -> Fmt.pf ppf "%s - %d" var (-offset)
   | Affine { var; offset; _ } -> Fmt.pf ppf "%s + %d" var offset
   | Const_low -> Fmt.string ppf "<low bound>"
+  | Const_mid k -> Fmt.pf ppf "<low bound + %d>" k
   | Const_high -> Fmt.string ppf "<high bound>"
   | Slice -> Fmt.string ppf "<slice>"
   | Opaque -> Fmt.string ppf "<other>"
@@ -83,6 +88,7 @@ let class_name = function
   | Affine { offset; _ } when offset < 0 -> "I - constant"
   | Affine _ -> "other (I + constant)"
   | Const_low -> "other (lower bound)"
+  | Const_mid _ -> "other (lower bound + constant)"
   | Const_high -> "other (upper bound)"
   | Slice -> "slice"
   | Opaque -> "other"

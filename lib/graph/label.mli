@@ -10,6 +10,10 @@ type sub_exp =
           (offset < 0) classes, plus "I + constant" (offset > 0), which
           step 3 of the scheduler rejects *)
   | Const_low   (** provably equals the dimension's lower bound *)
+  | Const_mid of int
+      (** provably equals the lower bound plus a positive constant
+          (boundary planes above the first, e.g. [F[1]] of Fibonacci);
+          the write-side window rules need the exact distance *)
   | Const_high  (** provably equals the upper bound, e.g. [A[maxK]];
                     drives virtual-dimension rule 2 (§3.4) *)
   | Slice       (** dimension left unsubscripted (whole-slice reference) *)

@@ -101,7 +101,10 @@ let offset_closure ~check (s : slab) (sub_fns : (frame -> int) array) :
              (Printf.sprintf "%s: subscript %d = %d outside %d..%d" s.s_name
                 (p + 1) v di.di_lo (di.di_lo + di.di_extent - 1)));
       let rel = v - di.di_lo in
-      let rel = if di.di_window = di.di_extent then rel else rel mod di.di_window in
+      let rel =
+        if di.di_window = di.di_extent then rel
+        else wrap_window rel di.di_window
+      in
       off := !off + (rel * Array.unsafe_get s.s_strides p)
     done;
     !off
@@ -206,12 +209,23 @@ and compile_binop ctx op a b =
   | Div ->
     let fa = as_real (compile ctx a) and fb = as_real (compile ctx b) in
     CReal (fun fr -> fa fr /. fb fr)
+  (* div/mod trap zero exactly as [Eval] does (same message, same
+     exception), so the hot compiled path and the cold tree-walk path
+     fail identically instead of leaking a bare [Division_by_zero]. *)
   | Idiv ->
     let fa = as_int_c (compile ctx a) and fb = as_int_c (compile ctx b) in
-    CInt (fun fr -> fa fr / fb fr)
+    CInt
+      (fun fr ->
+        let y = fb fr in
+        if y = 0 then raise (Eval.Runtime_error "division by zero");
+        fa fr / y)
   | Imod ->
     let fa = as_int_c (compile ctx a) and fb = as_int_c (compile ctx b) in
-    CInt (fun fr -> fa fr mod fb fr)
+    CInt
+      (fun fr ->
+        let y = fb fr in
+        if y = 0 then raise (Eval.Runtime_error "mod by zero");
+        fa fr mod y)
   | Eq | Ne | Lt | Le | Gt | Ge -> (
     let mk cmp = CBool cmp in
     match compile ctx a, compile ctx b with

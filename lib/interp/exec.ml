@@ -563,6 +563,10 @@ and compile_equation st benv ~aliases er_id : Compile.frame -> unit =
              fun (fr : Compile.frame) -> Array.unsafe_get fr slot
            | Elab.Sub_fixed e -> Compile.compile_int cctx e)
          df.Elab.df_subs)
+    (* With [check = false] (the bench fast path) this closure computes
+       offsets with no bounds test at all; window dimensions still wrap
+       through the Euclidean remainder so an [I - c] subscript evaluated
+       below the lower bound cannot address outside the slab. *)
     |> fun fns -> Compile.offset_closure ~check:st.st_opts.check s fns
   in
   match q.Elab.q_defs, q.Elab.q_rhs.Ps_lang.Ast.e with
@@ -668,6 +672,10 @@ and compile_equation st benv ~aliases er_id : Compile.frame -> unit =
     fail "%s: equation defines several variables but is not a module call"
       q.Elab.q_name
 
+(* [get_scalar]/[set_scalar] below reach [Value.offset] with no bounds
+   check; both sides iterate the declared extents of [src], so every
+   subscript is in declared range by construction (window dimensions map
+   through the slab's window as usual). *)
 and copy_into ~src ~dst =
   if ndims src <> ndims dst then fail "array shape mismatch writing %s" dst.s_name;
   let n = ndims src in

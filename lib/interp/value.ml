@@ -104,6 +104,16 @@ let allocated_words (s : slab) =
 
 let ndims s = Array.length s.s_dims
 
+(* Always-nonnegative (Euclidean) remainder.  OCaml's [mod] takes the
+   sign of the dividend, so a negative relative index — an [I - c] read
+   below the dimension's lower bound, reachable on the unchecked fast
+   paths — would otherwise produce a negative plane offset and address
+   outside the slab.  Window subscripts must always land inside the
+   allocated window. *)
+let wrap_window rel w =
+  let r = rel mod w in
+  if r < 0 then r + w else r
+
 (* Flat offset of a subscript vector, mapping virtual dimensions through
    their window. *)
 let offset (s : slab) (idx : int array) =
@@ -112,7 +122,9 @@ let offset (s : slab) (idx : int array) =
   for p = 0 to n - 1 do
     let di = s.s_dims.(p) in
     let rel = idx.(p) - di.di_lo in
-    let rel = if di.di_window = di.di_extent then rel else rel mod di.di_window in
+    let rel =
+      if di.di_window = di.di_extent then rel else wrap_window rel di.di_window
+    in
     off := !off + (rel * s.s_strides.(p))
   done;
   !off

@@ -53,9 +53,16 @@ val allocated_words : slab -> int
 
 val ndims : slab -> int
 
+val wrap_window : int -> int -> int
+(** [wrap_window rel w] is the Euclidean (always-nonnegative) remainder
+    of [rel] by window size [w], so negative relative indices — an
+    [I - c] subscript evaluated below the dimension's lower bound on an
+    unchecked fast path — still map inside the allocated window. *)
+
 val offset : slab -> int array -> int
 (** Flat offset of a subscript vector, mapping virtual dimensions through
-    their window. *)
+    their window.  Window dimensions always yield an in-window plane,
+    even for (out-of-declared-bounds) negative relative indices. *)
 
 val check_bounds : slab -> int array -> unit
 (** @raise Bounds when a subscript leaves its declared range. *)

@@ -181,8 +181,8 @@ let try_candidate st (c : Scc.component) (s : string) : chosen option =
                 match e.e_subs.(p) with
                 | Label.Affine { var; offset; _ } ->
                   String.equal var v && offset <= 0
-                | Label.Const_low | Label.Const_high | Label.Slice | Label.Opaque
-                  -> false))
+                | Label.Const_low | Label.Const_mid _ | Label.Const_high
+                | Label.Slice | Label.Opaque -> false))
             | _ -> true)
           c.Scc.c_edges
       in
@@ -265,9 +265,47 @@ let analyze_virtual st (c : Scc.component) (ch : chosen) =
                 | _ -> false)
               uses
           in
-          if virtual_ok then
+          let window = !max_back + 1 in
+          (* Write side: with [window] planes of physical storage, a
+             plane's slot is reused every [window] iterations, so a
+             write is only safe when it is either the producing write
+             itself (subscripted by the scheduled variable, offset 0,
+             so it lands plane-by-plane in step with the loop) or a
+             boundary plane from another component that sits within
+             the startup window — planes [lo .. lo + window - 1] are
+             read back at most [max_back] iterations later, strictly
+             before the loop comes around to reuse their slots.  Any
+             other write (e.g. a DOALL in another component sweeping
+             the scheduled dimension, as in an LCS-style base column
+             L[I, 0]) would be partially overwritten before its
+             readers run, so the dimension must stay fully allocated. *)
+          let defs_ok =
+            List.for_all
+              (fun e ->
+                if
+                  not
+                    (e.e_kind = Def
+                     &&
+                     match e.e_dst with
+                     | Data d' -> String.equal d d'
+                     | Eq _ -> false)
+                then true
+                else
+                  let inside =
+                    match e.e_src with
+                    | Eq q -> List.mem q comp_eqs
+                    | Data _ -> false
+                  in
+                  match e.e_subs.(p) with
+                  | Label.Affine { offset = 0; _ } -> inside
+                  | Label.Const_low -> not inside
+                  | Label.Const_mid k -> (not inside) && k < window
+                  | _ -> false)
+              (Dgraph.edges st.st_graph)
+          in
+          if virtual_ok && defs_ok then
             st.st_windows :=
-              { w_data = d; w_dim = p; w_size = !max_back + 1 } :: !(st.st_windows))
+              { w_data = d; w_dim = p; w_size = window } :: !(st.st_windows))
       | _ -> ())
     (data_of_component c)
 

@@ -313,10 +313,34 @@ let apply (em : Elab.emodule) (sched : Schedule.result) : result =
                       | _ -> true)
                     (Ps_graph.Dgraph.edges graph)
                 in
-                if not uses_ok then None
+                (* Write side, mirroring [Schedule.analyze_virtual]:
+                   sinking the reader fixes a rule-2 violation, not a
+                   write outside the producing loop — those still
+                   clobber the window, so the same definition rules
+                   apply. *)
+                let window = !max_back + 1 in
+                let defs_ok =
+                  List.for_all
+                    (fun e ->
+                      match e.Ps_graph.Dgraph.e_kind, e.Ps_graph.Dgraph.e_src,
+                            e.Ps_graph.Dgraph.e_dst with
+                      | Ps_graph.Dgraph.Def, Ps_graph.Dgraph.Eq src,
+                        Ps_graph.Dgraph.Data d'
+                        when String.equal d' data -> (
+                        let inside = List.mem src body_eq_ids in
+                        match e.Ps_graph.Dgraph.e_subs.(p) with
+                        | Ps_graph.Label.Affine { offset = 0; _ } -> inside
+                        | Ps_graph.Label.Const_low -> not inside
+                        | Ps_graph.Label.Const_mid k ->
+                          (not inside) && k < window
+                        | _ -> false)
+                      | _ -> true)
+                    (Ps_graph.Dgraph.edges graph)
+                in
+                if not (uses_ok && defs_ok) then None
                 else begin
                   let w =
-                    { Schedule.w_data = data; w_dim = p; w_size = !max_back + 1 }
+                    { Schedule.w_data = data; w_dim = p; w_size = window }
                   in
                   windows :=
                     w
@@ -331,7 +355,7 @@ let apply (em : Elab.emodule) (sched : Schedule.result) : result =
                       sk_loop_var = l.Flowchart.lp_var;
                       sk_data = data;
                       sk_dim = p;
-                      sk_window = !max_back + 1;
+                      sk_window = window;
                       sk_solved_var = u }
                     :: !sunk;
                   Some { l with Flowchart.lp_body = l.Flowchart.lp_body @ [ nest ] }

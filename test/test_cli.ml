@@ -180,6 +180,35 @@ end C;
         expect_ok "demo"
           [ "=== Fig. 1"; "=== Fig. 3"; "=== Fig. 5"; "=== Fig. 6"; "=== Fig. 7";
             "Least solution: a = (2, 1, 1)";
-            "Ap: dimension 1 is virtual, window = 3" ]) ]
+            "Ap: dimension 1 is virtual, window = 3" ]);
+    t "fuzz smoke: a short interpreter-only campaign agrees" (fun () ->
+        expect_ok "fuzz --seed 7 --count 5 --paths seq,nowin,steal,collapse"
+          [ "fuzz: 5 cases, 5 agreed, 0 mismatches" ]);
+    t "fuzz rejects an unknown path" (fun () ->
+        expect_fail "fuzz --seed 1 --count 1 --paths warp" [ "unknown path" ]);
+    t "traced schedule writes exactly one valid trace" (fun () ->
+        (* Regression: the trace used to be flushed both by Fun.protect
+           and an at_exit hook, appending two JSON objects. *)
+        with_source Ps_models.Models.jacobi (fun f ->
+            let tr = Filename.temp_file "psc_trace" ".json" in
+            Fun.protect
+              ~finally:(fun () -> if Sys.file_exists tr then Sys.remove tr)
+              (fun () ->
+                expect_ok (Printf.sprintf "schedule --trace %s %s" tr f) [];
+                let ic = open_in tr in
+                let text = really_input_string ic (in_channel_length ic) in
+                close_in ic;
+                let count_substring s sub =
+                  let rec go i acc =
+                    if i + String.length sub > String.length s then acc
+                    else if String.sub s i (String.length sub) = sub then
+                      go (i + 1) (acc + 1)
+                    else go (i + 1) acc
+                  in
+                  go 0 0
+                in
+                Alcotest.(check int) "one trace object" 1
+                  (count_substring text "\"traceEvents\"");
+                expect_ok ("trace-check " ^ tr) []))) ]
 
 let () = Alcotest.run "cli" [ ("cli", cli_tests) ]

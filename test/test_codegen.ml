@@ -7,6 +7,13 @@ let t name f = Alcotest.test_case name `Quick f
 
 let emit ?sink src = Psc.emit_c ?sink (Util.load src)
 
+(* Integer division and remainder with negative operands and scalar
+   results: exercises the PS_DIV/PS_MOD helpers and the pointer
+   out-params for scalar outputs. *)
+let divmod_src =
+  "T: module (N: int): [q: int; r: int; s: int; w: int]; define q = (0 - 7) \
+   div N; r = (0 - 7) mod N; s = 7 div (0 - N); w = 7 mod (0 - N); end T;"
+
 let structure_tests =
   [ t "DO and DOALL annotations present (paper: loops are annotated)" (fun () ->
         let c = emit Ps_models.Models.jacobi in
@@ -20,7 +27,8 @@ let structure_tests =
         let c = emit Ps_models.Models.jacobi in
         Alcotest.(check bool) "window comment" true
           (Util.contains c "window of 2 planes");
-        Alcotest.(check bool) "modulo mapping" true (Util.contains c "% A_w0"));
+        Alcotest.(check bool) "euclidean modulo mapping" true
+          (Util.contains c "PS_WRAP((i0) - A_lo0, A_w0)"));
     t "seidel emits three nested iterative loops" (fun () ->
         let c = emit Ps_models.Models.seidel in
         let count_substring s sub =
@@ -45,6 +53,22 @@ let structure_tests =
     t "integer kernels use int arrays" (fun () ->
         let c = emit Ps_models.Models.binomial in
         Alcotest.(check bool) "int array" true (Util.contains c "int *T"));
+    t "div and mod go through the trapping helpers" (fun () ->
+        let c = emit divmod_src in
+        Alcotest.(check bool) "helpers defined" true
+          (Util.contains c "static inline int PS_DIV(int a, int b)"
+           && Util.contains c "static inline int PS_MOD(int a, int b)");
+        Alcotest.(check bool) "div call" true (Util.contains c "PS_DIV(");
+        Alcotest.(check bool) "mod call" true (Util.contains c "PS_MOD("));
+    t "scalar results become pointer out-params" (fun () ->
+        let c = emit divmod_src in
+        Alcotest.(check bool) "signature" true (Util.contains c "int *q");
+        Alcotest.(check bool) "store through pointer" true
+          (Util.contains c "*q ="));
+    t "lcs scalar result is written through its pointer" (fun () ->
+        let c = emit Ps_models.Models.lcs in
+        Alcotest.(check bool) "signature" true (Util.contains c "int *len");
+        Alcotest.(check bool) "store" true (Util.contains c "*len ="));
     t "real division of int operands casts" (fun () ->
         let c =
           emit
@@ -130,13 +154,20 @@ let interp_checksums ?sink ?name src scalars =
             in
             go extents
           in
+          let fill ix =
+            let flat = ref 0 in
+            List.iteri
+              (fun p s -> flat := !flat + ((ix.(p) - fst (List.nth bounds p)) * s))
+              strides;
+            Ps_models.Models.fill_value !flat
+          in
+          (* The generated main() fills int arrays with (int)ps_fill(q),
+             which truncates the [0, 1) fill to 0; mirror the cast. *)
           ( d.Psc.Elab.d_name,
-            Psc.Exec.array_real ~dims:bounds (fun ix ->
-                let flat = ref 0 in
-                List.iteri
-                  (fun p s -> flat := !flat + ((ix.(p) - fst (List.nth bounds p)) * s))
-                  strides;
-                Ps_models.Models.fill_value !flat) ))
+            match Psc.Value.kind_of_ty (Psc.Stypes.elem_ty d.Psc.Elab.d_ty) with
+            | Psc.Value.KInt ->
+              Psc.Exec.array_int ~dims:bounds (fun ix -> int_of_float (fill ix))
+            | _ -> Psc.Exec.array_real ~dims:bounds fill ))
       em.Psc.Elab.em_params
   in
   let r = Psc.run ?sink ?name tp ~inputs in
@@ -183,6 +214,14 @@ let cc_tests =
           compare_c_and_interp Ps_models.Models.matmul [ ("N", 12) ]);
       t "binomial: C equals interpreter" (fun () ->
           compare_c_and_interp Ps_models.Models.binomial [ ("N", 20) ]);
+      t "negative div/mod and scalar results: C equals interpreter" (fun () ->
+          (* C99 '/'/'%' truncate toward zero like the interpreter, but
+             only via the PS_DIV/PS_MOD seam is the zero trap shared;
+             scalar results additionally go through pointer out-params. *)
+          compare_c_and_interp divmod_src [ ("N", 2) ];
+          compare_c_and_interp divmod_src [ ("N", 3) ]);
+      t "lcs: C equals interpreter on a scalar result" (fun () ->
+          compare_c_and_interp Ps_models.Models.lcs [ ("N", 10) ]);
       t "transformed seidel with sinking: C equals interpreter" (fun () ->
           let tp = Util.load Ps_models.Models.seidel in
           let _, tr = Psc.hyperplane ~target:"A" tp in

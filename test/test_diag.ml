@@ -226,6 +226,21 @@ let mutation_tests =
         let diags = verify_fc sc fc sc.Psc.sc_windows in
         Alcotest.(check bool) "E015 reported" true
           (has Diag.Duplicate_equation diags));
+    t "a clobbered window on the lcs table is rejected (E022)" (fun () ->
+        (* The fuzzer-found bug, as translation validation: L's base
+           column L[I, 0] is written by a DOALL in another component, so
+           a window on dimension 0 of L would be partially overwritten
+           before the wavefront reads it back.  The scheduler refuses
+           the window itself; the independent checker must also reject
+           any schedule that claims it. *)
+        let t0 = Psc.load_string M.lcs in
+        let sc = Psc.schedule (Psc.default_module t0) in
+        Alcotest.(check bool) "scheduler claims no window" true
+          (sc.Psc.sc_windows = []);
+        let bogus = [ { Psc.Schedule.w_data = "L"; w_dim = 0; w_size = 2 } ] in
+        let diags = verify_fc sc sc.Psc.sc_flowchart bogus in
+        Alcotest.(check bool) "E022 reported" true
+          (has Diag.Window_clobber diags));
     t "a broken hyperplane coefficient is rejected (E018)" (fun () ->
         let t0 = Psc.load_string M.seidel in
         let _, tr = Psc.hyperplane ~target:"A" t0 in
@@ -296,9 +311,14 @@ let lint_tests =
              0.0; A[N + 1] = 0.0; y = A[1]; end C;"
         in
         Alcotest.(check bool) "W113" true (has Diag.Unschedulable ds));
-    t "lcs reports the at-most-one-window rule (W112)" (fun () ->
-        Alcotest.(check bool) "W112" true
-          (has Diag.No_virtualization (lint M.lcs)));
+    t "lcs reports the write-side window refusal (W112)" (fun () ->
+        let ds = lint M.lcs in
+        Alcotest.(check bool) "W112" true (has Diag.No_virtualization ds);
+        Alcotest.(check bool) "write-side reason" true
+          (List.exists
+             (fun d ->
+               Util.contains d.Diag.d_msg "written outside its component")
+             ds));
     t "a tiny constant-trip DOALL is W120" (fun () ->
         let ds =
           lint

@@ -141,6 +141,18 @@ let semantics_tests =
     t "division by zero raises in eval" (fun () ->
         match eval_int_ "n div (n - 7)" with
         | exception Eval.Runtime_error _ -> ()
+        | _ -> Alcotest.fail "expected runtime error");
+    t "division by zero raises in the compiled closures too" (fun () ->
+        (* [eval_int_] traps in the tree-walk engine before the closure
+           runs, so the compiled seam needs its own probe. *)
+        let e = Ps_lang.Parser.expr_of_string "n div (n - 7)" in
+        match Compile.compile_scalar cctx e frame with
+        | exception Eval.Runtime_error _ -> ()
+        | _ -> Alcotest.fail "expected runtime error");
+    t "mod by zero raises in the compiled closures too" (fun () ->
+        let e = Ps_lang.Parser.expr_of_string "n mod (n - 7)" in
+        match Compile.compile_scalar cctx e frame with
+        | exception Eval.Runtime_error _ -> ()
         | _ -> Alcotest.fail "expected runtime error") ]
 
 let bounds_tests =

@@ -172,9 +172,9 @@ let classify_tests =
         match classify "A[N]" with
         | Label.Const_high -> ()
         | s -> Alcotest.failf "got %s" (Label.to_string s));
-    t "other constant" (fun () ->
+    t "other constant is placed relative to the lower bound" (fun () ->
         match classify "A[2]" with
-        | Label.Opaque -> ()
+        | Label.Const_mid 2 -> ()
         | s -> Alcotest.failf "got %s" (Label.to_string s));
     t "non-linear subscript" (fun () ->
         match classify "A[N * N - N * N]" with

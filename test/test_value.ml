@@ -37,7 +37,19 @@ let layout_tests =
     t "window of 3" (fun () ->
         let s = make_slab ~name:"a" ~elem:real ~dims:[ (2, 20, 3) ] in
         Alcotest.(check int) "words" 3 (allocated_words s);
-        Alcotest.(check int) "wraps at 3" (offset s [| 2 |]) (offset s [| 5 |])) ]
+        Alcotest.(check int) "wraps at 3" (offset s [| 2 |]) (offset s [| 5 |]));
+    t "window offset below the lower bound is euclidean" (fun () ->
+        (* A guarded read of A[I - c] near the loop's first iteration can
+           address below the dimension's declared lower bound; with a
+           truncating remainder the slot would go negative and index
+           outside the slab.  Regression for the euclidean wrap. *)
+        let s = make_slab ~name:"a" ~elem:real ~dims:[ (1, 10, 3) ] in
+        let o = offset s [| 0 |] in
+        Alcotest.(check bool) "slot stays in [0, w)" true (o >= 0 && o < 3);
+        Alcotest.(check int) "plane 0 aliases plane 3" (offset s [| 3 |]) o;
+        Alcotest.(check int) "plane -2 aliases plane 1"
+          (offset s [| 1 |])
+          (offset s [| -2 |])) ]
 
 let rw_tests =
   [ t "write then read a float" (fun () ->
