@@ -1,11 +1,11 @@
-.PHONY: all build test fuzz-smoke bench-quick fmt lint-examples trace-demo clean
+.PHONY: all build test fuzz-smoke serve-smoke promote bench-quick fmt lint-examples trace-demo clean
 
 all: build
 
 build:
 	dune build
 
-test: fuzz-smoke
+test: fuzz-smoke serve-smoke
 	dune runtest
 
 # Bounded differential fuzzing pass: every generated module must agree
@@ -14,6 +14,21 @@ test: fuzz-smoke
 # test`; a longer campaign is `psc fuzz --seed 1 --count 200`.
 fuzz-smoke: build
 	_build/default/bin/psc_main.exe fuzz --seed 1 --count 50
+
+# One schedule request through the compile server in stdio mode: the
+# pipe must answer ok and then shut down cleanly.  Part of `make test`;
+# the full protocol suite is test/test_server.ml.
+serve-smoke: build
+	printf '%s\n%s\n' \
+	  '{"id":1,"op":"schedule","source_file":"examples/ps/relaxation.ps"}' \
+	  '{"id":2,"op":"shutdown"}' \
+	  | _build/default/bin/psc_main.exe serve --stdio | grep -q '"ok":true'
+	@echo "serve-smoke: ok"
+
+# Re-bless the golden snapshots (test/golden/) after reviewing an
+# intended schedule or back-end change.
+promote: build
+	GOLDEN_PROMOTE=test/golden dune exec test/test_golden.exe
 
 # Quick benchmark sweep; writes BENCH_runtime.json (the perf trajectory).
 bench-quick: build

@@ -213,8 +213,16 @@ let part2 () =
 
 let experiments : string list ref = ref []
 
+(* Captured once, before any benchmark pool spawns its domains: the
+   count the rows are judged against must be the host's, not whatever
+   the scheduler reports while 4 benchmark domains are already up. *)
+let host_cores = Psc.Pool.recommended_size ()
+
 (* Every row carries the pool-observability fields; sequential rows
-   report zeros so consumers can treat the schema as uniform. *)
+   report zeros so consumers can treat the schema as uniform.  A row
+   whose pool oversubscribes the host ([cores_limited]) cannot show the
+   pool-size speedup — readers of the trajectory must not interpret its
+   wall time as a scaling result. *)
 let record ~name ~wall ~(ws : Psc.Analysis.cost) ~pool ~steal ~collapse ~stats =
   let steals, attempts, util, imb =
     match (stats : Psc.Pool.summary option) with
@@ -227,9 +235,9 @@ let record ~name ~wall ~(ws : Psc.Analysis.cost) ~pool ~steal ~collapse ~stats =
   in
   experiments :=
     Printf.sprintf
-      "{\"name\":%S,\"wall_s\":%.6f,\"work\":%.0f,\"span\":%.0f,\"pool\":%d,\"steal\":%b,\"collapse\":%b,\"steals\":%d,\"steal_attempts\":%d,\"utilization\":%.4f,\"imbalance\":%.3f}"
+      "{\"name\":%S,\"wall_s\":%.6f,\"work\":%.0f,\"span\":%.0f,\"pool\":%d,\"steal\":%b,\"collapse\":%b,\"cores_limited\":%b,\"steals\":%d,\"steal_attempts\":%d,\"utilization\":%.4f,\"imbalance\":%.3f}"
       name wall ws.Psc.Analysis.work ws.Psc.Analysis.span pool steal collapse
-      steals attempts util imb
+      (pool > host_cores) steals attempts util imb
     :: !experiments
 
 let ab_pool_size = 4
@@ -339,9 +347,7 @@ let write_json path =
     \  \"pool_size\": %d,\n\
     \  \"experiments\": [\n    %s\n  ]\n\
      }\n"
-    quick
-    (Psc.Pool.recommended_size ())
-    ab_pool_size
+    quick host_cores ab_pool_size
     (String.concat ",\n    " (List.rev !experiments));
   close_out oc;
   Fmt.pr "wrote %s (%d experiments)@." path (List.length !experiments)

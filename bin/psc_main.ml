@@ -579,8 +579,9 @@ let fuzz_cmd =
     let doc =
       "Comma-separated execution paths to differentiate against the \
        sequential reference: nowin, nocheck, passes, steal, collapse, \
-       hyper, hyper-par, c — or 'all' (default).  The 'c' path is \
-       skipped when no C compiler is installed."
+       hyper, hyper-par, c, server — or 'all' (default).  The 'c' path \
+       is skipped when no C compiler is installed; 'server' runs each \
+       program through a `psc serve --stdio` subprocess."
     in
     Arg.(value & opt string "all" & info [ "paths" ] ~docv:"LIST" ~doc)
   in
@@ -665,12 +666,85 @@ let fuzz_cmd =
           disagreement.")
     Term.(const run $ seed_arg $ count_arg $ paths_arg $ corpus_arg $ par_arg $ replay_arg)
 
+(* The compile service: a long-lived process answering newline-delimited
+   JSON requests with the pipeline's artifacts cached between them. *)
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv).")
+  in
+  let stdio_arg =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:"Serve standard input/output instead of a socket (one \
+                request per line; exits on EOF or a shutdown request).")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Handle at most N requests concurrently.")
+  in
+  let par_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "par" ] ~docv:"N"
+          ~doc:"Share a work-stealing pool of N domains across requests \
+                (0: run DOALL loops sequentially).")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:"Keep at most N pipeline artifacts (projects, schedules, \
+                emitted C) in the content-addressed cache.")
+  in
+  let grace_arg =
+    Arg.(
+      value & opt int 5000
+      & info [ "drain-grace-ms" ] ~docv:"MS"
+          ~doc:"When draining, wait up to $(docv) for connected clients \
+                to disconnect after their in-flight requests finish.")
+  in
+  let run socket stdio workers par cache grace trace =
+    handle (fun () ->
+        with_trace trace @@ fun () ->
+        let cf =
+          { Ps_server.Serve.cf_socket = socket;
+            cf_workers = workers;
+            cf_pool = par;
+            cf_cache = cache;
+            cf_grace_ms = grace }
+        in
+        match (socket, stdio) with
+        | None, false ->
+          Fmt.epr "psc serve: pass --socket PATH or --stdio@.";
+          exit 2
+        | Some _, true ->
+          Fmt.epr "psc serve: --socket and --stdio are exclusive@.";
+          exit 2
+        | _ -> Ps_server.Serve.main cf)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the compile service: a long-lived process answering \
+          newline-delimited JSON requests (compile, schedule, run, emit-c, \
+          lint, stats, shutdown) with pipeline artifacts cached between \
+          requests.  SIGTERM drains in-flight work instead of killing it.")
+    Term.(const run $ socket_arg $ stdio_arg $ workers_arg $ par_arg
+          $ cache_arg $ grace_arg $ trace_arg)
+
 let main_cmd =
   let doc = "compiler for the PS nonprocedural dataflow language" in
   Cmd.group
     (Cmd.info "psc" ~version:"1.0.0" ~doc)
     [ parse_cmd; check_cmd; lint_cmd; graph_cmd; schedule_cmd; transform_cmd;
       emit_c_cmd; run_cmd; analyze_cmd; eqn_cmd; demo_cmd; trace_check_cmd;
-      fuzz_cmd ]
+      fuzz_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

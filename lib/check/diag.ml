@@ -34,6 +34,9 @@ type code =
   | Unschedulable
   | Unverified_window
   | Sequential_doall
+  | Bad_request
+  | Deadline_exceeded
+  | Server_draining
 
 let code_id = function
   | Undefined_data -> "E001"
@@ -60,6 +63,12 @@ let code_id = function
   | Unschedulable -> "W113"
   | Unverified_window -> "W114"
   | Sequential_doall -> "W120"
+  (* E03x: the compile service (`psc serve`).  These are per-request
+     diagnostics — a malformed or expired request is answered, never
+     fatal to the server process. *)
+  | Bad_request -> "E030"
+  | Deadline_exceeded -> "E031"
+  | Server_draining -> "E032"
 
 let code_severity c =
   match (code_id c).[0] with 'E' -> Error | _ -> Warning

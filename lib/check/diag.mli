@@ -49,6 +49,15 @@ type code =
   | Sequential_doall         (** W120: a scheduled DOALL's constant trip count
                                  is below the pool's wake threshold, so it
                                  runs effectively sequentially *)
+  (* The compile service (E03x).  Per-request diagnostics from
+     [psc serve]: the request is answered with the diagnostic, the
+     server itself stays up. *)
+  | Bad_request              (** E030: malformed request JSON, unknown
+                                 operation, or a missing required field *)
+  | Deadline_exceeded        (** E031: the request's deadline expired before
+                                 the pipeline finished *)
+  | Server_draining          (** E032: the server is draining (SIGTERM or a
+                                 shutdown request) and accepts no new work *)
 
 val code_id : code -> string
 (** The stable identifier, e.g. ["E010"]. *)

@@ -261,7 +261,10 @@ let run ?name ?(sink = false) ?(fuse = false) ?(trim = false)
       let em = the_module ?name t in
       let sc = schedule ~sink ~fuse ~trim ~collapse em in
       let opts =
-        { Exec.default_opts with pool; check; use_windows; collect_stats = stats }
+        { Exec.default_opts with pool; check; use_windows; collect_stats = stats;
+          sched_flags =
+            { Exec.sf_sink = sink; sf_fuse = fuse; sf_trim = trim;
+              sf_collapse = collapse } }
       in
       Exec.run ~opts
         ~flowchart:sc.sc_flowchart

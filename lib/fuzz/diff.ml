@@ -24,8 +24,10 @@ type path =
   | Hyper      (* hyperplane-transformed module, sequential *)
   | Hyper_par  (* hyperplane-transformed, pooled + collapsed *)
   | Cc         (* emitted C, compiled and executed *)
+  | Server     (* a `psc serve --stdio` subprocess, outputs over the wire *)
 
-let all_paths = [ Seq; Nowin; Nocheck; Passes; Steal; Collapse; Hyper; Hyper_par; Cc ]
+let all_paths =
+  [ Seq; Nowin; Nocheck; Passes; Steal; Collapse; Hyper; Hyper_par; Cc; Server ]
 
 let path_name = function
   | Seq -> "seq"
@@ -37,6 +39,7 @@ let path_name = function
   | Hyper -> "hyper"
   | Hyper_par -> "hyper-par"
   | Cc -> "c"
+  | Server -> "server"
 
 let path_of_name = function
   | "seq" -> Some Seq
@@ -48,6 +51,7 @@ let path_of_name = function
   | "hyper" -> Some Hyper
   | "hyper-par" -> Some Hyper_par
   | "c" | "cc" -> Some Cc
+  | "server" -> Some Server
   | _ -> None
 
 type outcome =
@@ -302,6 +306,184 @@ let run_c tp ~scalars : outcome =
             Trap (Printf.sprintf "C binary killed by signal %d" n)
         end)
 
+(* ------------------------------------------------------------------ *)
+(* The server path: run the program through a `psc serve --stdio`
+   subprocess and rebuild the outputs from the wire.  The server
+   serializes reals as "%.17g" strings, so the round trip is bit-exact
+   and the usual element-wise judge applies unchanged.  One subprocess
+   is shared by the whole campaign (spawned lazily, respawned if it
+   dies) — the point is to exercise the service's cache and protocol on
+   hundreds of programs, not to pay a process start per case. *)
+
+let server_exe () =
+  match Sys.getenv_opt "PSC_SERVE_EXE" with
+  | Some p -> if Sys.file_exists p then Some p else None
+  | None ->
+    let self = Sys.executable_name in
+    let is_psc =
+      let base = Filename.basename self in
+      String.length base >= 8 && String.sub base 0 8 = "psc_main"
+    in
+    List.find_opt Sys.file_exists
+      ((if is_psc then [ self ] else [])
+      @ [ "_build/default/bin/psc_main.exe"; "../bin/psc_main.exe";
+          "bin/psc_main.exe" ])
+
+let server_proc : (in_channel * out_channel) option ref = ref None
+let server_mutex = Mutex.create ()
+let server_cleanup_registered = ref false
+
+let stop_server () =
+  match !server_proc with
+  | None -> ()
+  | Some ((_, oc) as p) ->
+    server_proc := None;
+    (try
+       output_string oc "{\"op\":\"shutdown\"}\n";
+       flush oc
+     with Sys_error _ -> ());
+    ignore (Unix.close_process p)
+
+let acquire_server () =
+  match !server_proc with
+  | Some p -> Some p
+  | None -> (
+    match server_exe () with
+    | None -> None
+    | Some exe ->
+      let p =
+        Unix.open_process (Filename.quote exe ^ " serve --stdio 2>/dev/null")
+      in
+      server_proc := Some p;
+      if not !server_cleanup_registered then begin
+        server_cleanup_registered := true;
+        at_exit stop_server
+      end;
+      Some p)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+exception Unsupported_output of string
+
+module Json = Psc.Trace.Json
+
+(* Rebuild a value from the response.  Array values come in row-major
+   declared-box order; the flat index is recomputed per point so the
+   rebuild does not depend on the builder's own visit order. *)
+let value_of_json (j : Json.t) : string * Psc.Value.value =
+  let str name =
+    match Json.member name j with Some (Json.Str s) -> Some s | _ -> None
+  in
+  let name = match str "name" with Some n -> n | None -> raise (Unsupported_output "nameless output") in
+  let elem = Option.value (str "elem") ~default:"?" in
+  match str "kind" with
+  | Some "scalar" -> (
+    let v = match str "value" with Some v -> v | None -> raise (Unsupported_output name) in
+    match elem with
+    | "int" -> (name, Psc.Exec.scalar_int (int_of_string v))
+    | "real" -> (name, Psc.Exec.scalar_real (float_of_string v))
+    | "bool" -> (name, Psc.Exec.scalar_bool (bool_of_string v))
+    | "enum" ->
+      let ty = Option.value (str "ty") ~default:"" in
+      (name, Psc.Value.Vscalar (Psc.Value.Sc_enum (ty, int_of_string v)))
+    | k -> raise (Unsupported_output (name ^ ": scalar elem " ^ k)))
+  | Some "array" ->
+    let dims =
+      match Json.member "dims" j with
+      | Some (Json.Arr ds) ->
+        List.map
+          (function
+            | Json.Arr [ Json.Num lo; Json.Num hi ] ->
+              (int_of_float lo, int_of_float hi)
+            | _ -> raise (Unsupported_output (name ^ ": bad dims")))
+          ds
+      | _ -> raise (Unsupported_output (name ^ ": bad dims"))
+    in
+    let values =
+      match Json.member "values" j with
+      | Some (Json.Arr vs) ->
+        Array.of_list
+          (List.map
+             (function
+               | Json.Str s -> s
+               | _ -> raise (Unsupported_output (name ^ ": bad value")))
+             vs)
+      | _ -> raise (Unsupported_output (name ^ ": bad values"))
+    in
+    let exts = List.map (fun (lo, hi) -> hi - lo + 1) dims in
+    let strides =
+      let rec go = function
+        | [] -> []
+        | _ :: rest as l -> List.fold_left ( * ) 1 (List.tl l) :: go rest
+      in
+      go exts
+    in
+    let los = List.map fst dims in
+    let flat ix =
+      let f = ref 0 in
+      List.iteri (fun p st -> f := !f + ((ix.(p) - List.nth los p) * st)) strides;
+      !f
+    in
+    (match elem with
+     | "real" ->
+       (name, Psc.Exec.array_real ~dims (fun ix -> float_of_string values.(flat ix)))
+     | "int" ->
+       (name, Psc.Exec.array_int ~dims (fun ix -> int_of_string values.(flat ix)))
+     | k -> raise (Unsupported_output (name ^ ": array elem " ^ k)))
+  | _ -> raise (Unsupported_output name)
+
+let run_server tp ~scalars : outcome =
+  Mutex.lock server_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock server_mutex) @@ fun () ->
+  match acquire_server () with
+  | None -> Skip "psc executable not found"
+  | Some (ic, oc) -> (
+    let src = Psc.Pretty.program_to_string tp.Psc.ast in
+    let req =
+      Printf.sprintf "{\"id\":0,\"op\":\"run\",\"source\":\"%s\",\"scalars\":{%s}}"
+        (json_escape src)
+        (String.concat ","
+           (List.map (fun (n, v) -> Printf.sprintf "\"%s\":%d" (json_escape n) v) scalars))
+    in
+    match
+      output_string oc req;
+      output_char oc '\n';
+      flush oc;
+      input_line ic
+    with
+    | exception (End_of_file | Sys_error _) ->
+      stop_server ();
+      Trap "server: connection lost"
+    | line -> (
+      match Json.parse line with
+      | exception Json.Parse_error m -> Trap ("server: bad response: " ^ m)
+      | resp -> (
+        match Json.member "ok" resp with
+        | Some (Json.Bool true) -> (
+          match Json.member "outputs" resp with
+          | Some (Json.Arr items) -> (
+            try Outputs (List.map value_of_json items)
+            with Unsupported_output m -> Skip ("server: unsupported output " ^ m))
+          | _ -> Trap "server: response has no outputs")
+        | _ -> (
+          match Json.member "error" resp with
+          | Some (Json.Str m) -> Trap m
+          | _ -> Trap ("server: request failed: " ^ line)))))
+
 let run_path ~pool tp ~inputs ~scalars (p : path) : outcome =
   match p with
   | Seq -> interp_outputs (fun () -> Psc.run tp ~inputs)
@@ -323,6 +505,7 @@ let run_path ~pool tp ~inputs ~scalars (p : path) : outcome =
           Psc.run ~name ~sink:true ~trim:true ~collapse:true ~pool tp' ~inputs)
     | exception Psc.Error m -> Trap m)
   | Cc -> run_c tp ~scalars
+  | Server -> run_server tp ~scalars
 
 (* ------------------------------------------------------------------ *)
 

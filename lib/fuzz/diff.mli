@@ -15,6 +15,7 @@ type path =
   | Hyper      (** hyperplane-transformed module, sequential *)
   | Hyper_par  (** hyperplane-transformed, pooled + collapsed *)
   | Cc         (** emitted C, compiled and executed *)
+  | Server     (** a `psc serve --stdio` subprocess, outputs over the wire *)
 
 val all_paths : path list
 val path_name : path -> string

@@ -24,17 +24,42 @@ exception Runtime_error = Eval.Runtime_error
 
 let fail fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
 
+(* The transformation passes the run was asked for.  Callee modules are
+   scheduled under the same passes as the caller, and the schedule memo
+   below is keyed by this fingerprint — two runs of one process with
+   different flags must never share a schedule (the flowchart and the
+   storage windows both depend on the passes). *)
+type sched_flags = {
+  sf_sink : bool;
+  sf_fuse : bool;
+  sf_trim : bool;
+  sf_collapse : bool;
+}
+
+let no_sched_flags =
+  { sf_sink = false; sf_fuse = false; sf_trim = false; sf_collapse = false }
+
+let flags_fingerprint f =
+  let b c v = if v then c else '-' in
+  let s = Bytes.create 4 in
+  Bytes.set s 0 (b 's' f.sf_sink);
+  Bytes.set s 1 (b 'f' f.sf_fuse);
+  Bytes.set s 2 (b 't' f.sf_trim);
+  Bytes.set s 3 (b 'c' f.sf_collapse);
+  Bytes.to_string s
+
 type opts = {
   pool : Ps_runtime.Pool.t option;  (* None: fully sequential *)
   check : bool;                     (* subscript bounds checking *)
   use_windows : bool;               (* honor virtual-dimension windows *)
   min_par : int;                    (* smallest trip count worth forking *)
   collect_stats : bool;             (* count equation evaluations *)
+  sched_flags : sched_flags;        (* passes applied to callee schedules *)
 }
 
 let default_opts =
   { pool = None; check = true; use_windows = true; min_par = 4;
-    collect_stats = false }
+    collect_stats = false; sched_flags = no_sched_flags }
 
 type run_result = {
   outputs : (string * value) list;
@@ -50,9 +75,86 @@ type state = {
   st_opts : opts;
   st_windows : Ps_sched.Schedule.window list;
   st_slabs : (string, slab) Hashtbl.t;
-  st_sched_cache : (string, Ps_sched.Schedule.result) Hashtbl.t;
   st_evals : int Atomic.t;
 }
+
+(* ------------------------------------------------------------------ *)
+(* The schedule memo.
+
+   Scheduling is pure and deterministic, so a module called many times
+   (or run many times by a resident process such as `psc serve`) pays
+   the Schedule-Graph cost once.  The memo is process-wide and
+   content-addressed: the key is the module's *text* digest plus the
+   pass fingerprint, never the module name alone — the same name can
+   denote different modules across projects, and the same module
+   schedules differently under different passes (`--collapse` marks
+   bands, `--sink` changes the storage windows).  A mutex guards the
+   table because module calls can occur inside DOALL bodies running on
+   pool domains. *)
+
+type cached_sched = {
+  cs_flowchart : Ps_sched.Flowchart.t;
+  cs_windows : Ps_sched.Schedule.window list;
+}
+
+let sched_memo : (string, cached_sched) Hashtbl.t = Hashtbl.create 16
+
+let sched_memo_mutex = Mutex.create ()
+
+let sched_memo_hits = Atomic.make 0
+
+let sched_key (em : Elab.emodule) (f : sched_flags) =
+  let text = Ps_lang.Pretty.module_to_string em.Elab.em_ast in
+  Printf.sprintf "%s:%s:%s" em.Elab.em_name
+    (Digest.to_hex (Digest.string text))
+    (flags_fingerprint f)
+
+(* Mirror of [Psc.schedule]'s pass composition, for callee modules. *)
+let schedule_with_flags (em : Elab.emodule) (f : sched_flags) : cached_sched =
+  let r = Ps_sched.Schedule.schedule em in
+  let fc, windows =
+    if f.sf_sink then
+      let s = Ps_sched.Sink.apply em r in
+      (s.Ps_sched.Sink.s_flowchart, s.Ps_sched.Sink.s_windows)
+    else (r.Ps_sched.Schedule.r_flowchart, r.Ps_sched.Schedule.r_windows)
+  in
+  let fc, _ =
+    if f.sf_fuse then Ps_sched.Fuse.apply em r.Ps_sched.Schedule.r_graph fc
+    else (fc, 0)
+  in
+  let fc, _ = if f.sf_trim then Ps_sched.Trim.apply em fc else (fc, 0) in
+  let fc = if f.sf_collapse then Ps_sched.Collapse.mark fc else fc in
+  { cs_flowchart = fc; cs_windows = windows }
+
+let memo_sched (em : Elab.emodule) (f : sched_flags) : cached_sched =
+  let key = sched_key em f in
+  Mutex.lock sched_memo_mutex;
+  match Hashtbl.find_opt sched_memo key with
+  | Some cs ->
+    Atomic.incr sched_memo_hits;
+    Mutex.unlock sched_memo_mutex;
+    cs
+  | None ->
+    Mutex.unlock sched_memo_mutex;
+    (* Schedule outside the lock: scheduling may be slow, and a racing
+       duplicate insert is harmless (both computed the same value). *)
+    let cs = schedule_with_flags em f in
+    Mutex.lock sched_memo_mutex;
+    if not (Hashtbl.mem sched_memo key) then Hashtbl.add sched_memo key cs;
+    Mutex.unlock sched_memo_mutex;
+    cs
+
+let sched_cache_stats () =
+  Mutex.lock sched_memo_mutex;
+  let n = Hashtbl.length sched_memo in
+  Mutex.unlock sched_memo_mutex;
+  (n, Atomic.get sched_memo_hits)
+
+let sched_cache_clear () =
+  Mutex.lock sched_memo_mutex;
+  Hashtbl.reset sched_memo;
+  Atomic.set sched_memo_hits 0;
+  Mutex.unlock sched_memo_mutex
 
 let window_of st name dim =
   if not st.st_opts.use_windows then None
@@ -107,14 +209,7 @@ and call st fname (args : value list) : value list =
   match Elab.find_module st.st_prog fname with
   | None -> fail "call to unknown module %s" fname
   | Some callee ->
-    let sched =
-      match Hashtbl.find_opt st.st_sched_cache fname with
-      | Some r -> r
-      | None ->
-        let r = Ps_sched.Schedule.schedule callee in
-        Hashtbl.add st.st_sched_cache fname r;
-        r
-    in
+    let sched = memo_sched callee st.st_opts.sched_flags in
     let inputs =
       try
         List.map2
@@ -128,7 +223,10 @@ and call st fname (args : value list) : value list =
     (* Nested module bodies run sequentially: the caller may already be
        inside a parallel region. *)
     let opts = { st.st_opts with pool = None } in
-    let r = run_scheduled ~opts ~prog:st.st_prog callee ~sched ~inputs in
+    let r =
+      run_flowchart ~opts ~prog:st.st_prog callee
+        ~flowchart:sched.cs_flowchart ~windows:sched.cs_windows ~inputs
+    in
     List.map snd r.outputs
 
 (* ------------------------------------------------------------------ *)
@@ -693,11 +791,6 @@ and copy_into ~src ~dst =
 
 (* ------------------------------------------------------------------ *)
 
-and run_scheduled ~opts ~prog (em : Elab.emodule)
-    ~(sched : Ps_sched.Schedule.result) ~inputs : run_result =
-  run_flowchart ~opts ~prog em ~flowchart:sched.Ps_sched.Schedule.r_flowchart
-    ~windows:sched.Ps_sched.Schedule.r_windows ~inputs
-
 and run_flowchart ~opts ~prog (em : Elab.emodule)
     ~(flowchart : Ps_sched.Flowchart.t) ~(windows : Ps_sched.Schedule.window list)
     ~inputs : run_result =
@@ -708,7 +801,6 @@ and run_flowchart ~opts ~prog (em : Elab.emodule)
       st_opts = opts;
       st_windows = windows;
       st_slabs = Hashtbl.create 16;
-      st_sched_cache = Hashtbl.create 4;
       st_evals = Atomic.make 0 }
   in
   seed_inputs st inputs;

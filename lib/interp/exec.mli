@@ -10,16 +10,39 @@
 
 exception Runtime_error of string
 
+type sched_flags = {
+  sf_sink : bool;
+  sf_fuse : bool;
+  sf_trim : bool;
+  sf_collapse : bool;
+}
+(** The transformation passes the run was asked for.  Callee modules
+    reached through module-call equations are scheduled under the same
+    passes, and the process-wide schedule memo is keyed by this
+    fingerprint together with the module's content digest — never by the
+    module name alone. *)
+
+val no_sched_flags : sched_flags
+
+val flags_fingerprint : sched_flags -> string
+(** Four stable characters, one per pass (e.g. ["s-t-"] for sink+trim). *)
+
 type opts = {
   pool : Ps_runtime.Pool.t option;  (** [None]: fully sequential *)
   check : bool;                     (** subscript bounds checking *)
   use_windows : bool;               (** honor virtual-dimension windows *)
   min_par : int;                    (** smallest trip count worth forking *)
   collect_stats : bool;             (** count equation evaluations *)
+  sched_flags : sched_flags;        (** passes applied to callee schedules *)
 }
 
 val default_opts : opts
 (** Sequential, checked, windowed, no statistics. *)
+
+val sched_cache_stats : unit -> int * int
+(** [(entries, hits)] of the process-wide schedule memo. *)
+
+val sched_cache_clear : unit -> unit
 
 type run_result = {
   outputs : (string * Value.value) list;  (** module results, in order *)

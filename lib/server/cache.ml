@@ -1,0 +1,115 @@
+(* Content-addressed artifact store for the compile service.
+
+   Keys are built from the MD5 digest of the source text plus whatever
+   narrows the artifact (module name, transformation-flag fingerprint),
+   so two requests with the same source and flags share one schedule no
+   matter how the client phrased them.  Scheduling is deterministic —
+   same module, same flags, same flowchart — which is what makes the
+   artifacts safe to share between connections.
+
+   The store is a mutex-protected hash table with an LRU bound: each
+   hit stamps the entry with a monotonically increasing tick, and an
+   insert past capacity evicts the stalest entry.  Builds run outside
+   the lock, so a slow schedule never stalls unrelated requests; two
+   racing builds of the same key waste one build and keep the first
+   inserted value. *)
+
+type artifact =
+  | A_project of Psc.t
+  | A_sched of Psc.scheduled
+  | A_emit of string  (* generated C text *)
+
+type entry = { e_art : artifact; mutable e_tick : int }
+
+type t = {
+  c_capacity : int;
+  c_table : (string, entry) Hashtbl.t;
+  c_mutex : Mutex.t;
+  mutable c_tick : int;
+  c_hits : Psc.Metrics.counter;
+  c_misses : Psc.Metrics.counter;
+  c_evictions : Psc.Metrics.counter;
+}
+
+let create ?(capacity = 64) () =
+  { c_capacity = max 1 capacity;
+    c_table = Hashtbl.create 32;
+    c_mutex = Mutex.create ();
+    c_tick = 0;
+    c_hits = Psc.Metrics.counter "server.cache.hits";
+    c_misses = Psc.Metrics.counter "server.cache.misses";
+    c_evictions = Psc.Metrics.counter "server.cache.evictions" }
+
+(* Key constructors: one letter per artifact kind, then the content
+   digest, then the discriminating context. *)
+
+let digest src = Digest.to_hex (Digest.string src)
+
+let project_key ~src = "P:" ^ digest src
+
+let sched_key ~src ~module_ ~flags =
+  Printf.sprintf "S:%s:%s:%s" (digest src)
+    (match module_ with Some m -> m | None -> "")
+    (Psc.Exec.flags_fingerprint flags)
+
+let emit_key ~src ~module_ ~flags ~main =
+  Printf.sprintf "C:%s:%s:%s:%s" (digest src)
+    (match module_ with Some m -> m | None -> "")
+    (Psc.Exec.flags_fingerprint flags)
+    (if main then "main" else "mod")
+
+let locked t f =
+  Mutex.lock t.c_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.c_mutex) f
+
+let evict_stalest t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, tick) when tick <= e.e_tick -> ()
+      | _ -> victim := Some (k, e.e_tick))
+    t.c_table;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.c_table k;
+    Psc.Metrics.incr t.c_evictions
+  | None -> ()
+
+(* [find_or_build t key build] returns the artifact and whether it came
+   from the store.  [build] may raise; nothing is inserted then. *)
+let find_or_build t key build =
+  let hit =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.c_table key with
+        | Some e ->
+          t.c_tick <- t.c_tick + 1;
+          e.e_tick <- t.c_tick;
+          Psc.Metrics.incr t.c_hits;
+          Some e.e_art
+        | None ->
+          Psc.Metrics.incr t.c_misses;
+          None)
+  in
+  match hit with
+  | Some art -> (art, true)
+  | None ->
+    let art = build () in
+    locked t (fun () ->
+        if not (Hashtbl.mem t.c_table key) then begin
+          while Hashtbl.length t.c_table >= t.c_capacity do
+            evict_stalest t
+          done;
+          t.c_tick <- t.c_tick + 1;
+          Hashtbl.add t.c_table key { e_art = art; e_tick = t.c_tick }
+        end);
+    (art, false)
+
+type stats = { st_entries : int; st_hits : int; st_misses : int; st_evictions : int }
+
+let stats t =
+  locked t (fun () ->
+      { st_entries = Hashtbl.length t.c_table;
+        st_hits = Psc.Metrics.counter_value t.c_hits;
+        st_misses = Psc.Metrics.counter_value t.c_misses;
+        st_evictions = Psc.Metrics.counter_value t.c_evictions })

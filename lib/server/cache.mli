@@ -1,0 +1,54 @@
+(** Content-addressed artifact store for the compile service.
+
+    Keys are built from the MD5 digest of the source text plus whatever
+    narrows the artifact (module name, transformation-flag fingerprint),
+    so two requests with the same source and flags share one schedule no
+    matter how the client phrased them.  The store is a mutex-protected
+    hash table with an LRU bound; builds run outside the lock, so a slow
+    schedule never stalls unrelated requests. *)
+
+type artifact =
+  | A_project of Psc.t          (** a loaded + elaborated source *)
+  | A_sched of Psc.scheduled    (** a scheduled module *)
+  | A_emit of string            (** generated C text *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An empty store holding at most [capacity] (default 64, min 1)
+    artifacts, with its hit/miss/eviction counters registered as
+    [server.cache.*] in {!Psc.Metrics}. *)
+
+(** {2 Key constructors}
+
+    One letter per artifact kind, then the content digest, then the
+    discriminating context. *)
+
+val project_key : src:string -> string
+
+val sched_key :
+  src:string -> module_:string option -> flags:Psc.Exec.sched_flags -> string
+
+val emit_key :
+  src:string ->
+  module_:string option ->
+  flags:Psc.Exec.sched_flags ->
+  main:bool ->
+  string
+
+val find_or_build : t -> string -> (unit -> artifact) -> artifact * bool
+(** [find_or_build t key build] returns the artifact and whether it came
+    from the store.  A hit stamps the entry most-recently-used; a miss
+    runs [build] outside the lock and inserts the result, evicting the
+    stalest entries while over capacity.  Two racing builds of the same
+    key waste one build and keep the first inserted value.  [build] may
+    raise; nothing is inserted then. *)
+
+type stats = {
+  st_entries : int;
+  st_hits : int;
+  st_misses : int;
+  st_evictions : int;
+}
+
+val stats : t -> stats

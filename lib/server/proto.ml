@@ -1,0 +1,266 @@
+(* Wire protocol of the compile service.
+
+   One request per line, one response per line, both JSON objects.  The
+   reader is the trace module's JSON parser (no external dependency);
+   the writer is hand-rolled below.  Real values cross the wire as
+   "%.17g" strings, never as JSON numbers, so a client that parses them
+   with [float_of_string] recovers the exact IEEE double the server
+   computed — the differential fuzzer's server path depends on this
+   round trip being bit-exact. *)
+
+module Json = Psc.Trace.Json
+
+type op = Compile | Schedule | Run | Emit_c | Lint | Stats | Shutdown
+
+let op_name = function
+  | Compile -> "compile"
+  | Schedule -> "schedule"
+  | Run -> "run"
+  | Emit_c -> "emit-c"
+  | Lint -> "lint"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let op_of_name = function
+  | "compile" -> Some Compile
+  | "schedule" -> Some Schedule
+  | "run" -> Some Run
+  | "emit-c" -> Some Emit_c
+  | "lint" -> Some Lint
+  | "stats" -> Some Stats
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+type source = Inline of string | From_file of string
+
+type request = {
+  rq_id : string;  (* the "id" member re-rendered verbatim, default "null" *)
+  rq_op : op;
+  rq_source : source option;
+  rq_module : string option;
+  rq_flags : Psc.Exec.sched_flags;
+  rq_scalars : (string * int) list;
+  rq_deadline_ms : int option;
+  rq_main : bool;  (* emit-c: also emit the main() harness *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Writing *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ escape s ^ "\""
+
+let jint = string_of_int
+
+let jbool b = if b then "true" else "false"
+
+let jarr items = "[" ^ String.concat "," items ^ "]"
+
+let jobj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
+  ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+(* Re-render a parsed id so the response echoes what the client sent.
+   Integral numbers print without the decimal point JSON parsing gave
+   them. *)
+let render_id (j : Json.t) =
+  match j with
+  | Json.Str s -> jstr s
+  | Json.Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      string_of_int (int_of_float f)
+    else Printf.sprintf "%.17g" f
+  | Json.Bool b -> jbool b
+  | Json.Null -> "null"
+  | Json.Obj _ | Json.Arr _ -> "null"
+
+let parse_request (line : string) : (request, string * string) result =
+  (* On error the first component is still the rendered id (when one
+     could be recovered) so the E030 response can be correlated. *)
+  match Json.parse line with
+  | exception Json.Parse_error m -> Error ("null", "malformed JSON: " ^ m)
+  | Json.Obj _ as j -> (
+    let id =
+      match Json.member "id" j with Some v -> render_id v | None -> "null"
+    in
+    let str_member name =
+      match Json.member name j with
+      | Some (Json.Str s) -> Some s
+      | Some _ | None -> None
+    in
+    match Json.member "op" j with
+    | None -> Error (id, "missing required field: op")
+    | Some (Json.Str opname) -> (
+      match op_of_name opname with
+      | None -> Error (id, "unknown operation: " ^ opname)
+      | Some op ->
+        let source =
+          match (str_member "source", str_member "source_file") with
+          | Some s, _ -> Some (Inline s)
+          | None, Some f -> Some (From_file f)
+          | None, None -> None
+        in
+        let flag name =
+          match Json.member "flags" j with
+          | Some (Json.Obj _ as fl) -> (
+            match Json.member name fl with
+            | Some (Json.Bool b) -> b
+            | _ -> false)
+          | _ -> false
+        in
+        let flags =
+          { Psc.Exec.sf_sink = flag "sink";
+            sf_fuse = flag "fuse";
+            sf_trim = flag "trim";
+            sf_collapse = flag "collapse" }
+        in
+        let scalars =
+          match Json.member "scalars" j with
+          | Some (Json.Obj kvs) ->
+            List.filter_map
+              (fun (k, v) ->
+                match v with
+                | Json.Num f -> Some (k, int_of_float f)
+                | _ -> None)
+              kvs
+          | _ -> []
+        in
+        let deadline_ms =
+          match Json.member "deadline_ms" j with
+          | Some (Json.Num f) -> Some (int_of_float f)
+          | _ -> None
+        in
+        let main =
+          match Json.member "main" j with Some (Json.Bool b) -> b | _ -> false
+        in
+        Ok
+          { rq_id = id;
+            rq_op = op;
+            rq_source = source;
+            rq_module = str_member "module";
+            rq_flags = flags;
+            rq_scalars = scalars;
+            rq_deadline_ms = deadline_ms;
+            rq_main = main })
+    | Some _ -> Error (id, "field op must be a string"))
+  | _ -> Error ("null", "request must be a JSON object")
+
+(* ------------------------------------------------------------------ *)
+(* Output values *)
+
+let elem_name (k : Psc.Value.elem_kind) =
+  match k with
+  | Psc.Value.KInt -> "int"
+  | Psc.Value.KReal -> "real"
+  | Psc.Value.KBool -> "bool"
+  | Psc.Value.KEnum _ -> "enum"
+
+let scalar_fields (s : Psc.Value.scalar) =
+  match s with
+  | Psc.Value.Sc_int n -> [ ("elem", jstr "int"); ("value", jstr (string_of_int n)) ]
+  | Psc.Value.Sc_real v ->
+    [ ("elem", jstr "real"); ("value", jstr (Printf.sprintf "%.17g" v)) ]
+  | Psc.Value.Sc_bool b -> [ ("elem", jstr "bool"); ("value", jstr (jbool b)) ]
+  | Psc.Value.Sc_enum (ty, o) ->
+    [ ("elem", jstr "enum"); ("ty", jstr ty); ("value", jstr (string_of_int o)) ]
+  | Psc.Value.Sc_record _ -> [ ("elem", jstr "record"); ("value", jstr "<record>") ]
+
+let scalar_text (s : Psc.Value.scalar) =
+  match s with
+  | Psc.Value.Sc_int n -> string_of_int n
+  | Psc.Value.Sc_real v -> Printf.sprintf "%.17g" v
+  | Psc.Value.Sc_bool b -> jbool b
+  | Psc.Value.Sc_enum (_, o) -> string_of_int o
+  | Psc.Value.Sc_record _ -> "<record>"
+
+(* Iterate the declared box in row-major ascending order — the same
+   order a client rebuilding the array with [Exec.array_real] visits. *)
+let iter_box (s : Psc.Value.slab) f =
+  let n = Psc.Value.ndims s in
+  let ix = Array.map (fun di -> di.Psc.Value.di_lo) s.Psc.Value.s_dims in
+  if Array.exists (fun di -> di.Psc.Value.di_extent <= 0) s.Psc.Value.s_dims
+  then ()
+  else begin
+    let rec advance p =
+      if p < 0 then false
+      else begin
+        let di = s.Psc.Value.s_dims.(p) in
+        ix.(p) <- ix.(p) + 1;
+        if ix.(p) < di.Psc.Value.di_lo + di.Psc.Value.di_extent then true
+        else begin
+          ix.(p) <- di.Psc.Value.di_lo;
+          advance (p - 1)
+        end
+      end
+    in
+    let continue_ = ref true in
+    while !continue_ do
+      f ix;
+      continue_ := advance (n - 1)
+    done
+  end
+
+let output_json (name, (v : Psc.Value.value)) =
+  match v with
+  | Psc.Value.Vscalar s ->
+    jobj ([ ("name", jstr name); ("kind", jstr "scalar") ] @ scalar_fields s)
+  | Psc.Value.Varray sl ->
+    let dims =
+      Array.to_list sl.Psc.Value.s_dims
+      |> List.map (fun di ->
+             jarr
+               [ jint di.Psc.Value.di_lo;
+                 jint (di.Psc.Value.di_lo + di.Psc.Value.di_extent - 1) ])
+    in
+    let values = ref [] in
+    iter_box sl (fun ix ->
+        values := jstr (scalar_text (Psc.Value.get_scalar sl ix)) :: !values);
+    let ty =
+      match sl.Psc.Value.s_kind with
+      | Psc.Value.KEnum ty -> [ ("ty", jstr ty) ]
+      | _ -> []
+    in
+    jobj
+      ([ ("name", jstr name);
+         ("kind", jstr "array");
+         ("elem", jstr (elem_name sl.Psc.Value.s_kind)) ]
+      @ ty
+      @ [ ("dims", jarr dims); ("values", jarr (List.rev !values)) ])
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+let ok_response ~id ~cached fields =
+  jobj
+    ([ ("id", id); ("ok", jbool true); ("cached", jbool cached) ] @ fields)
+
+(* A failed request carries the diagnostics array of the unified
+   diagnostics engine, so clients see the same E0xx codes the CLI
+   prints. *)
+let error_response ~id (diags : Psc.Diag.t list) =
+  jobj
+    [ ("id", id);
+      ("ok", jbool false);
+      ("diagnostics", Psc.Diag.render Psc.Diag.Json diags) ]
+
+let error_message ~id msg =
+  jobj [ ("id", id); ("ok", jbool false); ("error", jstr msg) ]

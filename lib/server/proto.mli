@@ -1,0 +1,67 @@
+(** Wire protocol of the compile service.
+
+    One request per line, one response per line, both JSON objects.
+    Requests are parsed with the trace module's JSON reader; responses
+    are rendered with the writer helpers below.  Real values cross the
+    wire as ["%.17g"] strings, never as JSON numbers, so a client that
+    parses them with [float_of_string] recovers the exact IEEE double
+    the server computed — the differential fuzzer's server path depends
+    on this round trip being bit-exact. *)
+
+type op = Compile | Schedule | Run | Emit_c | Lint | Stats | Shutdown
+
+val op_name : op -> string
+(** The wire name: ["compile"], ["schedule"], ["run"], ["emit-c"],
+    ["lint"], ["stats"], ["shutdown"]. *)
+
+val op_of_name : string -> op option
+
+type source =
+  | Inline of string     (** the ["source"] member: program text *)
+  | From_file of string  (** the ["source_file"] member: a path the server reads *)
+
+type request = {
+  rq_id : string;  (** the ["id"] member re-rendered verbatim, default ["null"] *)
+  rq_op : op;
+  rq_source : source option;
+  rq_module : string option;       (** module to schedule; [None] = the default *)
+  rq_flags : Psc.Exec.sched_flags; (** the ["flags"] object; all default false *)
+  rq_scalars : (string * int) list;(** integer inputs for [run] / [emit-c --main] *)
+  rq_deadline_ms : int option;     (** per-request budget *)
+  rq_main : bool;                  (** emit-c: also emit the main() harness *)
+}
+
+val parse_request : string -> (request, string * string) result
+(** Parse one request line.  On error the first component is still the
+    rendered id (when one could be recovered) so the E030 response can
+    be correlated with the request that caused it. *)
+
+(** {2 JSON writer helpers}
+
+    Values in the functions below are already-rendered JSON text; the
+    field names passed to {!jobj} are escaped. *)
+
+val jstr : string -> string
+val jint : int -> string
+val jbool : bool -> string
+val jarr : string list -> string
+val jobj : (string * string) list -> string
+
+val output_json : string * Psc.Value.value -> string
+(** One module output as a JSON object: scalars as
+    [{name;kind:"scalar";elem;value}], arrays as
+    [{name;kind:"array";elem;ty?;dims:[[lo,hi],...];values:[...]}] with
+    the values in row-major declared-box order, each rendered as a
+    string ({!scalar_text}). *)
+
+val ok_response : id:string -> cached:bool -> (string * string) list -> string
+(** [{"id":…,"ok":true,"cached":…,<fields>}]. *)
+
+val error_response : id:string -> Psc.Diag.t list -> string
+(** A failed request carrying the diagnostics array of the unified
+    diagnostics engine, so clients see the same E0xx codes the CLI
+    prints. *)
+
+val error_message : id:string -> string -> string
+(** A failed request with a bare ["error"] string (compile and runtime
+    errors that carry no diagnostic object). *)

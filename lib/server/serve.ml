@@ -1,0 +1,364 @@
+(* The compile service: a long-lived `psc serve` process answering
+   newline-delimited JSON requests over a Unix-domain socket (or stdio
+   for tests and one-shot scripting).
+
+   Each connection gets a reader thread; actual request processing is
+   bounded by a counting semaphore, and all requests share one
+   work-stealing domain pool — [Pool.parallel_for] runs re-entrant
+   callers inline, so concurrent DOALLs from different requests never
+   deadlock on the pool.
+
+   A request never kills the server: malformed JSON, unknown
+   operations, compile errors, runtime traps and expired deadlines are
+   all answered on the wire (the E03x codes come from the unified
+   diagnostics engine).  SIGTERM or a shutdown request flips the
+   draining flag — in-flight requests finish and are answered, new ones
+   get E032. *)
+
+type config = {
+  cf_socket : string option;  (* None: serve stdin/stdout *)
+  cf_workers : int;           (* concurrent request bound *)
+  cf_pool : int;              (* domain pool size; 0 = sequential *)
+  cf_cache : int;             (* artifact cache capacity *)
+  cf_grace_ms : int;          (* drain: wait this long for clients to leave *)
+}
+
+let default_config =
+  { cf_socket = None; cf_workers = 4; cf_pool = 0; cf_cache = 64;
+    cf_grace_ms = 5000 }
+
+type server = {
+  sv_cache : Cache.t;
+  sv_pool : Psc.Pool.t option;
+  sv_workers : Semaphore.Counting.t;
+  sv_draining : bool Atomic.t;
+  sv_inflight_n : int Atomic.t;
+  sv_connections : int Atomic.t;
+  sv_inflight : Psc.Metrics.gauge;
+  sv_requests : Psc.Metrics.counter;
+  sv_deadline_trips : Psc.Metrics.counter;
+}
+
+let make_server cf =
+  { sv_cache = Cache.create ~capacity:cf.cf_cache ();
+    sv_pool = (if cf.cf_pool > 0 then Some (Psc.Pool.create cf.cf_pool) else None);
+    sv_workers = Semaphore.Counting.make (max 1 cf.cf_workers);
+    sv_draining = Atomic.make false;
+    sv_inflight_n = Atomic.make 0;
+    sv_connections = Atomic.make 0;
+    sv_inflight = Psc.Metrics.gauge "server.inflight";
+    sv_requests = Psc.Metrics.counter "server.requests";
+    sv_deadline_trips = Psc.Metrics.counter "server.deadline.trips" }
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines: cooperative checks between pipeline stages.  A request
+   whose deadline expires is answered with E031; the stage that was
+   running when the clock ran out completes normally. *)
+
+exception Deadline
+
+let deadline_of (rq : Proto.request) =
+  match rq.Proto.rq_deadline_ms with
+  | None -> None
+  | Some ms -> Some (Psc.Metrics.now_ns () + (ms * 1_000_000))
+
+let check_deadline = function
+  | Some t when Psc.Metrics.now_ns () >= t -> raise Deadline
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline stages through the artifact cache *)
+
+let request_source (rq : Proto.request) =
+  match rq.Proto.rq_source with
+  | None -> Psc.error "missing required field: source (or source_file)"
+  | Some (Proto.Inline s) -> s
+  | Some (Proto.From_file f) -> (
+    try
+      let ic = open_in_bin f in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error m -> Psc.error "cannot read source_file: %s" m)
+
+let project sv ~deadline src =
+  check_deadline deadline;
+  match
+    Cache.find_or_build sv.sv_cache (Cache.project_key ~src) (fun () ->
+        Cache.A_project (Psc.load_string src))
+  with
+  | Cache.A_project t, hit -> (t, hit)
+  | _ -> assert false
+
+let scheduled sv ~deadline src (rq : Proto.request) =
+  let t, _ = project sv ~deadline src in
+  check_deadline deadline;
+  let key =
+    Cache.sched_key ~src ~module_:rq.Proto.rq_module ~flags:rq.Proto.rq_flags
+  in
+  match
+    Cache.find_or_build sv.sv_cache key (fun () ->
+        let em = Psc.the_module ?name:rq.Proto.rq_module t in
+        let f = rq.Proto.rq_flags in
+        Cache.A_sched
+          (Psc.schedule ~sink:f.Psc.Exec.sf_sink ~fuse:f.Psc.Exec.sf_fuse
+             ~trim:f.Psc.Exec.sf_trim ~collapse:f.Psc.Exec.sf_collapse em))
+  with
+  | Cache.A_sched sc, hit -> (t, sc, hit)
+  | _ -> assert false
+
+let emitted sv ~deadline src (rq : Proto.request) =
+  let t, _ = project sv ~deadline src in
+  check_deadline deadline;
+  let key =
+    Cache.emit_key ~src ~module_:rq.Proto.rq_module ~flags:rq.Proto.rq_flags
+      ~main:rq.Proto.rq_main
+  in
+  match
+    Cache.find_or_build sv.sv_cache key (fun () ->
+        let f = rq.Proto.rq_flags in
+        let sink = f.Psc.Exec.sf_sink and fuse = f.Psc.Exec.sf_fuse in
+        let trim = f.Psc.Exec.sf_trim and collapse = f.Psc.Exec.sf_collapse in
+        Cache.A_emit
+          (if rq.Proto.rq_main then
+             Psc.emit_c_main ?name:rq.Proto.rq_module ~sink ~fuse ~trim
+               ~collapse ~scalars:rq.Proto.rq_scalars t
+           else
+             Psc.emit_c ?name:rq.Proto.rq_module ~sink ~fuse ~trim ~collapse t))
+  with
+  | Cache.A_emit c, hit -> (c, hit)
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Operations *)
+
+let diag_response ~id code msg =
+  Proto.error_response ~id
+    [ Psc.Diag.diag code Ps_lang.Loc.dummy "%s" msg ]
+
+let windows_json (sc : Psc.scheduled) =
+  Proto.jarr
+    (List.map
+       (fun (w : Psc.Schedule.window) ->
+         Proto.jobj
+           [ ("data", Proto.jstr w.Psc.Schedule.w_data);
+             ("dim", Proto.jint w.Psc.Schedule.w_dim);
+             ("window", Proto.jint w.Psc.Schedule.w_size) ])
+       sc.Psc.sc_windows)
+
+let dispatch sv ~deadline (rq : Proto.request) : string =
+  let id = rq.Proto.rq_id in
+  match rq.Proto.rq_op with
+  | Proto.Compile ->
+    let src = request_source rq in
+    let t, hit = project sv ~deadline src in
+    Proto.ok_response ~id ~cached:hit
+      [ ("modules", Proto.jarr (List.map Proto.jstr (Psc.modules t)));
+        ("warnings", Proto.jint (List.length (Psc.warnings t))) ]
+  | Proto.Schedule ->
+    let src = request_source rq in
+    let _, sc, hit = scheduled sv ~deadline src rq in
+    Proto.ok_response ~id ~cached:hit
+      [ ("flowchart", Proto.jstr (Psc.flowchart_string sc));
+        ("windows", windows_json sc);
+        ("merged", Proto.jint sc.Psc.sc_merged);
+        ("trimmed", Proto.jint sc.Psc.sc_trimmed);
+        ("collapsed", Proto.jint sc.Psc.sc_collapsed) ]
+  | Proto.Run ->
+    let src = request_source rq in
+    let t, sc, hit = scheduled sv ~deadline src rq in
+    check_deadline deadline;
+    let em = sc.Psc.sc_module in
+    let inputs = Ps_fuzz.Diff.default_inputs em ~scalars:rq.Proto.rq_scalars in
+    let opts =
+      { Psc.Exec.default_opts with
+        pool = sv.sv_pool;
+        sched_flags = rq.Proto.rq_flags }
+    in
+    let r =
+      Psc.Exec.run ~opts ~flowchart:sc.Psc.sc_flowchart
+        ~windows:sc.Psc.sc_windows ~prog:t.Psc.prog em ~inputs
+    in
+    Proto.ok_response ~id ~cached:hit
+      [ ("outputs", Proto.jarr (List.map Proto.output_json r.Psc.Exec.outputs));
+        ("allocated",
+         Proto.jobj
+           (List.map
+              (fun (n, w) -> (n, Proto.jint w))
+              r.Psc.Exec.allocated)) ]
+  | Proto.Emit_c ->
+    let src = request_source rq in
+    let c, hit = emitted sv ~deadline src rq in
+    Proto.ok_response ~id ~cached:hit [ ("c", Proto.jstr c) ]
+  | Proto.Lint ->
+    let src = request_source rq in
+    check_deadline deadline;
+    (* Lenient load: single-assignment errors become diagnostics in the
+       answer rather than a failed request. *)
+    let t = Psc.load_string_lenient src in
+    let diags = Psc.lint t in
+    Proto.ok_response ~id ~cached:false
+      [ ("diagnostics", Psc.Diag.render Psc.Diag.Json diags);
+        ("summary", Proto.jstr (Psc.Diag.summary diags)) ]
+  | Proto.Stats ->
+    let s = Cache.stats sv.sv_cache in
+    Proto.ok_response ~id ~cached:false
+      [ ("cache",
+         Proto.jobj
+           [ ("entries", Proto.jint s.Cache.st_entries);
+             ("hits", Proto.jint s.Cache.st_hits);
+             ("misses", Proto.jint s.Cache.st_misses);
+             ("evictions", Proto.jint s.Cache.st_evictions) ]);
+        ("inflight", Proto.jint (Atomic.get sv.sv_inflight_n));
+        ("metrics", Psc.Metrics.render_json ()) ]
+  | Proto.Shutdown ->
+    Atomic.set sv.sv_draining true;
+    Proto.ok_response ~id ~cached:false [ ("draining", Proto.jbool true) ]
+
+(* Every error a request can produce, mapped to one answer line. *)
+let answer sv ~deadline (rq : Proto.request) : string =
+  let id = rq.Proto.rq_id in
+  try dispatch sv ~deadline rq with
+  | Deadline ->
+    Psc.Metrics.incr sv.sv_deadline_trips;
+    diag_response ~id Psc.Diag.Deadline_exceeded
+      (Printf.sprintf "deadline of %d ms expired"
+         (Option.value rq.Proto.rq_deadline_ms ~default:0))
+  | Psc.Error m -> Proto.error_message ~id m
+  | Psc.Exec.Runtime_error m -> Proto.error_message ~id ("runtime error: " ^ m)
+  | Psc.Value.Bounds m ->
+    Proto.error_message ~id ("subscript out of bounds: " ^ m)
+  | Psc.Eval.Runtime_error m -> Proto.error_message ~id ("runtime error: " ^ m)
+
+(* Handle one request line: parse, gate on draining, bound concurrency,
+   time the answer.  Returns [None] for blank lines. *)
+let handle_line sv (line : string) : string option =
+  let line = String.trim line in
+  if line = "" then None
+  else begin
+    Psc.Metrics.incr sv.sv_requests;
+    match Proto.parse_request line with
+    | Error (id, msg) ->
+      Some (diag_response ~id Psc.Diag.Bad_request msg)
+    | Ok rq ->
+      let id = rq.Proto.rq_id in
+      if
+        Atomic.get sv.sv_draining
+        && rq.Proto.rq_op <> Proto.Shutdown
+        && rq.Proto.rq_op <> Proto.Stats
+      then
+        Some
+          (diag_response ~id Psc.Diag.Server_draining
+             "server is draining; request rejected")
+      else begin
+        let deadline = deadline_of rq in
+        Semaphore.Counting.acquire sv.sv_workers;
+        ignore (Atomic.fetch_and_add sv.sv_inflight_n 1);
+        Psc.Metrics.set sv.sv_inflight (Atomic.get sv.sv_inflight_n);
+        let t0 = Psc.Metrics.now_ns () in
+        let finally () =
+          ignore (Atomic.fetch_and_add sv.sv_inflight_n (-1));
+          Psc.Metrics.set sv.sv_inflight (Atomic.get sv.sv_inflight_n);
+          Semaphore.Counting.release sv.sv_workers;
+          Psc.Metrics.observe
+            (Psc.Metrics.histogram
+               ("server.latency_ns." ^ Proto.op_name rq.Proto.rq_op))
+            (Psc.Metrics.now_ns () - t0)
+        in
+        Fun.protect ~finally (fun () ->
+            Some
+              (Psc.Trace.with_span "request"
+                 ~args:[ ("op", Proto.op_name rq.Proto.rq_op) ]
+                 (fun () -> answer sv ~deadline rq)))
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Transports *)
+
+let serve_channel sv ic oc =
+  let stop = ref false in
+  while not !stop do
+    match input_line ic with
+    | exception End_of_file -> stop := true
+    | line -> (
+      match handle_line sv line with
+      | None -> ()
+      | Some resp -> (
+        (* The reader vanishing mid-response (SIGPIPE is ignored, so
+           the write raises instead) ends the connection, nothing
+           more.  Close the channel here: its buffer still holds the
+           undeliverable bytes, and a later flush — the Format
+           at_exit one does not catch Sys_error — would raise again. *)
+        try
+          output_string oc resp;
+          output_char oc '\n';
+          flush oc
+        with Sys_error _ ->
+          stop := true;
+          close_out_noerr oc))
+  done
+
+let serve_stdio sv =
+  serve_channel sv stdin stdout;
+  (* EOF on stdin also drains: nobody can talk to us any more. *)
+  Atomic.set sv.sv_draining true
+
+let client_thread sv fd =
+  ignore (Atomic.fetch_and_add sv.sv_connections 1);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try serve_channel sv ic oc with _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  ignore (Atomic.fetch_and_add sv.sv_connections (-1))
+
+let serve_socket sv cf path =
+  (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 64;
+  let threads = ref [] in
+  (* Accept with a poll timeout so the draining flag (set by SIGTERM or
+     a shutdown request on any connection) is noticed promptly. *)
+  while not (Atomic.get sv.sv_draining) do
+    match Unix.select [ lfd ] [] [] 0.1 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept lfd with
+      | fd, _ -> threads := Thread.create (client_thread sv) fd :: !threads
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+  (* Drain: wait for in-flight requests (always) and connected clients
+     (up to the grace period), so every accepted request is answered. *)
+  let grace_until =
+    Psc.Metrics.now_ns () + (cf.cf_grace_ms * 1_000_000)
+  in
+  let busy () =
+    Atomic.get sv.sv_inflight_n > 0
+    || (Atomic.get sv.sv_connections > 0
+        && Psc.Metrics.now_ns () < grace_until)
+  in
+  while busy () do
+    Thread.delay 0.02
+  done;
+  if Atomic.get sv.sv_connections = 0 then
+    List.iter (fun t -> Thread.join t) !threads
+
+let main cf =
+  Psc.Metrics.set_enabled true;
+  let sv = make_server cf in
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle (fun _ -> Atomic.set sv.sv_draining true));
+  (* A client vanishing mid-response must not kill the server. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      match sv.sv_pool with Some p -> Psc.Pool.shutdown p | None -> ())
+    (fun () ->
+      match cf.cf_socket with
+      | None -> serve_stdio sv
+      | Some path -> serve_socket sv cf path)

@@ -1,0 +1,29 @@
+(** The compile service: a long-lived [psc serve] process answering
+    newline-delimited JSON requests ({!Proto}) over a Unix-domain
+    socket, or over stdin/stdout for tests and one-shot scripting.
+
+    Each connection gets a reader thread; request processing is bounded
+    by a counting semaphore, and all requests share one work-stealing
+    domain pool.  A request never kills the server: malformed JSON,
+    unknown operations, compile errors, runtime traps and expired
+    deadlines are all answered on the wire with the unified E03x
+    diagnostic codes.  SIGTERM or a [shutdown] request flips the
+    draining flag — in-flight requests finish and are answered, new
+    ones get E032, and the process exits cleanly. *)
+
+type config = {
+  cf_socket : string option;  (** [None]: serve stdin/stdout *)
+  cf_workers : int;           (** concurrent request bound *)
+  cf_pool : int;              (** domain pool size; 0 = sequential *)
+  cf_cache : int;             (** artifact cache capacity *)
+  cf_grace_ms : int;          (** drain: wait this long for clients to leave *)
+}
+
+val default_config : config
+(** stdio, 4 workers, no pool, 64 cached artifacts, 5 s grace. *)
+
+val main : config -> unit
+(** Run the server until it drains: stdio EOF or a [shutdown] request
+    (stdio mode), SIGTERM or a [shutdown] request (socket mode).
+    Enables {!Psc.Metrics}, installs the SIGTERM handler, ignores
+    SIGPIPE, and shuts the domain pool down on exit. *)

@@ -1,0 +1,43 @@
+(* The inventory for the golden-snapshot layer: every built-in model and
+   every .ps spec under examples/ps, as (name, source) pairs.  Shared by
+   test_golden.ml (comparison in `dune runtest`) and by `make promote`
+   (re-blessing the snapshots after an intended schedule or back-end
+   change). *)
+
+let models =
+  [ ("jacobi", Ps_models.Models.jacobi);
+    ("seidel", Ps_models.Models.seidel);
+    ("heat1d", Ps_models.Models.heat1d);
+    ("matmul", Ps_models.Models.matmul);
+    ("binomial", Ps_models.Models.binomial);
+    ("prefix_sum", Ps_models.Models.prefix_sum);
+    ("two_module", Ps_models.Models.two_module);
+    ("classify", Ps_models.Models.classify);
+    ("skewed", Ps_models.Models.skewed);
+    ("particles", Ps_models.Models.particles);
+    ("lcs", Ps_models.Models.lcs) ]
+
+(* The tests run from _build/default/test, `make promote` from the repo
+   root; probe both spots. *)
+let example_dirs = [ "../examples/ps"; "examples/ps" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let examples () =
+  match
+    List.find_opt (fun d -> Sys.file_exists d && Sys.is_directory d) example_dirs
+  with
+  | None -> []
+  | Some dir ->
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ps")
+    |> List.sort compare
+    |> List.map (fun f ->
+           ( "example_" ^ Filename.remove_extension f,
+             read_file (Filename.concat dir f) ))
+
+let all () = models @ examples ()

@@ -229,6 +229,26 @@ let tests =
             if suffix "_seq" && int_of_float (num (field "pool" r)) <> 1 then
               Alcotest.failf "%s: sequential row has a pool" name)
           (experiments ()));
+    t "cores_limited flags pool oversubscription against host_cores" (fun () ->
+        (* host_cores must be the real host count (not 1 frozen in from a
+           run with benchmark domains already up, unless the host really
+           has one core), and each row's cores_limited must be exactly
+           pool > host_cores — on a big machine every row is false, on a
+           small CI box the 4-domain rows are true. *)
+        let host =
+          int_of_float (num (field "host_cores" (Lazy.force trajectory)))
+        in
+        Alcotest.(check int) "host_cores is the host's core count"
+          (Psc.Pool.recommended_size ()) host;
+        List.iter
+          (fun r ->
+            let name = str (field "name" r) in
+            let pool = int_of_float (num (field "pool" r)) in
+            let limited = bool_ (field "cores_limited" r) in
+            if limited <> (pool > host) then
+              Alcotest.failf "%s: cores_limited=%b but pool=%d host_cores=%d"
+                name limited pool host)
+          (experiments ()));
     t "every row carries the pool observability fields" (fun () ->
         (* The four fields added with the runtime metrics: absent keys
            fail [field]; sequential rows must be all-zero, pooled rows

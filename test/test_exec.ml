@@ -179,7 +179,39 @@ end Use;
           Util.run ~name:"Use" src
             [ ("x", Psc.Exec.scalar_int 12); ("y", Psc.Exec.scalar_int 45) ]
         in
-        Alcotest.(check int) "range" 33 (Util.output_int r "range" [||])) ]
+        Alcotest.(check int) "range" 33 (Util.output_int r "range" [||]));
+    t "callee schedule memo is keyed by flag fingerprint" (fun () ->
+        (* Regression: the callee-schedule cache used to be keyed by
+           module name only, so a run with different transformation
+           flags in the same process reused a schedule built for the
+           old flags.  Flip flags in-process and check both correctness
+           and the cache bookkeeping. *)
+        Psc.Exec.sched_cache_clear ();
+        let run_driver ?collapse ?sink () =
+          Util.run ?collapse ?sink ~name:"Driver" Ps_models.Models.two_module
+            inputs
+        in
+        let out r = List.assoc "Out" r.Psc.Exec.outputs in
+        let box = [ (0, m + 1); (0, m + 1) ] in
+        let r_plain = run_driver () in
+        let entries0, hits0 = Psc.Exec.sched_cache_stats () in
+        Alcotest.(check bool) "callees memoized" true (entries0 >= 2);
+        (* Same flags again: served from the memo, no new entries. *)
+        let r_again = run_driver () in
+        let entries1, hits1 = Psc.Exec.sched_cache_stats () in
+        Alcotest.(check int) "no new entries on repeat" entries0 entries1;
+        Alcotest.(check bool) "repeat run hits the memo" true (hits1 > hits0);
+        Alcotest.(check bool) "repeat is bit-equal" true
+          (Util.max_diff (out r_plain) (out r_again) box = 0.0);
+        (* Different flags: distinct keys, and results still match a
+           fresh reference (stale-schedule reuse would break sink's
+           window changes). *)
+        let r_flags = run_driver ~collapse:true ~sink:true () in
+        let entries2, _ = Psc.Exec.sched_cache_stats () in
+        Alcotest.(check bool) "flag flip adds distinct entries" true
+          (entries2 > entries1);
+        Alcotest.(check bool) "flag flip is bit-equal" true
+          (Util.max_diff (out r_plain) (out r_flags) box = 0.0)) ]
 
 let window_tests =
   [ t "windows do not change results (all recursive models)" (fun () ->

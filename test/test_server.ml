@@ -1,0 +1,362 @@
+(* Protocol tests for the compile service (`psc serve`).
+
+   Exercised end to end against a real subprocess: stdio round trips,
+   per-request rejection of malformed JSON (E030), expired deadlines
+   answered with E031 while the server stays up, the artifact cache
+   observable through both the stats operation and the span trace (a
+   repeated schedule request is schedule-free), 32 concurrent socket
+   clients all getting the same bit-exact answer, and SIGTERM draining
+   the server instead of killing it. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+module Json = Psc.Trace.Json
+
+let psc_exe =
+  let candidates =
+    [ "_build/default/bin/psc_main.exe"; "../bin/psc_main.exe";
+      "./bin/psc_main.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail "psc executable not found"
+
+let jstring s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  "\"" ^ Buffer.contents b ^ "\""
+
+(* Request lines used throughout: the Jacobi relaxation model. *)
+let jacobi_src = Ps_models.Models.jacobi
+
+let schedule_req ?(id = 1) () =
+  Printf.sprintf "{\"id\":%d,\"op\":\"schedule\",\"source\":%s}" id
+    (jstring jacobi_src)
+
+let run_req ?(id = 1) () =
+  Printf.sprintf
+    "{\"id\":%d,\"op\":\"run\",\"source\":%s,\"scalars\":{\"M\":6,\"maxK\":4}}"
+    id (jstring jacobi_src)
+
+(* --- response inspection ------------------------------------------- *)
+
+let parse line =
+  match Json.parse line with
+  | j -> j
+  | exception Json.Parse_error m -> Alcotest.failf "bad response %S: %s" line m
+
+let jbool name j =
+  match Json.member name j with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "response has no bool %S" name
+
+let jnum name j =
+  match Json.member name j with
+  | Some (Json.Num f) -> int_of_float f
+  | _ -> Alcotest.failf "response has no number %S" name
+
+let first_code j =
+  match Json.member "diagnostics" j with
+  | Some (Json.Arr (d :: _)) -> (
+    match Json.member "code" d with
+    | Some (Json.Str c) -> c
+    | _ -> Alcotest.fail "diagnostic has no code")
+  | _ -> Alcotest.failf "response has no diagnostics"
+
+let cache_stat name stats_resp =
+  match Json.member "cache" stats_resp with
+  | Some c -> jnum name c
+  | None -> Alcotest.fail "stats response has no cache object"
+
+(* --- a stdio server session ---------------------------------------- *)
+
+let with_stdio_server ?(args = "") f =
+  let cmd =
+    Printf.sprintf "%s serve --stdio %s 2>/dev/null" (Filename.quote psc_exe)
+      args
+  in
+  let ic, oc = Unix.open_process cmd in
+  let ask line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    parse (input_line ic)
+  in
+  let result = f ask in
+  output_string oc "{\"id\":99,\"op\":\"shutdown\"}\n";
+  (try flush oc with Sys_error _ -> ());
+  (try ignore (input_line ic) with End_of_file -> ());
+  (match Unix.close_process (ic, oc) with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "server exited with %d" n
+  | Unix.WSIGNALED n | Unix.WSTOPPED n ->
+    Alcotest.failf "server killed by signal %d" n);
+  result
+
+(* The declared-box elements of an array output, in the row-major order
+   the wire uses. *)
+let box_floats (sl : Psc.Value.slab) =
+  let out = ref [] in
+  let n = Psc.Value.ndims sl in
+  let ix = Array.map (fun d -> d.Psc.Value.di_lo) sl.Psc.Value.s_dims in
+  let rec go p =
+    if p = n then
+      out := Psc.Value.as_float (Psc.Value.get_scalar sl ix) :: !out
+    else
+      let d = sl.Psc.Value.s_dims.(p) in
+      for v = d.Psc.Value.di_lo to d.Psc.Value.di_lo + d.Psc.Value.di_extent - 1
+      do
+        ix.(p) <- v;
+        go (p + 1)
+      done
+  in
+  go 0;
+  List.rev !out
+
+(* --- stdio tests ---------------------------------------------------- *)
+
+let stdio_tests =
+  [ t "schedule round trip; the repeat is served from the cache" (fun () ->
+        with_stdio_server (fun ask ->
+            let r1 = ask (schedule_req ~id:1 ()) in
+            Alcotest.(check bool) "ok" true (jbool "ok" r1);
+            Alcotest.(check bool) "first is a miss" false (jbool "cached" r1);
+            let r2 = ask (schedule_req ~id:2 ()) in
+            Alcotest.(check bool) "ok" true (jbool "ok" r2);
+            Alcotest.(check bool) "repeat is a hit" true (jbool "cached" r2);
+            (match (Json.member "flowchart" r1, Json.member "flowchart" r2) with
+            | Some (Json.Str a), Some (Json.Str b) ->
+              Alcotest.(check string) "same flowchart" a b
+            | _ -> Alcotest.fail "schedule response has no flowchart");
+            let s = ask "{\"id\":3,\"op\":\"stats\"}" in
+            (* The repeat hit both stages; the first populated them. *)
+            Alcotest.(check bool) "hits counted" true (cache_stat "hits" s >= 2);
+            Alcotest.(check int) "one miss per stage" 2 (cache_stat "misses" s)));
+    t "malformed JSON is rejected per-request, server stays up" (fun () ->
+        with_stdio_server (fun ask ->
+            let bad = ask "this is not json" in
+            Alcotest.(check bool) "not ok" false (jbool "ok" bad);
+            Alcotest.(check string) "E030" "E030" (first_code bad);
+            let bad2 = ask "{\"id\":7,\"op\":\"frobnicate\"}" in
+            Alcotest.(check string) "unknown op is E030" "E030" (first_code bad2);
+            let bad3 = ask "{\"id\":8,\"op\":\"run\"}" in
+            Alcotest.(check bool) "missing source rejected" false
+              (jbool "ok" bad3);
+            (* The server must still answer real work afterwards. *)
+            let ok = ask (schedule_req ~id:9 ()) in
+            Alcotest.(check bool) "server survived" true (jbool "ok" ok)));
+    t "an expired deadline answers E031 and the server stays up" (fun () ->
+        with_stdio_server (fun ask ->
+            let late =
+              ask
+                (Printf.sprintf
+                   "{\"id\":1,\"op\":\"run\",\"source\":%s,\"scalars\":{\"M\":6,\"maxK\":4},\"deadline_ms\":0}"
+                   (jstring jacobi_src))
+            in
+            Alcotest.(check bool) "not ok" false (jbool "ok" late);
+            Alcotest.(check string) "E031" "E031" (first_code late);
+            let s = ask "{\"id\":2,\"op\":\"stats\"}" in
+            (match Json.member "metrics" s with
+            | Some _ -> ()
+            | None -> Alcotest.fail "stats has no metrics");
+            let ok = ask (run_req ~id:3 ()) in
+            Alcotest.(check bool) "server survived the trip" true
+              (jbool "ok" ok)));
+    t "run answers match the in-process interpreter bit for bit" (fun () ->
+        with_stdio_server (fun ask ->
+            let r = ask (run_req ()) in
+            Alcotest.(check bool) "ok" true (jbool "ok" r);
+            let tp = Psc.load_string jacobi_src in
+            let em = Psc.default_module tp in
+            let scalars = [ ("M", 6); ("maxK", 4) ] in
+            let inputs = Ps_fuzz.Diff.default_inputs em ~scalars in
+            let want =
+              match
+                List.assoc_opt "newA" (Psc.run tp ~inputs).Psc.Exec.outputs
+              with
+              | Some (Psc.Value.Varray sl) -> box_floats sl
+              | _ -> Alcotest.fail "interpreter produced no newA array"
+            in
+            let got =
+              match Json.member "outputs" r with
+              | Some (Json.Arr [ out ]) -> (
+                match Json.member "values" out with
+                | Some (Json.Arr vs) ->
+                  List.map
+                    (function
+                      | Json.Str s -> float_of_string s
+                      | _ -> Alcotest.fail "non-string array value")
+                    vs
+                | _ -> Alcotest.fail "run response has no values")
+              | _ -> Alcotest.fail "run response has no outputs"
+            in
+            Alcotest.(check int) "same element count" (List.length want)
+              (List.length got);
+            List.iter2
+              (fun a b ->
+                if not (Float.equal a b) then
+                  Alcotest.failf "wire value %.17g <> interpreter %.17g" b a)
+              want got)) ]
+
+(* --- trace: a cache hit is schedule-free ---------------------------- *)
+
+let trace_tests =
+  [ t "a repeated schedule request leaves no schedule span in the trace"
+      (fun () ->
+        let trace_file = Filename.temp_file "ps_server" ".trace.json" in
+        with_stdio_server
+          ~args:(Printf.sprintf "--trace %s" (Filename.quote trace_file))
+          (fun ask ->
+            ignore (ask (schedule_req ~id:1 ()));
+            let r2 = ask (schedule_req ~id:2 ()) in
+            Alcotest.(check bool) "hit" true (jbool "cached" r2));
+        let ic = open_in_bin trace_file in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Sys.remove trace_file;
+        let events = Psc.Trace.parse_chrome text in
+        (match Psc.Trace.validate events with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "invalid trace: %s" m);
+        let begins name =
+          List.length
+            (List.filter
+               (fun (e : Psc.Trace.event) ->
+                 e.Psc.Trace.ev_ph = Psc.Trace.Begin
+                 && e.Psc.Trace.ev_name = name)
+               events)
+        in
+        (* Three requests crossed the server (two schedules plus the
+           shutdown), but only the first schedule touched the pipeline:
+           the repeat was answered from the cache. *)
+        Alcotest.(check int) "request spans" 3 (begins "request");
+        Alcotest.(check int) "schedule ran once" 1 (begins "schedule");
+        Alcotest.(check int) "load ran once" 1 (begins "load")) ]
+
+(* --- socket helpers -------------------------------------------------- *)
+
+let wait_for cond msg =
+  let rec go n =
+    if cond () then ()
+    else if n = 0 then Alcotest.failf "timeout waiting for %s" msg
+    else begin
+      Unix.sleepf 0.05;
+      go (n - 1)
+    end
+  in
+  go 200 (* up to 10 s *)
+
+let start_socket_server () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "psc_serve_%d.sock" (Unix.getpid ()))
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  let argv = [| psc_exe; "serve"; "--socket"; path; "--workers"; "8" |] in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid = Unix.create_process psc_exe argv devnull devnull devnull in
+  Unix.close devnull;
+  wait_for (fun () -> Sys.file_exists path) "server socket";
+  (pid, path)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let ask_fd ic oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  input_line ic
+
+let stop_server pid path =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid);
+  (try Sys.remove path with Sys_error _ -> ())
+
+(* --- socket tests ----------------------------------------------------- *)
+
+let socket_tests =
+  [ t "32 concurrent clients all get the same bit-exact answer" (fun () ->
+        let pid, path = start_socket_server () in
+        Fun.protect ~finally:(fun () -> stop_server pid path) @@ fun () ->
+        (* Warm both cache stages so the concurrent wave is all hits. *)
+        let fd, ic, oc = connect path in
+        let warm = parse (ask_fd ic oc (run_req ~id:0 ())) in
+        Alcotest.(check bool) "warm request ok" true (jbool "ok" warm);
+        Unix.close fd;
+        let n = 32 in
+        let answers = Array.make n "" in
+        let worker i =
+          let fd, ic, oc = connect path in
+          answers.(i) <- ask_fd ic oc (run_req ~id:i ());
+          Unix.close fd
+        in
+        let threads = List.init n (fun i -> Thread.create worker i) in
+        List.iter Thread.join threads;
+        let outputs_of line =
+          let j = parse line in
+          Alcotest.(check bool) "ok" true (jbool "ok" j);
+          Alcotest.(check bool) "cached" true (jbool "cached" j);
+          match Json.member "outputs" j with
+          | Some o -> o
+          | None -> Alcotest.fail "no outputs"
+        in
+        let reference = outputs_of answers.(0) in
+        Array.iteri
+          (fun i line ->
+            if outputs_of line <> reference then
+              Alcotest.failf "client %d saw a different answer" i)
+          answers;
+        (* The warm-up populated both stages (one miss each); all 32
+           concurrent runs then hit both. *)
+        let fd, ic, oc = connect path in
+        let s = parse (ask_fd ic oc "{\"id\":1,\"op\":\"stats\"}") in
+        Unix.close fd;
+        Alcotest.(check bool) "hits cover the wave" true
+          (cache_stat "hits" s >= 2 * n);
+        Alcotest.(check int) "one miss per stage" 2 (cache_stat "misses" s));
+    t "SIGTERM drains: E032 for new work, then a clean exit" (fun () ->
+        let pid, path = start_socket_server () in
+        let fd, ic, oc = connect path in
+        let r = parse (ask_fd ic oc (schedule_req ~id:1 ())) in
+        Alcotest.(check bool) "pre-drain request ok" true (jbool "ok" r);
+        Unix.kill pid Sys.sigterm;
+        (* The drain flag is polled; requests racing the signal may
+           still be served, so keep asking until E032 shows up. *)
+        let saw_e032 = ref false in
+        (try
+           for i = 2 to 40 do
+             if not !saw_e032 then begin
+               let j = parse (ask_fd ic oc (schedule_req ~id:i ())) in
+               if not (jbool "ok" j) then begin
+                 Alcotest.(check string) "draining code" "E032" (first_code j);
+                 saw_e032 := true
+               end
+               else Unix.sleepf 0.05
+             end
+           done
+         with End_of_file | Sys_error _ -> ());
+        Alcotest.(check bool) "drain answered E032" true !saw_e032;
+        Unix.close fd;
+        let _, status = Unix.waitpid [] pid in
+        (try Sys.remove path with Sys_error _ -> ());
+        match status with
+        | Unix.WEXITED 0 -> ()
+        | Unix.WEXITED n -> Alcotest.failf "server exited with %d" n
+        | Unix.WSIGNALED n | Unix.WSTOPPED n ->
+          Alcotest.failf "server killed by signal %d" n) ]
+
+let () =
+  Alcotest.run "server"
+    [ ("stdio", stdio_tests); ("trace", trace_tests); ("socket", socket_tests) ]
