@@ -1,11 +1,11 @@
-.PHONY: all build test fuzz-smoke serve-smoke promote bench-quick fmt lint-examples trace-demo clean
+.PHONY: all build test fuzz-smoke serve-smoke promote bench-quick fmt lint-examples lint-distance trace-demo clean
 
 all: build
 
 build:
 	dune build
 
-test: fuzz-smoke serve-smoke
+test: fuzz-smoke serve-smoke lint-distance
 	dune runtest
 
 # Bounded differential fuzzing pass: every generated module must agree
@@ -45,6 +45,12 @@ fmt-fix:
 # Run psc lint over every PS example (also part of `dune runtest`).
 lint-examples: build
 	sh bin/lint_examples.sh _build/default/bin/psc_main.exe examples/ps
+
+# The classifier-drift gate: no example may carry a subscript the
+# symbolic distance solver could classify but the labeller demoted to
+# "other" (W115).  Part of `make test` and of `dune runtest`.
+lint-distance: build
+	sh bin/lint_distance.sh _build/default/bin/psc_main.exe examples/ps
 
 # Trace a full compile + run of the relaxation example and validate the
 # emitted Chrome trace file (loadable in Perfetto / chrome://tracing).

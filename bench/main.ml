@@ -331,6 +331,36 @@ let part2b () =
             (Psc.run ~check:false ?pool ~collapse ~name:lcs_name ~sink:true
                ~trim:true lcs_project ~inputs)))
     lcs_sizes;
+  (* The two new schedule classes of the symbolic distance analysis: a
+     constant-stride recurrence runs as DOGROUP(2) (two independent
+     residue classes), a parameter-stride recurrence as DOINSPECT(K)
+     (K classes decided by the runtime inspector). *)
+  let grp_project = Psc.load_string Ps_models.Models.strided_copy in
+  let insp_project = Psc.load_string Ps_models.Models.param_recurrence in
+  let fill = Ps_models.Models.fill_value in
+  let stride_sizes = if quick then [ 4096; 16384 ] else [ 4096; 16384; 65536 ] in
+  List.iter
+    (fun n ->
+      let a = Psc.Exec.array_real ~dims:[ (1, n) ] (fun ix -> fill ix.(0)) in
+      ab
+        (Printf.sprintf "grp_n%d" n)
+        (Psc.work_span grp_project ~env:[ ("N", n) ])
+        (fun ?pool ~collapse () ->
+          ignore
+            (Psc.run ~check:false ?pool ~collapse grp_project
+               ~inputs:[ ("A", a); ("N", Psc.Exec.scalar_int n) ]));
+      let k = 7 in
+      ab
+        (Printf.sprintf "insp_n%d" n)
+        (Psc.work_span insp_project ~env:[ ("N", n); ("K", k) ])
+        (fun ?pool ~collapse () ->
+          ignore
+            (Psc.run ~check:false ?pool ~collapse insp_project
+               ~inputs:
+                 [ ("A", a);
+                   ("N", Psc.Exec.scalar_int n);
+                   ("K", Psc.Exec.scalar_int k) ])))
+    stride_sizes;
   Psc.Pool.shutdown pool_steal;
   Psc.Pool.shutdown pool_fixed;
   Psc.Metrics.set_enabled false;

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Assert that no PS example triggers W115: a subscript the labeller
+# demoted to "other" even though the symbolic distance solver could
+# classify its linear form.  The labeller and the solver must agree on
+# what is analyzable, or schedules silently regress to sequential.
+# Exits non-zero on any W115 occurrence; other warnings are ignored
+# here (lint_examples.sh owns the error-severity gate).  Also wired
+# into `dune runtest` via examples/ps/dune.
+#
+# Usage: lint_distance.sh [PSC_EXE] [EXAMPLES_DIR]
+set -eu
+psc=${1:-_build/default/bin/psc_main.exe}
+dir=${2:-examples/ps}
+status=0
+for f in "$dir"/*.ps; do
+  out=$("$psc" lint "$f" 2>&1) || true
+  if printf '%s\n' "$out" | grep -q 'W115'; then
+    echo "== $f demotes a solver-classifiable subscript (W115):"
+    printf '%s\n' "$out" | grep 'W115'
+    status=1
+  fi
+done
+[ "$status" -eq 0 ] && echo "lint-distance: no W115 under $dir"
+exit $status

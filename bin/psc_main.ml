@@ -579,9 +579,12 @@ let fuzz_cmd =
     let doc =
       "Comma-separated execution paths to differentiate against the \
        sequential reference: nowin, nocheck, passes, steal, collapse, \
-       hyper, hyper-par, c, server — or 'all' (default).  The 'c' path \
-       is skipped when no C compiler is installed; 'server' runs each \
-       program through a `psc serve --stdio` subprocess."
+       group, inspector, hyper, hyper-par, c, server — or 'all' \
+       (default).  The 'c' path is skipped when no C compiler is \
+       installed; 'group' translation-validates the schedule before a \
+       pooled run; 'inspector' re-derives every static group partition \
+       with the runtime inspector; 'server' runs each program through a \
+       `psc serve --stdio` subprocess."
     in
     Arg.(value & opt string "all" & info [ "paths" ] ~docv:"LIST" ~doc)
   in

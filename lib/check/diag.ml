@@ -26,6 +26,8 @@ type code =
   | Hyperplane_violation
   | Non_unimodular
   | Window_clobber
+  | Bad_group_partition
+  | Inspector_missing
   | Out_of_bounds
   | Bad_collapse
   | Unused_data
@@ -33,6 +35,8 @@ type code =
   | No_virtualization
   | Unschedulable
   | Unverified_window
+  | Opaque_classifiable
+  | Inspector_static
   | Sequential_doall
   | Bad_request
   | Deadline_exceeded
@@ -55,6 +59,8 @@ let code_id = function
   | Hyperplane_violation -> "E018"
   | Non_unimodular -> "E019"
   | Window_clobber -> "E022"
+  | Bad_group_partition -> "E023"
+  | Inspector_missing -> "E024"
   | Out_of_bounds -> "E020"
   | Bad_collapse -> "E021"
   | Unused_data -> "W110"
@@ -62,6 +68,8 @@ let code_id = function
   | No_virtualization -> "W112"
   | Unschedulable -> "W113"
   | Unverified_window -> "W114"
+  | Opaque_classifiable -> "W115"
+  | Inspector_static -> "W116"
   | Sequential_doall -> "W120"
   (* E03x: the compile service (`psc serve`).  These are per-request
      diagnostics — a malformed or expired request is answered, never

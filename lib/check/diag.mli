@@ -34,6 +34,14 @@ type code =
                                  lands inside a storage window, so it would be
                                  overwritten (or overwrite live planes) before
                                  its readers run *)
+  | Bad_group_partition      (** E023: a group-partitioned DOALL's modulus does
+                                 not divide some carried dependence distance,
+                                 so two dependent iterations can land in
+                                 different (concurrent) groups *)
+  | Inspector_missing        (** E024: a schedule relies on a symbolic
+                                 (parameter-dependent) dependence distance but
+                                 carries no inspector node testing it at run
+                                 time, or the inspector tests the wrong form *)
   (* Lints (E02x / W11x). *)
   | Out_of_bounds            (** E020: a subscript provably escapes its bounds *)
   | Bad_collapse             (** E021: a collapse mark sits on something other
@@ -46,6 +54,12 @@ type code =
                                  module; the hyperplane transform may apply *)
   | Unverified_window        (** W114: a window's safety rests on a
                                  non-affine use the verifier cannot bound *)
+  | Opaque_classifiable      (** W115: a subscript demoted to [Opaque] that the
+                                 symbolic distance solver could classify (the
+                                 inferred form is in the message) *)
+  | Inspector_static         (** W116: an inspector/executor schedule whose
+                                 runtime distance test a parameter bound
+                                 annotation would decide statically *)
   | Sequential_doall         (** W120: a scheduled DOALL's constant trip count
                                  is below the pool's wake threshold, so it
                                  runs effectively sequentially *)

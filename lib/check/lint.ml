@@ -501,12 +501,114 @@ let wake_check (em : Elab.emodule) (r : Schedule.result) : Diag.t list =
   List.rev !diags
 
 (* ------------------------------------------------------------------ *)
+(* Distance-analysis lints (W115/W116).
+
+   W115 guards the classifier against demotion drift: a subscript whose
+   label is [Opaque] even though it is a linear form in exactly one
+   equation index — the class the symbolic distance solver handles — is
+   reported with the inferred form, so a lost classification shows up as
+   a lint instead of a silently sequential schedule.  W116 flags a
+   redundant inspector: when the declared ranges already prove the
+   inspected distance positive, the runtime test always passes and the
+   partition could be decided statically. *)
+
+let opaque_classifiable (em : Elab.emodule) : Diag.t list =
+  let is_data n = Elab.find_data em n <> None in
+  let diags = ref [] in
+  let check_ref (q : Elab.eq) name (subs : Ast.expr list) =
+    let dims = Stypes.dims (Elab.data_exn em name).Elab.d_ty in
+    let is_index v =
+      List.exists
+        (fun (ix : Elab.index) -> String.equal ix.Elab.ix_var v)
+        q.Elab.q_indices
+    in
+    List.iteri
+      (fun i sub ->
+        match List.nth_opt dims i with
+        | None -> ()
+        | Some sr -> (
+          match Label.classify q sr sub with
+          | Label.Opaque -> (
+            match Linexpr.of_expr sub with
+            | Some l
+              when List.length
+                     (List.filter (fun (v, _) -> is_index v) l.Linexpr.terms)
+                   = 1 ->
+              diags :=
+                Diag.diag Diag.Opaque_classifiable q.Elab.q_loc
+                  "subscript %d of %s in %s is demoted to \"other\", but the \
+                   distance solver could classify its linear form %a"
+                  (i + 1) name q.Elab.q_name Linexpr.pp l
+                :: !diags
+            | _ -> ())
+          | _ -> ()))
+      subs
+  in
+  let rec walk q (e : Ast.expr) =
+    match e.Ast.e with
+    | Ast.Int _ | Ast.Real _ | Ast.Bool _ | Ast.Var _ -> ()
+    | Ast.Index ({ Ast.e = Ast.Var x; _ }, subs) when is_data x ->
+      check_ref q x subs;
+      List.iter (walk q) subs
+    | Ast.Index (b, subs) ->
+      walk q b;
+      List.iter (walk q) subs
+    | Ast.Field (b, _) -> walk q b
+    | Ast.Call (_, args) -> List.iter (walk q) args
+    | Ast.Unop (_, a) -> walk q a
+    | Ast.Binop (_, a, b) ->
+      walk q a;
+      walk q b
+    | Ast.If (c, t, f) ->
+      walk q c;
+      walk q t;
+      walk q f
+  in
+  List.iter (fun (q : Elab.eq) -> walk q q.Elab.q_rhs) em.Elab.em_eqs;
+  List.rev !diags
+
+let inspector_static (em : Elab.emodule) (r : Schedule.result) : Diag.t list =
+  let module Fc = Ps_sched.Flowchart in
+  let facts =
+    Ps_graph.Distance.facts (List.map snd em.Elab.em_subranges)
+  in
+  let diags = ref [] in
+  let rec walk (descs : Fc.t) =
+    List.iter
+      (fun d ->
+        match d with
+        | Fc.D_loop l ->
+          (match l.Fc.lp_kind with
+           | Fc.Inspected e -> (
+             match Linexpr.of_expr e with
+             | Some le
+               when Linexpr.prove_nonneg ~assumptions:facts
+                      (Linexpr.add_const (-1) le) ->
+               diags :=
+                 Diag.diag Diag.Inspector_static em.Elab.em_ast.Ast.m_loc
+                   "loop %s inspects distance %s at run time, but the \
+                    declared ranges already prove it positive: the schedule \
+                    could be decided statically"
+                   l.Fc.lp_var
+                   (Ps_lang.Pretty.expr_to_string e)
+                 :: !diags
+             | _ -> ())
+           | Fc.Iterative | Fc.Parallel | Fc.Grouped _ -> ());
+          walk l.Fc.lp_body
+        | Fc.D_solve s -> walk s.Fc.sv_body
+        | Fc.D_data _ | Fc.D_eq _ -> ())
+      descs
+  in
+  walk r.Schedule.r_flowchart;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
 
 let module_ (em : Elab.emodule) : Diag.t list =
   let g = Ps_graph.Build.build em in
   let sched =
     match Schedule.schedule_graph_of g with
-    | r -> virtualization r @ wake_check em r
+    | r -> virtualization r @ wake_check em r @ inspector_static em r
     | exception Schedule.Unschedulable { reason; component } ->
       [ Diag.diag Diag.Unschedulable em.Elab.em_ast.Ast.m_loc
           "module %s cannot be scheduled: %s (component {%s}); the \
@@ -514,4 +616,4 @@ let module_ (em : Elab.emodule) : Diag.t list =
           em.Elab.em_name reason
           (String.concat ", " component) ]
   in
-  usage g @ subscripts em @ sched
+  usage g @ subscripts em @ opaque_classifiable em @ sched

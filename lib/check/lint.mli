@@ -14,6 +14,12 @@
       the final plane, or the at-most-one-window rule;
     - [W113] the basic scheduling algorithm cannot order the module (the
       hyperplane transformation of §4 may apply);
+    - [W115] a subscript demoted to [Opaque] that the symbolic distance
+      solver could classify (the inferred linear form is in the
+      message) — a guard against classifier drift;
+    - [W116] an inspector/executor schedule whose runtime distance test
+      the declared ranges already decide, so the partition could be
+      static;
     - [W120] a scheduled DOALL's constant trip count is below the
       runtime pool's wake threshold, so it runs effectively
       sequentially.
@@ -34,6 +40,15 @@ val wake_check :
   Ps_sem.Elab.emodule -> Ps_sched.Schedule.result -> Ps_diag.Diag.t list
 (** Outermost DOALLs whose constant trip count is below
     {!Ps_runtime.Pool.wake_threshold} ([W120]). *)
+
+val opaque_classifiable : Ps_sem.Elab.emodule -> Ps_diag.Diag.t list
+(** Subscripts labelled [Opaque] that are linear in exactly one equation
+    index, the class the distance solver handles ([W115]). *)
+
+val inspector_static :
+  Ps_sem.Elab.emodule -> Ps_sched.Schedule.result -> Ps_diag.Diag.t list
+(** Inspector loops whose distance the declared ranges already prove
+    positive ([W116]). *)
 
 val module_ : Ps_sem.Elab.emodule -> Ps_diag.Diag.t list
 (** Every lint over one module: builds the graph, and schedules the

@@ -68,38 +68,53 @@ let rec shared_binders bs1 bs2 =
 (* ------------------------------------------------------------------ *)
 (* Dependence distance along one loop variable.
 
-   The producer writes d[... vd + od ...] and the consumer reads
-   d[... vu + ou ...] in the dimension(s) the loop controls; equal
-   elements mean the consumed value was produced [od - ou] iterations
-   earlier.  [Unrelated] when the loop controls no dimension of the
-   definition (e.g. a fixed boundary plane); [Unknown] when a label is
-   not affine in the loop variable. *)
+   The producer writes d[... f_d(vd) ...] and the consumer reads
+   d[... f_u(vu) ...] in the dimension(s) the loop controls; equal
+   elements mean the consumed value was produced some iterations
+   earlier, and the symbolic solver ({!Ps_graph.Distance}) decides how
+   many.  [Unrelated] when the loop controls no dimension of the
+   definition (e.g. a fixed boundary plane); [Known] for an exact
+   constant distance; [Symbolic] for a parameter-form distance (the
+   inspector/executor obligation); [Indep] when the solver proves the
+   two subscripts never meet; [Unknown] when a label is not affine in
+   the loop variable or the solver cannot classify the pair. *)
 
-type dist = Unrelated | Known of int | Unknown
+type dist = Unrelated | Known of int | Symbolic of Linexpr.t | Indep | Unknown
 
-let distance ~(def : edge) ~def_aliases ~(use : edge) ~use_aliases lv =
+let distance ?bounds ?(assumptions = []) ~(def : edge) ~def_aliases
+    ~(use : edge) ~use_aliases lv =
+  let aligned aliases sub =
+    match Label.linear_parts sub with
+    | Some (v, _, _, _) when String.equal (resolve aliases v) lv -> true
+    | _ -> false
+  in
   let found = ref [] in
   Array.iteri
     (fun p sub ->
-      match sub with
-      | Label.Affine { var = vd; offset = od; _ }
-        when String.equal (resolve def_aliases vd) lv ->
+      if aligned def_aliases sub then begin
         let d =
           if p >= Array.length use.e_subs then Unknown
-          else
-            match use.e_subs.(p) with
-            | Label.Affine { var = vu; offset = ou; _ }
-              when String.equal (resolve use_aliases vu) lv ->
-              Known (od - ou)
-            | _ -> Unknown
+          else if aligned use_aliases use.e_subs.(p) then
+            match
+              Ps_graph.Distance.solve ?bounds ~assumptions ~def:sub
+                ~use:use.e_subs.(p) ()
+            with
+            | Ps_graph.Distance.Exact k -> Known k
+            | Ps_graph.Distance.Form f -> Symbolic f
+            | Ps_graph.Distance.Independent -> Indep
+            | Ps_graph.Distance.Unknown -> Unknown
+          else Unknown
         in
         found := d :: !found
-      | _ -> ())
+      end)
     def.e_subs;
   match !found with
   | [] -> Unrelated
   | l ->
     if List.exists (function Unknown -> true | _ -> false) l then Unknown
+      (* One dimension where the subscripts provably never meet makes
+         the whole pair independent, whatever the other dimensions do. *)
+    else if List.exists (function Indep -> true | _ -> false) l then Indep
     else (
       match List.sort_uniq compare l with [ d ] -> d | _ -> Unknown)
 
@@ -108,6 +123,9 @@ let distance ~(def : edge) ~def_aliases ~(use : edge) ~use_aliases lv =
 let flowchart ?(windows = []) (g : Dgraph.t) (fc : Fc.t) : Diag.t list =
   Ps_obs.Trace.with_span "verify" @@ fun () ->
   let em = g.g_module in
+  (* Subrange non-emptiness facts sharpen the solver's disjointness
+     test; they never change an Exact answer. *)
+  let assumptions = Distance.facts (List.map snd em.Elab.em_subranges) in
   let diags = ref [] in
   let report d = diags := d :: !diags in
   let occs = occs_of fc in
@@ -226,13 +244,40 @@ let flowchart ?(windows = []) (g : Dgraph.t) (fc : Fc.t) : Diag.t list =
             scan rest
           | Fc.B_loop l :: rest -> (
             match
-              distance ~def ~def_aliases:po.oc_aliases ~use
+              distance
+                ?bounds:(Distance.bounds_of_subrange l.Fc.lp_range)
+                ~assumptions ~def ~def_aliases:po.oc_aliases ~use
                 ~use_aliases:co.oc_aliases l.Fc.lp_var
             with
             | Unrelated | Known 0 -> scan rest
+            | Indep -> () (* the subscripts never meet: nothing to satisfy *)
             | Known k when k > 0 -> (
               match l.Fc.lp_kind with
               | Fc.Iterative -> () (* carried here; inner levels are free *)
+              | Fc.Grouped gm ->
+                (* Residue classes mod gm run concurrently, index order
+                   within each; a carried distance stays inside its
+                   class exactly when the modulus divides it. *)
+                if k mod gm <> 0 then
+                  report
+                    (Diag.diag Diag.Bad_group_partition loc
+                       "DOGROUP(%d) loop %s does not partition its \
+                        dependences: %s reads %s produced %d iteration%s \
+                        earlier by %s, and %d does not divide %d"
+                       gm l.Fc.lp_var cname data k
+                       (if k = 1 then "" else "s")
+                       pname gm k)
+              | Fc.Inspected _ ->
+                (* The runtime modulus is unconstrained, so only a zero
+                   distance is safe under the inspected partition. *)
+                report
+                  (Diag.diag Diag.Bad_group_partition loc
+                     "inspected loop %s carries a constant dependence: %s \
+                      reads %s produced %d iteration%s earlier by %s, which \
+                      the runtime modulus need not divide"
+                     l.Fc.lp_var cname data k
+                     (if k = 1 then "" else "s")
+                     pname)
               | Fc.Parallel ->
                 report
                   (Diag.diag Diag.Doall_carried loc
@@ -248,12 +293,38 @@ let flowchart ?(windows = []) (g : Dgraph.t) (fc : Fc.t) : Diag.t list =
                 (Diag.diag
                    (match l.Fc.lp_kind with
                     | Fc.Parallel -> Diag.Doall_carried
-                    | Fc.Iterative -> Diag.Negative_dependence)
+                    | Fc.Iterative | Fc.Grouped _ | Fc.Inspected _ ->
+                      Diag.Negative_dependence)
                    loc
                    "%s loop %s runs %s before the iteration of %s that \
                     produces the %s it reads (offset %+d)"
                    (Fc.kind_name l.Fc.lp_kind) l.Fc.lp_var cname pname data
                    (-k))
+            | Symbolic f -> (
+              (* A parameter-form distance needs a runtime inspection of
+                 exactly that form: the inspector rejects d < 1, and the
+                 partition into d residue classes trivially satisfies a
+                 carried distance of d. *)
+              match l.Fc.lp_kind with
+              | Fc.Inspected e -> (
+                match Linexpr.of_expr e with
+                | Some le when Linexpr.equal le f -> ()
+                | _ ->
+                  report
+                    (Diag.diag Diag.Inspector_missing loc
+                       "loop %s inspects %s, but %s reads %s produced %a \
+                        iterations earlier by %s"
+                       l.Fc.lp_var
+                       (Ps_lang.Pretty.expr_to_string e)
+                       cname data Linexpr.pp f pname))
+              | Fc.Iterative | Fc.Parallel | Fc.Grouped _ ->
+                report
+                  (Diag.diag Diag.Inspector_missing loc
+                     "%s loop %s carries a parameter-dependent dependence \
+                      (%s reads %s produced %a iterations earlier by %s) \
+                      but performs no runtime inspection"
+                     (Fc.kind_name l.Fc.lp_kind) l.Fc.lp_var cname data
+                     Linexpr.pp f pname))
             | Unknown ->
               if under_solve co then
                 (* A sunk extraction: Sink proved the solved subscript
@@ -337,7 +408,8 @@ let flowchart ?(windows = []) (g : Dgraph.t) (fc : Fc.t) : Diag.t list =
                    (w.Schedule.w_dim + 1) w.Schedule.w_data offset
                    (if offset = 1 then "" else "s"))
             | Label.Const_high -> () (* the final plane survives the loop *)
-            | Label.Const_low | Label.Const_mid _ | Label.Slice | Label.Opaque ->
+            | Label.Linear _ | Label.Const_low | Label.Const_mid _
+            | Label.Slice | Label.Opaque ->
               if
                 match consumer_occ with
                 | Some o -> under_solve o
@@ -417,7 +489,7 @@ let flowchart ?(windows = []) (g : Dgraph.t) (fc : Fc.t) : Diag.t list =
                      (w.Schedule.w_dim + 1) w.Schedule.w_data w.Schedule.w_size
                      (if w.Schedule.w_size = 1 then "" else "s")
                      (eq_name q) k)
-            | Label.Const_high | Label.Slice | Label.Opaque ->
+            | Label.Linear _ | Label.Const_high | Label.Slice | Label.Opaque ->
               report
                 (Diag.diag Diag.Unverified_window (eq_loc q)
                    "dimension %d of %s is windowed, but %s writes it with a \

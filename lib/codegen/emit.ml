@@ -334,6 +334,7 @@ let rec emit_descriptor st buf ~depth ~indent ~par ~bound
         | _ -> 1
       else 1
     in
+    let opened = ref 1 in
     (match l.Ps_sched.Flowchart.lp_kind with
      | Ps_sched.Flowchart.Parallel ->
        let bd = band_depth l in
@@ -346,18 +347,51 @@ let rec emit_descriptor st buf ~depth ~indent ~par ~bound
           else "concurrent")
      | Ps_sched.Flowchart.Iterative ->
        pf "%sfor (int %s = %s; %s <= %s; %s++) {  /* DO (iterative) */\n" pad v lo
-         v hi v);
+         v hi v
+     | Ps_sched.Flowchart.Grouped g ->
+       (* Group-partitioned DOALL: the residue classes mod g are
+          mutually independent; index order within each class. *)
+       let gv = v ^ "_grp" in
+       if par then pf "%s#pragma omp parallel for\n" pad;
+       pf "%sfor (int %s = 0; %s < %d; %s++) {  /* DOGROUP(%d): independent \
+           residue classes */\n"
+         pad gv gv g gv g;
+       pf "%s  for (int %s = (%s) + %s; %s <= %s; %s += %d) {\n" pad v lo gv v
+         hi v g;
+       opened := 2
+     | Ps_sched.Flowchart.Inspected e ->
+       (* Inspector/executor preamble: evaluate the symbolic dependence
+          distance, reject a non-positive one at run time, then run the
+          distance-many residue classes concurrently. *)
+       let gv = v ^ "_grp" in
+       let dv = v ^ "_dist" in
+       let de = expr_to_c ctx e in
+       pf "%s{  /* inspector/executor */\n" pad;
+       pf "%s  const int %s = %s;\n" pad dv de;
+       pf
+         "%s  if (%s < 1) { fprintf(stderr, \"psc: inspector for loop %s: \
+          dependence distance %%d is not positive\\n\", %s); exit(2); }\n"
+         pad dv v dv;
+       if par then pf "%s  #pragma omp parallel for\n" pad;
+       pf "%s  for (int %s = 0; %s < %s; %s++) {  /* DOINSPECT(%s) */\n" pad gv
+         gv dv gv de;
+       pf "%s    for (int %s = (%s) + %s; %s <= %s; %s += %s) {\n" pad v lo gv
+         v hi v dv;
+       opened := 3);
     let par' =
       match l.Ps_sched.Flowchart.lp_kind with
-      | Ps_sched.Flowchart.Parallel -> false
+      | Ps_sched.Flowchart.Parallel | Ps_sched.Flowchart.Grouped _
+      | Ps_sched.Flowchart.Inspected _ -> false
       | Ps_sched.Flowchart.Iterative -> par
     in
     let bound' = l.Ps_sched.Flowchart.lp_var :: bound in
     List.iter
-      (emit_descriptor st buf ~depth:(depth + 1) ~indent:(indent + 2) ~par:par'
-         ~bound:bound')
+      (emit_descriptor st buf ~depth:(depth + 1) ~indent:(indent + (2 * !opened))
+         ~par:par' ~bound:bound')
       l.Ps_sched.Flowchart.lp_body;
-    pf "%s}\n" pad
+    for i = !opened - 1 downto 0 do
+      pf "%s%s}\n" pad (String.make (2 * i) ' ')
+    done
   | Ps_sched.Flowchart.D_solve s ->
     let ctx = { x_em = (let e, _, _ = st in e); x_indices = bound } in
     let v = c_name s.Ps_sched.Flowchart.sv_var in

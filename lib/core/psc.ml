@@ -20,6 +20,7 @@ module Elab = Ps_sem.Elab
 module Sa_check = Ps_sem.Sa_check
 module Dgraph = Ps_graph.Dgraph
 module Label = Ps_graph.Label
+module Distance = Ps_graph.Distance
 module Build = Ps_graph.Build
 module Scc = Ps_graph.Scc
 module Render = Ps_graph.Render

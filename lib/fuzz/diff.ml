@@ -21,13 +21,19 @@ type path =
   | Passes     (* sink + fuse + trim *)
   | Steal      (* work-stealing pool *)
   | Collapse   (* pooled, DOALL bands collapsed, bounds trimmed *)
+  | Group      (* schedule translation-validated, then pooled: DOGROUP
+                  loops run one residue class per task *)
+  | Inspector  (* every DOGROUP(g) demoted to a DOINSPECT of the
+                  constant g, so the runtime inspector re-derives the
+                  partition *)
   | Hyper      (* hyperplane-transformed module, sequential *)
   | Hyper_par  (* hyperplane-transformed, pooled + collapsed *)
   | Cc         (* emitted C, compiled and executed *)
   | Server     (* a `psc serve --stdio` subprocess, outputs over the wire *)
 
 let all_paths =
-  [ Seq; Nowin; Nocheck; Passes; Steal; Collapse; Hyper; Hyper_par; Cc; Server ]
+  [ Seq; Nowin; Nocheck; Passes; Steal; Collapse; Group; Inspector; Hyper;
+    Hyper_par; Cc; Server ]
 
 let path_name = function
   | Seq -> "seq"
@@ -36,6 +42,8 @@ let path_name = function
   | Passes -> "passes"
   | Steal -> "steal"
   | Collapse -> "collapse"
+  | Group -> "group"
+  | Inspector -> "inspector"
   | Hyper -> "hyper"
   | Hyper_par -> "hyper-par"
   | Cc -> "c"
@@ -48,6 +56,8 @@ let path_of_name = function
   | "passes" -> Some Passes
   | "steal" -> Some Steal
   | "collapse" -> Some Collapse
+  | "group" -> Some Group
+  | "inspector" | "inspect" -> Some Inspector
   | "hyper" -> Some Hyper
   | "hyper-par" -> Some Hyper_par
   | "c" | "cc" -> Some Cc
@@ -256,6 +266,68 @@ let hyper_project tp =
       | exception Psc.Error _ -> try_targets rest)
   in
   try_targets targets
+
+(* The group path: translation-validate the schedule first, so a
+   grouped or inspected flowchart the verifier rejects (E023/E024)
+   fails the case even when its outputs happen to agree, then run it
+   on the pool, where DOGROUP loops execute one residue class per
+   task. *)
+let run_group ~pool tp ~inputs : outcome =
+  match Psc.schedule (Psc.default_module tp) with
+  | exception Psc.Error m -> Trap ("schedule: " ^ m)
+  | sc ->
+    let errors =
+      List.filter
+        (fun (d : Psc.Diag.t) ->
+          let id = Psc.Diag.code_id d.Psc.Diag.d_code in
+          id <> "" && id.[0] = 'E')
+        (Psc.verify sc)
+    in
+    if errors <> [] then
+      Trap
+        (Printf.sprintf "verify: %s"
+           (String.concat "; "
+              (List.map (fun (d : Psc.Diag.t) -> Psc.Diag.code_id d.Psc.Diag.d_code) errors)))
+    else interp_outputs (fun () -> Psc.run ~pool tp ~inputs)
+
+(* The inspector path: demote every DOGROUP(g) in the scheduled
+   flowchart to a DOINSPECT of the constant distance g.  The runtime
+   inspector must re-derive the same residue-class partition the
+   scheduler chose statically, so outputs stay bit-exact; a program
+   with no grouped loop degrades to a plain pooled run. *)
+let run_inspector ~pool tp ~inputs : outcome =
+  let rec demote descs =
+    List.map
+      (function
+        | Psc.Flowchart.D_loop l ->
+          let kind =
+            match l.Psc.Flowchart.lp_kind with
+            | Psc.Flowchart.Grouped g ->
+              Psc.Flowchart.Inspected (Psc.Linexpr.to_expr (Psc.Linexpr.of_int g))
+            | k -> k
+          in
+          Psc.Flowchart.D_loop
+            { l with
+              Psc.Flowchart.lp_kind = kind;
+              Psc.Flowchart.lp_body = demote l.Psc.Flowchart.lp_body }
+        | d -> d)
+      descs
+  in
+  match Psc.schedule (Psc.default_module tp) with
+  | exception Psc.Error m -> Trap ("schedule: " ^ m)
+  | sc -> (
+    let em = Psc.default_module tp in
+    let opts = { Psc.Exec.default_opts with Psc.Exec.pool = Some pool } in
+    try
+      Outputs
+        (Psc.Exec.run ~opts
+           ~flowchart:(demote sc.Psc.sc_flowchart)
+           ~windows:sc.Psc.sc_windows ~prog:tp.Psc.prog em ~inputs)
+          .Psc.Exec.outputs
+    with
+    | Psc.Error m -> Trap m
+    | Psc.Eval.Runtime_error m -> Trap ("runtime error: " ^ m)
+    | Psc.Value.Bounds m -> Trap ("subscript out of bounds: " ^ m))
 
 let run_c tp ~scalars : outcome =
   if not (Lazy.force have_cc) then Skip "no C compiler"
@@ -492,6 +564,8 @@ let run_path ~pool tp ~inputs ~scalars (p : path) : outcome =
   | Passes -> interp_outputs (fun () -> Psc.run ~sink:true ~fuse:true ~trim:true tp ~inputs)
   | Steal -> interp_outputs (fun () -> Psc.run ~pool tp ~inputs)
   | Collapse -> interp_outputs (fun () -> Psc.run ~pool ~collapse:true ~trim:true tp ~inputs)
+  | Group -> run_group ~pool tp ~inputs
+  | Inspector -> run_inspector ~pool tp ~inputs
   | Hyper -> (
     match hyper_project tp with
     | None -> Skip "hyperplane not applicable"

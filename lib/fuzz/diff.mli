@@ -12,6 +12,10 @@ type path =
   | Passes     (** sink + fuse + trim *)
   | Steal      (** work-stealing pool *)
   | Collapse   (** pooled, DOALL bands collapsed, bounds trimmed *)
+  | Group      (** schedule translation-validated (E023/E024 trap), then
+                   pooled: DOGROUP loops run one residue class per task *)
+  | Inspector  (** every DOGROUP(g) demoted to DOINSPECT of the constant
+                   g: the runtime inspector re-derives the partition *)
   | Hyper      (** hyperplane-transformed module, sequential *)
   | Hyper_par  (** hyperplane-transformed, pooled + collapsed *)
   | Cc         (** emitted C, compiled and executed *)

@@ -11,7 +11,11 @@
              1 or 2 planes back (virtual windows, sec 3.4) and, in the
              seidel variant, the current sweep (iterative space loops,
              hyperplane-eligible, sec 4);
-   - [Lcs]   a 2-D recurrence carried by both axes (wavefront shape).
+   - [Lcs]   a 2-D recurrence carried by both axes (wavefront shape);
+   - [Stride] a 1-D recurrence at constant stride d >= 2 (group-
+             partitioned DOGROUP schedules) or parameter stride K
+             (inspector/executor DOINSPECT schedules), optionally also
+             reading the input at the linear subscript [Rest + Rest].
 
    Numeric discipline: every int equation is wrapped [mod 1000] and int
    multiplication only combines leaf-sized operands, so values stay far
@@ -104,7 +108,20 @@ type lspec = {
   l_out_array : bool;       (* Out = L (whole table) vs Out = L[N, N] *)
 }
 
-type shape = Map of mspec | Time of tspec | Lcs of lspec
+type stride_kind =
+  | St_const of int         (* C[Rest - d], constant d >= 2: DOGROUP(d) *)
+  | St_param of int         (* C[Rest - K], runtime value of K: DOINSPECT(K) *)
+
+type sspec = {
+  st_kind : stride_kind;
+  st_double : bool;         (* also read C[Rest - 2d] (constant strides only) *)
+  st_wide : bool;           (* the combine reads Inp[Rest + Rest] (linear class) *)
+  st_base : ex;
+  st_rec : ex;
+  st_out_id : bool;         (* Out[Ipos] = C[Ipos] vs whole-array Out = C *)
+}
+
+type shape = Map of mspec | Time of tspec | Lcs of lspec | Stride of sspec
 
 type spec = { sp_elem : elem; sp_n : int; sp_t : int; sp_shape : shape }
 
@@ -335,12 +352,48 @@ let gen_lcs rng elem n =
           l_rec = gen_combine rng env elem nreads 2;
           l_out_array = Rng.bool rng } }
 
+let gen_stride rng elem =
+  (* A wider extent than the other shapes, so every residue class of the
+     group partition holds several iterations. *)
+  let n = Rng.range rng 7 14 in
+  let kind =
+    if Rng.chance rng 45 then St_param (Rng.range rng 1 3)
+    else St_const (Rng.pick rng [ 2; 2; 3; 4 ])
+  in
+  let double =
+    match kind with
+    | St_const d -> (2 * d) + 3 <= n && Rng.chance rng 40
+    | St_param _ -> false
+  in
+  let wide = Rng.chance rng 50 in
+  let nreads = if double then 2 else 1 in
+  let rec_ints =
+    [ "Rest"; "N" ] @ (match kind with St_param _ -> [ "K" ] | St_const _ -> [])
+  in
+  let rec_reals = "Inp[Rest]" :: (if wide then [ "Inp[Rest + Rest]" ] else []) in
+  let renv = { g_ints = rec_ints; g_reals = rec_reals; g_nreads = nreads; g_relem = elem } in
+  let benv =
+    { g_ints = [ "Init"; "N" ]; g_reals = [ "Inp[Init]" ]; g_nreads = 0; g_relem = elem }
+  in
+  { sp_elem = elem;
+    sp_n = n;
+    sp_t = 0;
+    sp_shape =
+      Stride
+        { st_kind = kind;
+          st_double = double;
+          st_wide = wide;
+          st_base = gen_e rng benv elem 2;
+          st_rec = gen_combine rng renv elem nreads 2;
+          st_out_id = Rng.bool rng } }
+
 let generate rng =
   let elem = if Rng.chance rng 60 then E_real else E_int in
   let n = Rng.range rng 4 8 in
   match Rng.int rng 100 with
-  | k when k < 25 -> gen_map rng elem n
-  | k when k < 45 -> gen_lcs rng elem n
+  | k when k < 20 -> gen_map rng elem n
+  | k when k < 37 -> gen_lcs rng elem n
+  | k when k < 55 -> gen_stride rng elem
   | _ -> gen_time rng elem n
 
 (* ------------------------------------------------------------------ *)
@@ -519,11 +572,40 @@ let render_lcs (s : spec) (l : lspec) : string =
   pf "end Fz;\n";
   Buffer.contents b
 
+(* The input ranges over Wide = 1 .. N + N so the optional strided read
+   Inp[Rest + Rest] stays in bounds for every Rest <= N. *)
+let render_stride (s : spec) (st : sspec) : string =
+  let b = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let elem = elem_str s.sp_elem in
+  let params = match st.st_kind with St_param _ -> "; K: int" | St_const _ -> "" in
+  pf "Fz: module (Inp: array[Wide] of real; N: int%s):\n  [Out: array[Ipos] of %s];\n"
+    params elem;
+  pf "type\n  Wide = 1 .. N + N;\n  Ipos = 1 .. N;\n";
+  (match st.st_kind with
+   | St_const d ->
+     let depth = if st.st_double then 2 * d else d in
+     pf "  Init = 1 .. %d;\n  Rest = %d .. N;\n" depth (depth + 1)
+   | St_param _ -> pf "  Init = 1 .. K;\n  Rest = K + 1 .. N;\n");
+  pf "var\n  C: array [Ipos] of %s;\n" elem;
+  pf "define\n";
+  pf "  C[Init] = %s;\n" (rhs_text s.sp_elem no_reads st.st_base);
+  let rd i =
+    match st.st_kind with
+    | St_param _ -> "C[Rest - K]"
+    | St_const d -> Printf.sprintf "C[Rest - %d]" (if i = 0 then d else 2 * d)
+  in
+  pf "  C[Rest] = %s;\n" (rhs_text s.sp_elem rd st.st_rec);
+  if st.st_out_id then pf "  Out[Ipos] = C[Ipos];\n" else pf "  Out = C;\n";
+  pf "end Fz;\n";
+  Buffer.contents b
+
 let render (s : spec) : string =
   match s.sp_shape with
   | Time t -> render_time s t
   | Map m -> render_map s m
   | Lcs l -> render_lcs s l
+  | Stride st -> render_stride s st
 
 (* ------------------------------------------------------------------ *)
 (* Inputs *)
@@ -535,6 +617,7 @@ let input_dims (s : spec) : (int * int) list =
     else List.map (fun (ax : axis) -> (ax.ax_lo, s.sp_n + ax.ax_hi_off)) t.t_axes
   | Map m -> List.map (fun (ax : axis) -> (ax.ax_lo, s.sp_n + ax.ax_hi_off)) m.m_axes
   | Lcs _ -> [ (0, s.sp_n) ]
+  | Stride _ -> [ (1, 2 * s.sp_n) ]
 
 (* Row-major deterministic fill, shared with the emitted C main(). *)
 let real_input ~dims =
@@ -556,6 +639,8 @@ let scalars (s : spec) : (string * int) list =
   match s.sp_shape with
   | Time _ -> [ ("N", s.sp_n); ("T", s.sp_t) ]
   | Map _ | Lcs _ -> [ ("N", s.sp_n) ]
+  | Stride { st_kind = St_param k; _ } -> [ ("N", s.sp_n); ("K", k) ]
+  | Stride _ -> [ ("N", s.sp_n) ]
 
 let inputs (s : spec) : (string * Ps_interp.Value.value) list =
   ("Inp", real_input ~dims:(input_dims s))
@@ -566,6 +651,13 @@ let describe (s : spec) : string =
     match s.sp_shape with
     | Map m -> Printf.sprintf "map/%dd" (List.length m.m_axes)
     | Lcs _ -> "lcs"
+    | Stride st ->
+      let tail =
+        (if st.st_double then " x2" else "") ^ if st.st_wide then " wide" else ""
+      in
+      (match st.st_kind with
+       | St_const d -> Printf.sprintf "stride/%d%s" d tail
+       | St_param k -> Printf.sprintf "stride/K=%d%s" k tail)
     | Time t ->
       Printf.sprintf "time/%dd order=%d%s reads=%d" (List.length t.t_axes) t.t_order
         (if t.t_seidel then " seidel" else "")
@@ -614,8 +706,22 @@ let has_deep_read (reads : read list) = List.exists (fun r -> r.rd_plane >= 1) r
 
 let shrink (s : spec) : spec list =
   let int_ctx = s.sp_elem = E_int in
+  (* The stride shape's extent cannot drop below the recurrence depth:
+     Init = 1 .. depth must stay inside Ipos = 1 .. N. *)
+  let min_n =
+    match s.sp_shape with
+    | Stride st ->
+      max 4
+        (1
+        +
+        match st.st_kind with
+        | St_const d -> if st.st_double then 2 * d else d
+        | St_param k -> k)
+    | _ -> 4
+  in
   let sized =
-    (if s.sp_n > 4 then [ { s with sp_n = 4 }; { s with sp_n = s.sp_n - 1 } ] else [])
+    (if s.sp_n > min_n then [ { s with sp_n = min_n }; { s with sp_n = s.sp_n - 1 } ]
+     else [])
     @
     match s.sp_shape with
     | Time t when s.sp_t > t.t_order + 1 ->
@@ -686,6 +792,69 @@ let shrink (s : spec) : spec list =
       @ List.map
           (fun e -> { s with sp_shape = Lcs { l with l_base_col = e } })
           (shrink_ex ~int_ctx l.l_base_col)
+    | Stride st ->
+      let rec map_atoms f e =
+        match e with
+        | Atom a -> Atom (f a)
+        | Bin (op, a, b) -> Bin (op, map_atoms f a, map_atoms f b)
+        | Call1 (g, a) -> Call1 (g, map_atoms f a)
+        | Call2 (g, a, b) -> Call2 (g, map_atoms f a, map_atoms f b)
+        | Neg a -> Neg (map_atoms f a)
+        | Ite (op, l, r, th, el) ->
+          Ite (op, map_atoms f l, map_atoms f r, map_atoms f th, map_atoms f el)
+        | Lit_i _ | Lit_r _ | Read _ -> e
+      in
+      let rec first_read e =
+        match e with
+        | Read _ -> Read 0
+        | Bin (op, a, b) -> Bin (op, first_read a, first_read b)
+        | Call1 (g, a) -> Call1 (g, first_read a)
+        | Call2 (g, a, b) -> Call2 (g, first_read a, first_read b)
+        | Neg a -> Neg (first_read a)
+        | Ite (op, l, r, th, el) ->
+          Ite (op, first_read l, first_read r, first_read th, first_read el)
+        | e -> e
+      in
+      let to_const =
+        match st.st_kind with
+        | St_param _ ->
+          (* K leaves the signature, so retarget its atoms. *)
+          let fix = map_atoms (fun a -> if a = "K" then "N" else a) in
+          [ { s with
+              sp_shape =
+                Stride
+                  { st with
+                    st_kind = St_const 2;
+                    st_base = fix st.st_base;
+                    st_rec = fix st.st_rec } } ]
+        | St_const _ -> []
+      in
+      let drop_double =
+        if st.st_double then
+          [ { s with
+              sp_shape =
+                Stride { st with st_double = false; st_rec = first_read st.st_rec } } ]
+        else []
+      in
+      let drop_wide =
+        if st.st_wide then
+          let fix =
+            map_atoms (fun a -> if a = "Inp[Rest + Rest]" then "Inp[Rest]" else a)
+          in
+          [ { s with sp_shape = Stride { st with st_wide = false; st_rec = fix st.st_rec } } ]
+        else []
+      in
+      let simpler_out =
+        if st.st_out_id then [ { s with sp_shape = Stride { st with st_out_id = false } } ]
+        else []
+      in
+      to_const @ drop_double @ drop_wide @ simpler_out
+      @ List.map
+          (fun e -> { s with sp_shape = Stride { st with st_rec = e } })
+          (shrink_ex ~int_ctx st.st_rec)
+      @ List.map
+          (fun e -> { s with sp_shape = Stride { st with st_base = e } })
+          (shrink_ex ~int_ctx st.st_base)
     | Time t ->
       let nreads = List.length t.t_reads in
       let clamp_reads reads e =

@@ -4,8 +4,10 @@
     failing cases (sizes, stencil reads, expression trees) and re-render
     after every step.  The grammar spans pure DOALL maps, time
     recurrences with virtual-window reads (§3.4) and current-sweep
-    (seidel, hyperplane-eligible, §4) reads, and a both-axes 2-D
-    recurrence (wavefront). *)
+    (seidel, hyperplane-eligible, §4) reads, a both-axes 2-D recurrence
+    (wavefront), and 1-D strided recurrences whose dependence distance
+    is a constant d >= 2 (group-partitioned DOGROUP) or a module
+    parameter K (inspector/executor DOINSPECT). *)
 
 (** Deterministic splitmix64 PRNG, independent of [Random]. *)
 module Rng : sig
@@ -75,7 +77,20 @@ type lspec = {
   l_out_array : bool;
 }
 
-type shape = Map of mspec | Time of tspec | Lcs of lspec
+type stride_kind =
+  | St_const of int         (** C[Rest - d], constant d >= 2: DOGROUP(d) *)
+  | St_param of int         (** C[Rest - K], runtime value of K: DOINSPECT(K) *)
+
+type sspec = {
+  st_kind : stride_kind;
+  st_double : bool;         (** also read C[Rest - 2d] (constant strides only) *)
+  st_wide : bool;           (** the combine reads Inp[Rest + Rest] (linear class) *)
+  st_base : ex;
+  st_rec : ex;
+  st_out_id : bool;         (** Out[Ipos] = C[Ipos] vs whole-array Out = C *)
+}
+
+type shape = Map of mspec | Time of tspec | Lcs of lspec | Stride of sspec
 
 type spec = { sp_elem : elem; sp_n : int; sp_t : int; sp_shape : shape }
 

@@ -21,6 +21,16 @@ open Ps_sem
 type sub_exp =
   | Affine of { var : string; offset : int; target_pos : int }
       (* var + offset, where var is the equation index at [target_pos] *)
+  | Linear of {
+      var : string;
+      coeff : int;
+      target_pos : int;
+      params : (string * int) list;  (* scalar-parameter terms, sorted *)
+      const : int;
+    }
+      (* coeff*var + Σ ci*Pi + const with (coeff, params) ≠ (1, []) — the
+         symbolic affine class the distance analyzer solves over; Fig. 2
+         would call it "other" *)
   | Const_low                (* equals the dimension's lower bound *)
   | Const_mid of int         (* equals the lower bound + a positive constant *)
   | Const_high               (* equals the dimension's upper bound *)
@@ -49,6 +59,17 @@ let classify (q : Elab.eq) (sr : Stypes.subrange) (e : Ps_lang.Ast.expr) : sub_e
     | [ (v, 1) ] when param_terms = [] ->
       let target_pos = Option.get (index_pos v) in
       Affine { var = v; offset = l.Linexpr.const; target_pos }
+    | [ (v, a) ] ->
+      (* A single index variable with a non-unit coefficient or mixed
+         with scalar parameters: the symbolic class the distance
+         analyzer can still solve over. *)
+      let target_pos = Option.get (index_pos v) in
+      Linear
+        { var = v;
+          coeff = a;
+          target_pos;
+          params = param_terms;
+          const = l.Linexpr.const }
     | [] -> (
       (* No index variables: compare against the declared bounds. *)
       let diff bound =
@@ -70,10 +91,29 @@ let is_minus_const = function Affine { offset; _ } -> offset < 0 | _ -> false
 
 let offset = function Affine { offset; _ } -> Some offset | _ -> None
 
+(* The symbolic affine view of an aligned subscript: [a*var + (params, const)].
+   The Affine class is the [a = 1], no-parameter special case. *)
+let linear_parts = function
+  | Affine { var; offset; target_pos } ->
+    Some (var, 1, target_pos, { Linexpr.const = offset; terms = [] })
+  | Linear { var; coeff; target_pos; params; const } ->
+    Some (var, coeff, target_pos, { Linexpr.const; terms = params })
+  | _ -> None
+
+let to_linexpr s =
+  match linear_parts s with
+  | Some (var, coeff, _, rest) ->
+    Some (Linexpr.add (Linexpr.scale coeff (Linexpr.of_var var)) rest)
+  | None -> None
+
 let pp ppf = function
   | Affine { var; offset = 0; _ } -> Fmt.pf ppf "%s" var
   | Affine { var; offset; _ } when offset < 0 -> Fmt.pf ppf "%s - %d" var (-offset)
   | Affine { var; offset; _ } -> Fmt.pf ppf "%s + %d" var offset
+  | Linear _ as s ->
+    (match to_linexpr s with
+     | Some l -> Linexpr.pp ppf l
+     | None -> Fmt.string ppf "<linear>")
   | Const_low -> Fmt.string ppf "<low bound>"
   | Const_mid k -> Fmt.pf ppf "<low bound + %d>" k
   | Const_high -> Fmt.string ppf "<high bound>"
@@ -87,6 +127,7 @@ let class_name = function
   | Affine { offset = 0; _ } -> "I"
   | Affine { offset; _ } when offset < 0 -> "I - constant"
   | Affine _ -> "other (I + constant)"
+  | Linear _ -> "other (linear)"
   | Const_low -> "other (lower bound)"
   | Const_mid _ -> "other (lower bound + constant)"
   | Const_high -> "other (upper bound)"

@@ -9,6 +9,17 @@ type sub_exp =
           [target_pos] — the paper's "I" (offset 0) and "I - constant"
           (offset < 0) classes, plus "I + constant" (offset > 0), which
           step 3 of the scheduler rejects *)
+  | Linear of {
+      var : string;
+      coeff : int;
+      target_pos : int;
+      params : (string * int) list;
+      const : int;
+    }
+      (** the symbolic affine class [coeff*var + Σ ci*Pi + const] over one
+          loop index and the module's scalar parameters, with
+          [(coeff, params) ≠ (1, [])]; Fig. 2 calls it "other", but the
+          dependence-distance analyzer can still solve over it *)
   | Const_low   (** provably equals the dimension's lower bound *)
   | Const_mid of int
       (** provably equals the lower bound plus a positive constant
@@ -32,6 +43,15 @@ val is_minus_const : sub_exp -> bool
 
 val offset : sub_exp -> int option
 (** The affine offset, when there is one. *)
+
+val linear_parts :
+  sub_exp -> (string * int * int * Ps_sem.Linexpr.t) option
+(** [(var, coeff, target_pos, rest)] for the aligned classes [Affine]
+    (coeff 1, constant rest) and [Linear]; [rest] collects the
+    parameter terms and the constant. *)
+
+val to_linexpr : sub_exp -> Ps_sem.Linexpr.t option
+(** The full symbolic form [coeff*var + rest] of an aligned subscript. *)
 
 val pp : sub_exp Fmt.t
 

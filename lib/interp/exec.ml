@@ -366,8 +366,70 @@ and compile_desc st benv ~par ~max_slot (d : Ps_sched.Flowchart.descriptor) :
               fr.(slot) <- v;
               body fr
             done)
+      | Ps_sched.Flowchart.Grouped g ->
+        compile_grouped st benv' ~par ~max_slot ~slot ~lo_f ~hi_f l (fun _ -> g)
+      | Ps_sched.Flowchart.Inspected e ->
+        (* Inspector/executor: evaluate the dependence distance at loop
+           entry (the form only mentions scalar inputs, all in scope
+           here); a non-positive distance means the partition premise is
+           false and the schedule cannot run this instance. *)
+        let d_f = Compile.compile_int cctx e in
+        let pe = Ps_lang.Pretty.expr_to_string e in
+        compile_grouped st benv' ~par ~max_slot ~slot ~lo_f ~hi_f l (fun fr ->
+            let d = d_f fr in
+            if d < 1 then
+              fail "inspector for loop %s: dependence distance %s = %d is not \
+                    positive"
+                l.Ps_sched.Flowchart.lp_var pe d;
+            d)
     in
     profile_loop st l f
+
+(* Group-partitioned execution: the residue classes mod [g] (a static
+   modulus for DOGROUP, the inspected runtime distance for DOINSPECT)
+   are mutually independent — a DOALL over the classes, ascending index
+   order within each.  Sequential execution keeps plain ascending order:
+   every element is written exactly once, so any dependence-respecting
+   order computes identical bits, and the inspection still runs. *)
+and compile_grouped st benv' ~par ~max_slot ~slot ~lo_f ~hi_f
+    (l : Ps_sched.Flowchart.loop) (g_f : Compile.frame -> int) :
+    Compile.frame -> unit =
+  match st.st_opts.pool with
+  | Some pool when par ->
+    let body =
+      compile_descs st benv' ~par:false ~max_slot l.Ps_sched.Flowchart.lp_body
+    in
+    let min_par = st.st_opts.min_par in
+    fun fr ->
+      let g = g_f fr in
+      let lo = lo_f fr and hi = hi_f fr in
+      if hi - lo + 1 < min_par || g < 2 then
+        for v = lo to hi do
+          fr.(slot) <- v;
+          body fr
+        done
+      else
+        Ps_runtime.Pool.parallel_for pool ~lo:0 ~hi:(g - 1) (fun clo chi ->
+            let fr' = Array.copy fr in
+            for r = clo to chi do
+              let v = ref (lo + r) in
+              while !v <= hi do
+                fr'.(slot) <- !v;
+                body fr';
+                v := !v + g
+              done
+            done)
+  | _ ->
+    let body =
+      compile_descs st benv' ~par ~max_slot l.Ps_sched.Flowchart.lp_body
+    in
+    fun fr ->
+      ignore (g_f fr : int);
+      let lo = lo_f fr and hi = hi_f fr in
+      for v = lo to hi do
+        fr.(slot) <- v;
+        body fr
+      done
 
 (* Loop-level profiling: a site per compiled loop node (inclusive time,
    so a hot inner equation also surfaces through its enclosing DOALL),
@@ -389,10 +451,8 @@ and profile_loop st (l : Ps_sched.Flowchart.loop) (f : Compile.frame -> unit) :
   if not (Prof.enabled ()) then f
   else begin
     let name =
-      (match l.Ps_sched.Flowchart.lp_kind with
-       | Ps_sched.Flowchart.Parallel -> "DOALL "
-       | Ps_sched.Flowchart.Iterative -> "DO ")
-      ^ l.Ps_sched.Flowchart.lp_var
+      Ps_sched.Flowchart.kind_name l.Ps_sched.Flowchart.lp_kind
+      ^ " " ^ l.Ps_sched.Flowchart.lp_var
     in
     let site =
       Prof.register

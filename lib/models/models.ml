@@ -256,6 +256,40 @@ define
 end LCS;
 |}
 
+let strided_copy =
+  {|
+StridedCopy: module (A: array[Ipos] of real; N: int):
+  [B: array [Ipos] of real];
+type
+  Ipos = 1 .. N;
+  Init = 1 .. 2;
+  Rest = 3 .. N;
+var
+  C: array [Ipos] of real;
+define
+  C[Init] = A[Init];
+  C[Rest] = C[Rest - 2] + A[Rest];
+  B = C;
+end StridedCopy;
+|}
+
+let param_recurrence =
+  {|
+ParamRecurrence: module (A: array[Ipos] of real; N: int; K: int):
+  [B: array [Ipos] of real];
+type
+  Ipos = 1 .. N;
+  Init = 1 .. K;
+  Rest = K + 1 .. N;
+var
+  C: array [Ipos] of real;
+define
+  C[Init] = A[Init];
+  C[Rest] = C[Rest - K] + A[Rest];
+  B = C;
+end ParamRecurrence;
+|}
+
 (* ------------------------------------------------------------------ *)
 (* Deterministic input fill shared with the generated-C harness: must
    match ps_fill in Ps_codegen.Emit.emit_main exactly. *)

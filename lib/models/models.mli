@@ -46,6 +46,17 @@ val skewed : string
 (** A stencil whose reads mix I+1 / J-1 offsets but stay on iteration
     K-1: still a DOALL nest under an iterative K. *)
 
+val strided_copy : string
+(** A constant stride-2 recurrence [C[Rest] = C[Rest - 2] + ...]: the
+    symbolic distance analysis schedules it as DOGROUP(2), two
+    independent residue classes (mirrors examples/ps/strided_copy.ps). *)
+
+val param_recurrence : string
+(** A parameter-stride recurrence [C[Rest] = C[Rest - K] + ...]:
+    schedules as DOINSPECT(K) — the runtime inspector checks K >= 1 and
+    partitions into K residue classes (mirrors
+    examples/ps/param_recurrence.ps). *)
+
 (** {1 Deterministic inputs} *)
 
 val fill_value : int -> float

@@ -73,6 +73,18 @@ and of_desc env (d : Flowchart.descriptor) : cost =
     let body_varies =
       List.mem l.Flowchart.lp_var (bound_vars l.Flowchart.lp_body [])
     in
+    (* A grouped loop's classes run in parallel, index order within
+       each: the span is the longest class.  The inspector's modulus is
+       its distance expression evaluated under the inputs (clamped to a
+       sequential run when the inspection would fail at runtime). *)
+    let modulus () =
+      match l.Flowchart.lp_kind with
+      | Flowchart.Grouped g -> Some g
+      | Flowchart.Inspected e ->
+        let d = eval_bound env e in
+        Some (if d >= 1 then d else 1)
+      | Flowchart.Iterative | Flowchart.Parallel -> None
+    in
     if not body_varies then begin
       let body = of_descs env l.Flowchart.lp_body in
       match l.Flowchart.lp_kind with
@@ -81,11 +93,19 @@ and of_desc env (d : Flowchart.descriptor) : cost =
           span = float_of_int trips *. body.span }
       | Flowchart.Parallel ->
         { work = float_of_int trips *. body.work; span = body.span }
+      | Flowchart.Grouped _ | Flowchart.Inspected _ ->
+        let g = Option.get (modulus ()) in
+        let longest = (trips + g - 1) / g in
+        { work = float_of_int trips *. body.work;
+          span = float_of_int longest *. body.span }
     end
     else begin
       (* Bounds inside depend on this loop's variable (trimmed nests):
          iterate exactly. *)
       let work = ref 0. and span_sum = ref 0. and span_max = ref 0. in
+      let class_spans =
+        match modulus () with Some g -> Array.make g 0. | None -> [||]
+      in
       for v = lo to hi do
         let env' x =
           if String.equal x l.Flowchart.lp_var then Some v else env x
@@ -93,11 +113,17 @@ and of_desc env (d : Flowchart.descriptor) : cost =
         let body = of_descs env' l.Flowchart.lp_body in
         work := !work +. body.work;
         span_sum := !span_sum +. body.span;
-        if body.span > !span_max then span_max := body.span
+        if body.span > !span_max then span_max := body.span;
+        if Array.length class_spans > 0 then begin
+          let r = (v - lo) mod Array.length class_spans in
+          class_spans.(r) <- class_spans.(r) +. body.span
+        end
       done;
       match l.Flowchart.lp_kind with
       | Flowchart.Iterative -> { work = !work; span = !span_sum }
       | Flowchart.Parallel -> { work = !work; span = !span_max }
+      | Flowchart.Grouped _ | Flowchart.Inspected _ ->
+        { work = !work; span = Array.fold_left max 0. class_spans }
     end
 
 (* [env] maps scalar input names to their values. *)

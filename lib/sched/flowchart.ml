@@ -11,6 +11,15 @@ open Ps_sem
 type loop_kind =
   | Iterative  (* DO: carried dependence, must run in index order *)
   | Parallel   (* DOALL: iterations are independent *)
+  | Grouped of int
+      (* DOGROUP(g): every carried dependence distance is a multiple of
+         g >= 2, so the g residue classes mod g are mutually independent
+         — a DOALL over the classes, index order within each class. *)
+  | Inspected of Ps_lang.Ast.expr
+      (* DOINSPECT(d): the carried distance is the runtime parameter
+         expression d.  An inspector node evaluates d on entry: d >= 1
+         partitions the iterations into d independent classes (run as
+         DOGROUP(d)); d < 1 is a runtime legality failure. *)
 
 type descriptor =
   | D_data of string
@@ -56,7 +65,11 @@ and solve = {
 
 type t = descriptor list
 
-let kind_name = function Iterative -> "DO" | Parallel -> "DOALL"
+let kind_name = function
+  | Iterative -> "DO"
+  | Parallel -> "DOALL"
+  | Grouped g -> Printf.sprintf "DOGROUP(%d)" g
+  | Inspected e -> Printf.sprintf "DOINSPECT(%s)" (Ps_lang.Pretty.expr_to_string e)
 
 (* Display form of a loop's keyword; a [*] marks the head of a
    collapsible DOALL band, so marked and unmarked flowcharts are

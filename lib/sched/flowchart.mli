@@ -8,6 +8,16 @@
 type loop_kind =
   | Iterative  (** DO: carried dependence, must run in index order *)
   | Parallel   (** DOALL: iterations are independent *)
+  | Grouped of int
+      (** DOGROUP(g): every carried dependence distance is a multiple of
+          [g >= 2]; the [g] residue classes mod [g] are mutually
+          independent — a DOALL over the classes, index order within
+          each *)
+  | Inspected of Ps_lang.Ast.expr
+      (** DOINSPECT(d): the carried distance is the runtime parameter
+          expression [d]; an inspector evaluates it on loop entry —
+          [d >= 1] runs the loop as DOGROUP(d), [d < 1] is a runtime
+          legality failure *)
 
 type descriptor =
   | D_data of string  (** placement marker for a data item *)
@@ -45,7 +55,7 @@ and solve = {
 type t = descriptor list
 
 val kind_name : loop_kind -> string
-(** "DO" or "DOALL". *)
+(** "DO", "DOALL", "DOGROUP(g)", or "DOINSPECT(d)". *)
 
 val pp_compact : Ps_sem.Elab.emodule -> t Fmt.t
 (** One-line form, as in Fig. 5: "DO K (DOALL I (DOALL J (eq.3)))". *)

@@ -92,8 +92,10 @@ type chosen = {
 }
 
 (* Find, for data node [d], the dimension position aligned with the chosen
-   index variables, using the intra-component Def edges. *)
-let aligned_position (c : Scc.component) eq_vars d =
+   index variables, using the intra-component Def edges.  The symbolic
+   path ([~symbolic:true]) also aligns on [Label.Linear] defs — strided
+   or parameter-shifted writes the distance analyzer can solve over. *)
+let aligned_position ?(symbolic = false) (c : Scc.component) eq_vars d =
   let positions =
     List.filter_map
       (fun e ->
@@ -107,6 +109,8 @@ let aligned_position (c : Scc.component) eq_vars d =
               (fun i sub ->
                 match sub with
                 | Label.Affine { var; _ } when String.equal var v -> pos := Some i
+                | Label.Linear { var; _ } when symbolic && String.equal var v ->
+                  pos := Some i
                 | _ -> ())
               e.e_subs;
             (match !pos with None -> Some (Error ()) | Some p -> Some (Ok p)))
@@ -181,6 +185,7 @@ let try_candidate st (c : Scc.component) (s : string) : chosen option =
                 match e.e_subs.(p) with
                 | Label.Affine { var; offset; _ } ->
                   String.equal var v && offset <= 0
+                | Label.Linear _ (* the symbolic fallback's class *)
                 | Label.Const_low | Label.Const_mid _ | Label.Const_high
                 | Label.Slice | Label.Opaque -> false))
             | _ -> true)
@@ -196,6 +201,187 @@ let try_candidate st (c : Scc.component) (s : string) : chosen option =
             ch_range = { range with Stypes.sr_name = s };
             ch_eq_vars = eq_vars;
             ch_data_pos }
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic candidate validation: the distance-analysis fallback tried
+   when step 3 rejects every dimension.  Subscripts may be in either
+   aligned class (Affine or Linear); per-dimension dependence distances
+   decide both which edges are carried (deletable) and the loop flavor:
+
+   - every distance independent or 0        -> DOALL;
+   - exact distances with gcd g >= 2        -> DOGROUP(g), the residue
+     classes mod g are mutually independent (Kale-Patil grouping);
+   - exact distances with gcd 1             -> DO;
+   - one parameter form d over scalar inputs -> DOINSPECT(d), a runtime
+     inspector tests d >= 1 before running the d groups;
+   - anything unknown, negative, or mixed   -> reject the candidate. *)
+
+(* Aligned def labels of data node [d] at dimension [p], from the
+   intra-component Def edges. *)
+let defs_at (c : Scc.component) d p =
+  List.filter_map
+    (fun e ->
+      match e.e_kind, e.e_src, e.e_dst with
+      | Def, Eq _, Data d' when String.equal d d' -> (
+        match e.e_subs.(p) with
+        | (Label.Affine _ | Label.Linear _) as l -> Some l
+        | _ -> None)
+      | _ -> None)
+    c.Scc.c_edges
+
+(* Is every variable of the form a scalar int module parameter?  The
+   inspector must be evaluable at loop entry from the inputs alone. *)
+let input_scalar_form st (l : Linexpr.t) =
+  List.for_all
+    (fun (v, _) ->
+      match Elab.find_data st.st_em v with
+      | Some { Elab.d_kind = Elab.Input; d_ty = Stypes.Scalar Stypes.Sint; _ } ->
+        true
+      | _ -> false)
+    l.Linexpr.terms
+
+let try_candidate_symbolic st (c : Scc.component) (s : string) :
+    (chosen * Flowchart.loop_kind * Dgraph.edge list) option =
+  let eqs = eq_ids_of_component c in
+  let eq_vars =
+    List.map
+      (fun id ->
+        let q = Elab.eq_exn st.st_em id in
+        let matching =
+          List.filter
+            (fun ix -> String.equal ix.Elab.ix_range.Stypes.sr_name s)
+            (unscheduled_indices st q)
+        in
+        (id, matching))
+      eqs
+  in
+  if List.exists (fun (_, m) -> List.length m <> 1) eq_vars then None
+  else
+    let eq_vars = List.map (fun (id, m) -> (id, (List.hd m).Elab.ix_var)) eq_vars in
+    let range =
+      let id0, _ = List.hd eq_vars in
+      let q0 = Elab.eq_exn st.st_em id0 in
+      (List.find
+         (fun ix -> String.equal ix.Elab.ix_range.Stypes.sr_name s)
+         q0.Elab.q_indices)
+        .Elab.ix_range
+    in
+    let datas = data_of_component c in
+    let rec align acc = function
+      | [] -> Some (List.rev acc)
+      | d :: rest -> (
+        match aligned_position ~symbolic:true c eq_vars d with
+        | Some p -> align ((d, p) :: acc) rest
+        | None -> None)
+    in
+    match align [] datas with
+    | None -> None
+    | Some ch_data_pos -> (
+      let bounds = Distance.bounds_of_subrange range in
+      let assumptions =
+        Distance.facts (List.map snd st.st_em.Elab.em_subranges)
+      in
+      let exception Reject in
+      try
+        let all = ref [] in
+        let deleted = ref [] in
+        List.iter
+          (fun e ->
+            match e.e_kind, e.e_src, e.e_dst with
+            | Use, Data d, Eq q -> (
+              match List.assoc_opt d ch_data_pos with
+              | None -> () (* data without the dimension: not constrained *)
+              | Some p ->
+                let v = List.assoc q eq_vars in
+                let use = e.e_subs.(p) in
+                (match Label.linear_parts use with
+                 | Some (uv, _, _, _) when String.equal uv v -> ()
+                 | _ -> raise Reject);
+                let ds =
+                  List.map
+                    (fun def -> Distance.solve ?bounds ~assumptions ~def ~use ())
+                    (defs_at c d p)
+                in
+                if ds = [] then raise Reject;
+                List.iter
+                  (function
+                    | Distance.Exact k when k < 0 -> raise Reject
+                    | Distance.Unknown -> raise Reject
+                    | _ -> ())
+                  ds;
+                all := ds @ !all;
+                (* Carried (deletable) iff no same-iteration dependence
+                   remains on this edge. *)
+                if not (List.mem (Distance.Exact 0) ds) then
+                  deleted := e :: !deleted)
+            | _ -> ())
+          c.Scc.c_edges;
+        let exacts =
+          List.filter_map
+            (function Distance.Exact k when k <> 0 -> Some k | _ -> None)
+            !all
+        in
+        let forms =
+          List.filter_map (function Distance.Form l -> Some l | _ -> None) !all
+        in
+        let kind =
+          match forms, exacts with
+          | [], [] -> Flowchart.Parallel
+          | [], ks ->
+            let g = List.fold_left Distance.gcd 0 ks in
+            if g >= 2 then Flowchart.Grouped g else Flowchart.Iterative
+          | f0 :: rest, [] ->
+            if
+              List.for_all (Linexpr.equal f0) rest && input_scalar_form st f0
+            then Flowchart.Inspected (Linexpr.to_expr f0)
+            else raise Reject
+          | _ :: _, _ :: _ ->
+            (* Mixing constant and parameter distances: no single runtime
+               modulus makes both partitions line up. *)
+            raise Reject
+        in
+        let id0, v0 = List.hd eq_vars in
+        ignore id0;
+        Some
+          ( { ch_subrange = s;
+              ch_loop_var = v0;
+              ch_range = { range with Stypes.sr_name = s };
+              ch_eq_vars = eq_vars;
+              ch_data_pos },
+            kind,
+            !deleted )
+      with Reject -> None)
+
+(* When the basic path schedules an iterative loop, the gcd of the
+   carried (deleted-edge) distances may still partition the iterations:
+   gcd g >= 2 upgrades DO to DOGROUP(g).  [None] unless every carried
+   distance is an exact positive constant, every kept dependence is
+   distance 0, and the gcd reaches 2. *)
+let basic_group_modulus (c : Scc.component) (ch : chosen) deleted =
+  let exception No in
+  try
+    let g = ref 0 in
+    List.iter
+      (fun e ->
+        match e.e_kind, e.e_src, e.e_dst with
+        | Use, Data d, Eq _ -> (
+          match List.assoc_opt d ch.ch_data_pos with
+          | None -> ()
+          | Some p ->
+            let carried = List.memq e deleted in
+            List.iter
+              (fun def ->
+                match Distance.solve ~def ~use:e.e_subs.(p) () with
+                | Distance.Exact 0 -> if carried then raise No
+                | Distance.Exact k when carried && k > 0 ->
+                  g := Distance.gcd !g k
+                | Distance.Independent -> ()
+                | _ -> raise No)
+              (defs_at c d p))
+        | _ -> ())
+      c.Scc.c_edges;
+    if !g >= 2 then Some !g else None
+  with No -> None
 
 (* Candidate subranges in first-appearance order over the component's
    equations ("pick an unscheduled node dimension", step 2). *)
@@ -353,17 +539,32 @@ and schedule_component st (sg : Scc.subgraph) (comp : Scc.component) : Flowchart
           try Hashtbl.find st.st_aliases id with Not_found -> []
         in
         [ Flowchart.D_eq { er_id = id; er_aliases = aliases } ]
-      | _ ->
-        (* Step 2a: the equations cannot be scheduled by this algorithm.
-           (The hyperplane transformation of §4 may still apply.) *)
-        raise
-          (Unschedulable
-             { reason =
-                 "no dimension has all subscripts of the form 'I' or \
-                  'I - constant' in a consistent position";
-               component = component_names st comp }))
+      | _ -> (
+        (* Step 2a fallback: the symbolic distance analysis.  No
+           virtual-dimension analysis on this path — windows assume the
+           strictly sequential plane reuse of a DO loop, which grouped
+           and inspected execution orders do not provide. *)
+        let rec first_symbolic = function
+          | [] -> None
+          | s :: rest -> (
+            match try_candidate_symbolic st comp s with
+            | Some r -> Some r
+            | None -> first_symbolic rest)
+        in
+        match first_symbolic (candidates st comp) with
+        | Some (ch, kind, deleted) -> emit_loop st sg comp ch ~kind ~deleted
+        | None ->
+          (* The equations cannot be scheduled by this algorithm.  (The
+             hyperplane transformation of §4 may still apply.) *)
+          raise
+            (Unschedulable
+               { reason =
+                   "no dimension has all subscripts of the form 'I' or \
+                    'I - constant' in a consistent position";
+                 component = component_names st comp })))
     | Some ch ->
       (* Virtual-dimension analysis before the edges disappear. *)
+      let windows_before = !(st.st_windows) in
       analyze_virtual st comp ch;
       (* Step 4: delete the "I - constant" edges. *)
       let deleted =
@@ -381,27 +582,41 @@ and schedule_component st (sg : Scc.subgraph) (comp : Scc.component) : Flowchart
             | _ -> false)
           comp.Scc.c_edges
       in
-      (* Step 5: mark the dimension scheduled, recording loop-variable
-         renamings for equations that used a different name. *)
-      List.iter
-        (fun (id, v) ->
-          mark_scheduled st id v;
-          add_alias st id ~from:v ~to_:ch.ch_loop_var)
-        ch.ch_eq_vars;
-      (* Step 6: iterative iff recursive edges were deleted. *)
+      (* Step 6: iterative iff recursive edges were deleted — unless the
+         carried distances share a modulus g >= 2, in which case the
+         residue classes mod g are independent and the loop runs as a
+         group-partitioned DOALL.  Grouped order voids the sequential
+         plane reuse a window relies on, so the windows this component
+         just gained are dropped with the upgrade. *)
       let kind =
-        if deleted = [] then Flowchart.Parallel else Flowchart.Iterative
+        if deleted = [] then Flowchart.Parallel
+        else
+          match basic_group_modulus comp ch deleted with
+          | Some g ->
+            st.st_windows := windows_before;
+            Flowchart.Grouped g
+          | None -> Flowchart.Iterative
       in
-      (* Step 7: recurse on the component minus the deleted edges. *)
-      let inner = Scc.component_subgraph sg comp in
-      let inner = Scc.remove_edges inner deleted in
-      let body = schedule_graph st inner ~trace:None in
-      [ Flowchart.D_loop
-          { lp_var = ch.ch_loop_var;
-            lp_range = ch.ch_range;
-            lp_kind = kind;
-            lp_collapse = false;
-            lp_body = body } ])
+      emit_loop st sg comp ch ~kind ~deleted)
+
+(* Steps 5 and 7, shared by the basic and symbolic paths: mark the
+   dimension scheduled, drop the carried edges, schedule the remaining
+   subgraph, and wrap it in the loop descriptor. *)
+and emit_loop st sg comp (ch : chosen) ~kind ~deleted : Flowchart.t =
+  List.iter
+    (fun (id, v) ->
+      mark_scheduled st id v;
+      add_alias st id ~from:v ~to_:ch.ch_loop_var)
+    ch.ch_eq_vars;
+  let inner = Scc.component_subgraph sg comp in
+  let inner = Scc.remove_edges inner deleted in
+  let body = schedule_graph st inner ~trace:None in
+  [ Flowchart.D_loop
+      { lp_var = ch.ch_loop_var;
+        lp_range = ch.ch_range;
+        lp_kind = kind;
+        lp_collapse = false;
+        lp_body = body } ]
 
 (* ------------------------------------------------------------------ *)
 

@@ -14,7 +14,18 @@
     an upper-bound reference from outside (rule 2).  At most one
     dimension per array is windowed (the outermost scheduled one): a
     second window is unsound for references like [L[I-1, J]] that need
-    the previous outer plane's full inner extent. *)
+    the previous outer plane's full inner extent.
+
+    When step 3 rejects every dimension, a symbolic fallback solves the
+    aligned [Affine]/[Linear] subscript pairs for dependence distances
+    ({!Ps_graph.Distance}): all-independent distances give a DOALL,
+    exact distances with gcd [g >= 2] a group-partitioned
+    [DOGROUP(g)] (the residue classes mod [g] are mutually
+    independent), and a single parameter-form distance [d] over scalar
+    inputs an inspector/executor [DOINSPECT(d)] whose legality test
+    [d >= 1] runs at loop entry.  A basic-path DO whose carried
+    distances share a modulus [g >= 2] is likewise upgraded to
+    [DOGROUP(g)]. *)
 
 exception Unschedulable of { reason : string; component : string list }
 (** Step 2a: no dimension qualifies and the component has several nodes.

@@ -180,7 +180,8 @@ let trajectory =
 
 let expected_names =
   let bases =
-    [ "fig6_m16"; "fig6_m32"; "h3_m16"; "h3_m32"; "lcs_n64"; "lcs_n128" ]
+    [ "fig6_m16"; "fig6_m32"; "h3_m16"; "h3_m32"; "lcs_n64"; "lcs_n128";
+      "grp_n4096"; "grp_n16384"; "insp_n4096"; "insp_n16384" ]
   in
   let configs = [ "_seq"; "_par_fixed"; "_par_steal"; "_par_steal_collapse" ] in
   List.concat_map (fun b -> List.map (fun c -> b ^ c) configs) bases

@@ -1,0 +1,256 @@
+(* Symbolic dependence-distance analysis: the solver's lattice (exact,
+   GCD, Banerjee, parameter forms), the group-partitioned and
+   inspector/executor schedules it enables, the verifier's E023/E024
+   translation-validation rules, and bit-exact parallel execution of
+   both new schedule classes. *)
+
+module Label = Ps_graph.Label
+module Distance = Ps_graph.Distance
+module Linexpr = Ps_sem.Linexpr
+
+let t name f = Alcotest.test_case name `Quick f
+
+let affine ?(offset = 0) var = Label.Affine { var; offset; target_pos = 0 }
+
+let linear ?(coeff = 1) ?(params = []) ?(const = 0) var =
+  Label.Linear { var; coeff; target_pos = 0; params; const }
+
+let dist = Alcotest.testable Distance.pp ( = )
+
+(* --- the solver ---------------------------------------------------- *)
+
+let solver_tests =
+  [ t "aligned read 2 back is distance 2" (fun () ->
+        Alcotest.check dist "d" (Distance.Exact 2)
+          (Distance.solve ~def:(affine "I") ~use:(affine ~offset:(-2) "I") ()));
+    t "a forward read is a negative distance" (fun () ->
+        Alcotest.check dist "d" (Distance.Exact (-3))
+          (Distance.solve ~def:(affine "I") ~use:(affine ~offset:3 "I") ()));
+    t "equal strides with odd delta never meet (GCD test)" (fun () ->
+        (* writes 2i, reads 2j - 1: opposite parities *)
+        Alcotest.check dist "d" Distance.Independent
+          (Distance.solve ~def:(linear ~coeff:2 "I")
+             ~use:(linear ~coeff:2 ~const:(-1) "I") ()));
+    t "equal strides with divisible delta solve exactly" (fun () ->
+        (* writes 2i, reads 2j - 4: distance 2 *)
+        Alcotest.check dist "d" (Distance.Exact 2)
+          (Distance.solve ~def:(linear ~coeff:2 "I")
+             ~use:(linear ~coeff:2 ~const:(-4) "I") ()));
+    t "unequal strides with overlapping ranges stay unknown" (fun () ->
+        Alcotest.check dist "d" Distance.Unknown
+          (Distance.solve ~def:(linear ~coeff:2 "I") ~use:(affine "I") ()));
+    t "disjoint value ranges are independent (Banerjee test)" (fun () ->
+        (* writes 2i <= 2N, reads 3j + 2N + 1 >= 2N + 4 over j >= 1 *)
+        let bounds = (Linexpr.of_int 1, Linexpr.of_var "N") in
+        Alcotest.check dist "d" Distance.Independent
+          (Distance.solve ~bounds ~def:(linear ~coeff:2 "I")
+             ~use:(linear ~coeff:3 ~params:[ ("N", 2) ] ~const:1 "I") ()));
+    t "a parameter offset is a symbolic form" (fun () ->
+        (* writes i, reads j - K: distance K *)
+        Alcotest.check dist "d"
+          (Distance.Form (Linexpr.of_var "K"))
+          (Distance.solve ~def:(affine "I")
+             ~use:(linear ~params:[ ("K", -1) ] "I") ()));
+    t "group modulus is the gcd of the carried distances" (fun () ->
+        Alcotest.(check (option int)) "gcd" (Some 2)
+          (Distance.group_modulus [ Distance.Exact 4; Distance.Exact 6 ]);
+        Alcotest.(check (option int)) "independent is neutral" (Some 4)
+          (Distance.group_modulus [ Distance.Exact 4; Distance.Independent ]);
+        Alcotest.(check (option int)) "no carried dependences" (Some 0)
+          (Distance.group_modulus []);
+        Alcotest.(check (option int)) "unknown poisons" None
+          (Distance.group_modulus [ Distance.Exact 4; Distance.Unknown ]);
+        Alcotest.(check (option int)) "symbolic poisons" None
+          (Distance.group_modulus
+             [ Distance.Exact 2; Distance.Form (Linexpr.of_var "K") ])) ]
+
+(* --- the schedules it enables -------------------------------------- *)
+
+let strided_src =
+  "StridedCopy: module (A: array[Ipos] of real; N: int):\n\
+  \  [B: array [Ipos] of real];\n\
+   type\n\
+  \  Ipos = 1 .. N;\n\
+  \  Init = 1 .. 2;\n\
+  \  Rest = 3 .. N;\n\
+   var\n\
+  \  C: array [Ipos] of real;\n\
+   define\n\
+  \  C[Init] = A[Init];\n\
+  \  C[Rest] = C[Rest - 2] + A[Rest];\n\
+  \  B = C;\n\
+   end StridedCopy;"
+
+let param_src =
+  "ParamRecurrence: module (A: array[Ipos] of real; N: int; K: int):\n\
+  \  [B: array [Ipos] of real];\n\
+   type\n\
+  \  Ipos = 1 .. N;\n\
+  \  Init = 1 .. K;\n\
+  \  Rest = K + 1 .. N;\n\
+   var\n\
+  \  C: array [Ipos] of real;\n\
+   define\n\
+  \  C[Init] = A[Init];\n\
+  \  C[Rest] = C[Rest - K] + A[Rest];\n\
+  \  B = C;\n\
+   end ParamRecurrence;"
+
+let scheduled src =
+  let p = Psc.load_string src in
+  Psc.schedule (Psc.default_module p)
+
+let compact sc = Psc.flowchart_string ~tree:false sc
+
+let codes ds = List.map (fun d -> Psc.Diag.code_id d.Psc.Diag.d_code) ds
+
+let schedule_tests =
+  [ t "a constant distance-2 recurrence schedules as DOGROUP(2)" (fun () ->
+        let sc = scheduled strided_src in
+        Alcotest.(check bool) "DOGROUP(2)" true
+          (Util.contains (compact sc) "DOGROUP(2) Rest"));
+    t "a parameter-distance recurrence schedules as DOINSPECT(K)" (fun () ->
+        let sc = scheduled param_src in
+        Alcotest.(check bool) "DOINSPECT(K)" true
+          (Util.contains (compact sc) "DOINSPECT(K) Rest"));
+    t "the verifier accepts both schedules" (fun () ->
+        Alcotest.(check (list string)) "strided" []
+          (codes (Psc.verify (scheduled strided_src)));
+        Alcotest.(check (list string)) "param" []
+          (codes (Psc.verify (scheduled param_src))));
+    t "emitted C carries the group loop and the inspector preamble"
+      (fun () ->
+        let c_group = Psc.emit_c (Psc.load_string strided_src) in
+        Alcotest.(check bool) "group loop" true
+          (Util.contains c_group "Rest_grp");
+        let c_insp = Psc.emit_c (Psc.load_string param_src) in
+        Alcotest.(check bool) "inspector" true
+          (Util.contains c_insp "Rest_dist");
+        Alcotest.(check bool) "inspector failure path" true
+          (Util.contains c_insp "exit(2)")) ]
+
+(* --- translation validation (E023/E024) ----------------------------- *)
+
+let rec retag f descs =
+  List.map
+    (function
+      | Psc.Flowchart.D_loop l ->
+        Psc.Flowchart.D_loop
+          { l with
+            Psc.Flowchart.lp_kind = f l.Psc.Flowchart.lp_kind;
+            Psc.Flowchart.lp_body = retag f l.Psc.Flowchart.lp_body }
+      | d -> d)
+    descs
+
+let with_kinds sc f =
+  { sc with Psc.sc_flowchart = retag f sc.Psc.sc_flowchart }
+
+let verify_tests =
+  [ t "a wrong group modulus is rejected with E023" (fun () ->
+        let sc = scheduled strided_src in
+        let bad =
+          with_kinds sc (function
+            | Psc.Flowchart.Grouped 2 -> Psc.Flowchart.Grouped 3
+            | k -> k)
+        in
+        Alcotest.(check bool) "E023" true
+          (List.mem "E023" (codes (Psc.verify bad))));
+    t "a grouped loop whose modulus divides the distance verifies"
+      (fun () ->
+        let sc = scheduled strided_src in
+        (* DOGROUP(1) is just DO with extra steps: 1 divides 2. *)
+        let ok =
+          with_kinds sc (function
+            | Psc.Flowchart.Grouped 2 -> Psc.Flowchart.Grouped 1
+            | k -> k)
+        in
+        Alcotest.(check (list string)) "clean" [] (codes (Psc.verify ok)));
+    t "dropping the inspector is rejected with E024" (fun () ->
+        let sc = scheduled param_src in
+        let bad =
+          with_kinds sc (function
+            | Psc.Flowchart.Inspected _ -> Psc.Flowchart.Parallel
+            | k -> k)
+        in
+        Alcotest.(check bool) "E024" true
+          (List.mem "E024" (codes (Psc.verify bad))));
+    t "an inspector testing the wrong form is rejected with E024" (fun () ->
+        let sc = scheduled param_src in
+        let bad =
+          with_kinds sc (function
+            | Psc.Flowchart.Inspected _ ->
+              Psc.Flowchart.Inspected
+                (Psc.Linexpr.to_expr (Psc.Linexpr.of_var "N"))
+            | k -> k)
+        in
+        Alcotest.(check bool) "E024" true
+          (List.mem "E024" (codes (Psc.verify bad))));
+    t "a grouped loop under a symbolic distance is rejected" (fun () ->
+        let sc = scheduled param_src in
+        let bad =
+          with_kinds sc (function
+            | Psc.Flowchart.Inspected _ -> Psc.Flowchart.Grouped 2
+            | k -> k)
+        in
+        Alcotest.(check bool) "E024" true
+          (List.mem "E024" (codes (Psc.verify bad)))) ]
+
+(* --- execution ------------------------------------------------------ *)
+
+let n = 41
+
+let fill = Ps_models.Models.fill_value
+
+let inputs_strided =
+  [ ("A", Psc.Exec.array_real ~dims:[ (1, n) ] (fun ix -> fill ix.(0)));
+    ("N", Psc.Exec.scalar_int n) ]
+
+let inputs_param k =
+  [ ("A", Psc.Exec.array_real ~dims:[ (1, n) ] (fun ix -> fill ix.(0)));
+    ("N", Psc.Exec.scalar_int n);
+    ("K", Psc.Exec.scalar_int k) ]
+
+let exec_tests =
+  [ t "grouped execution is bit-identical to sequential" (fun () ->
+        let p = Psc.load_string strided_src in
+        let seq = Psc.run p ~inputs:inputs_strided in
+        let par =
+          Psc.Pool.with_pool 4 (fun pool ->
+              Psc.run ~pool p ~inputs:inputs_strided)
+        in
+        Alcotest.(check bool) "outputs equal" true
+          (seq.Psc.Exec.outputs = par.Psc.Exec.outputs));
+    t "inspected execution is bit-identical to sequential for several K"
+      (fun () ->
+        let p = Psc.load_string param_src in
+        List.iter
+          (fun k ->
+            let seq = Psc.run p ~inputs:(inputs_param k) in
+            let par =
+              Psc.Pool.with_pool 4 (fun pool ->
+                  Psc.run ~pool p ~inputs:(inputs_param k))
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "K=%d" k)
+              true
+              (seq.Psc.Exec.outputs = par.Psc.Exec.outputs))
+          [ 1; 2; 3; 7; n - 1 ]);
+    t "the inspector rejects a non-positive distance at run time" (fun () ->
+        let p = Psc.load_string param_src in
+        match Psc.run p ~inputs:(inputs_param 0) with
+        | _ -> Alcotest.fail "expected a runtime error"
+        | exception Psc.Error m ->
+          Alcotest.(check bool) "mentions the inspector" true
+            (Util.contains m "inspector"));
+    t "work/span sees the residue-class parallelism" (fun () ->
+        let p = Psc.load_string strided_src in
+        let ws = Psc.work_span p ~env:[ ("N", n) ] in
+        Alcotest.(check bool) "parallelism > 1" true
+          (Psc.Analysis.parallelism ws > 1.0)) ]
+
+let () =
+  Alcotest.run "distance"
+    [ ("solver", solver_tests);
+      ("schedules", schedule_tests);
+      ("verify", verify_tests);
+      ("exec", exec_tests) ]

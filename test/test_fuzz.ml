@@ -45,6 +45,23 @@ let gen_tests =
               | _ -> ())
             (Gen.shrink spec)
         done);
+    t "the stride shape reaches both new schedule classes" (fun () ->
+        (* The generator must actually produce group-partitioned and
+           inspected schedules, or the group/inspector paths differential
+           nothing. *)
+        let grouped = ref false and inspected = ref false in
+        for i = 0 to 79 do
+          let spec = Gen.generate (Gen.Rng.split 31 i) in
+          match Psc.load_string (Gen.render spec) with
+          | exception Psc.Error _ -> ()
+          | tp ->
+            let sc = Psc.schedule (Psc.default_module tp) in
+            let fc = Psc.flowchart_string ~tree:false sc in
+            if Util.contains fc "DOGROUP" then grouped := true;
+            if Util.contains fc "DOINSPECT" then inspected := true
+        done;
+        Alcotest.(check bool) "some DOGROUP schedule" true !grouped;
+        Alcotest.(check bool) "some DOINSPECT schedule" true !inspected);
     t "minimize converges to the smallest failing size" (fun () ->
         (* A synthetic predicate: "fails" whenever N >= 5.  The greedy
            minimizer must walk N down to exactly 5. *)

@@ -164,6 +164,25 @@ let classify_tests =
     in
     Label.classify q (List.hd dims) sub
   in
+  (* Like [classify], but inside an equation indexed by I and J, so
+     identity and linear classes can arise. *)
+  let classify_indexed sub_src =
+    let src =
+      Printf.sprintf
+        "T2: module (N: int; K: int): [y: array[I,J] of real]; \
+         type I, J = 1 .. N; var A: array[I,J] of real; \
+         define A[I,J] = 1.0; y[I,J] = A[%s, J]; end T2;"
+        sub_src
+    in
+    let em, q = mk_eq src in
+    let dims = Stypes.dims (Elab.data_exn em "A").Elab.d_ty in
+    let sub =
+      match q.Elab.q_rhs.Ps_lang.Ast.e with
+      | Ps_lang.Ast.Index (_, s :: _) -> s
+      | _ -> Alcotest.fail "expected a subscripted reference"
+    in
+    Label.classify q (List.hd dims) sub
+  in
   [ t "lower bound constant" (fun () ->
         match classify "A[0]" with
         | Label.Const_low -> ()
@@ -179,6 +198,26 @@ let classify_tests =
     t "non-linear subscript" (fun () ->
         match classify "A[N * N - N * N]" with
         | Label.Opaque | Label.Const_low -> ()
+        | s -> Alcotest.failf "got %s" (Label.to_string s));
+    (* Regression: classification must normalize the subscript AST first
+       — a zero-coefficient term or redundant parentheses must not demote
+       an aligned subscript to "other". *)
+    t "I + 0*J normalizes to the identity class" (fun () ->
+        match classify_indexed "I + 0*J" with
+        | Label.Affine { var = "I"; offset = 0; _ } -> ()
+        | s -> Alcotest.failf "got %s" (Label.to_string s));
+    t "((I) - 1) normalizes to I - constant" (fun () ->
+        match classify_indexed "((I) - 1)" with
+        | Label.Affine { var = "I"; offset = -1; _ } -> ()
+        | s -> Alcotest.failf "got %s" (Label.to_string s));
+    t "2*I is the symbolic linear class" (fun () ->
+        match classify_indexed "2*I" with
+        | Label.Linear { var = "I"; coeff = 2; params = []; const = 0; _ } -> ()
+        | s -> Alcotest.failf "got %s" (Label.to_string s));
+    t "I - K keeps the parameter term" (fun () ->
+        match classify_indexed "I - K" with
+        | Label.Linear { var = "I"; coeff = 1; params = [ ("K", -1) ]; const = 0; _ } ->
+          ()
         | s -> Alcotest.failf "got %s" (Label.to_string s));
     t "class names match Fig. 2" (fun () ->
         Alcotest.(check string) "I" "I"
