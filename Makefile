@@ -1,11 +1,11 @@
-.PHONY: all build test fuzz-smoke serve-smoke promote bench-quick fmt lint-examples lint-distance trace-demo clean
+.PHONY: all build test fuzz-smoke serve-smoke tune-smoke promote bench-quick fmt lint-examples lint-distance trace-demo clean
 
 all: build
 
 build:
 	dune build
 
-test: fuzz-smoke serve-smoke lint-distance
+test: fuzz-smoke serve-smoke lint-distance tune-smoke
 	dune runtest
 
 # Bounded differential fuzzing pass: every generated module must agree
@@ -24,6 +24,14 @@ serve-smoke: build
 	  '{"id":2,"op":"shutdown"}' \
 	  | _build/default/bin/psc_main.exe serve --stdio | grep -q '"ok":true'
 	@echo "serve-smoke: ok"
+
+# Tune the headline relaxation nests, replay the tuned tables
+# bit-identically through `run --policy cached`, and assert no bench
+# `_auto` row loses to its `_seq` sibling past 1.1x (+1ms slack).
+# Part of `make test`; the unit coverage is test/test_policy.ml.
+tune-smoke: build
+	sh bin/tune_smoke.sh _build/default/bin/psc_main.exe \
+	  _build/default/bench/main.exe
 
 # Re-bless the golden snapshots (test/golden/) after reviewing an
 # intended schedule or back-end change.

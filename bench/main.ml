@@ -223,7 +223,8 @@ let host_cores = Psc.Pool.recommended_size ()
    whose pool oversubscribes the host ([cores_limited]) cannot show the
    pool-size speedup — readers of the trajectory must not interpret its
    wall time as a scaling result. *)
-let record ~name ~wall ~(ws : Psc.Analysis.cost) ~pool ~steal ~collapse ~stats =
+let record ~name ~wall ~(ws : Psc.Analysis.cost) ~pool ~steal ~collapse ~policy
+    ~stats =
   let steals, attempts, util, imb =
     match (stats : Psc.Pool.summary option) with
     | None -> (0, 0, 0.0, 0.0)
@@ -235,9 +236,9 @@ let record ~name ~wall ~(ws : Psc.Analysis.cost) ~pool ~steal ~collapse ~stats =
   in
   experiments :=
     Printf.sprintf
-      "{\"name\":%S,\"wall_s\":%.6f,\"work\":%.0f,\"span\":%.0f,\"pool\":%d,\"steal\":%b,\"collapse\":%b,\"cores_limited\":%b,\"steals\":%d,\"steal_attempts\":%d,\"utilization\":%.4f,\"imbalance\":%.3f}"
+      "{\"name\":%S,\"wall_s\":%.6f,\"work\":%.0f,\"span\":%.0f,\"pool\":%d,\"steal\":%b,\"collapse\":%b,\"policy\":%S,\"cores_limited\":%b,\"steals\":%d,\"steal_attempts\":%d,\"utilization\":%.4f,\"imbalance\":%.3f}"
       name wall ws.Psc.Analysis.work ws.Psc.Analysis.span pool steal collapse
-      (pool > host_cores) steals attempts util imb
+      policy (pool > host_cores) steals attempts util imb
     :: !experiments
 
 let ab_pool_size = 4
@@ -262,32 +263,63 @@ let part2b () =
      section so every pooled row carries steal/utilization data, and off
      again afterwards so part 3's micro-benchmarks run uninstrumented. *)
   Psc.Metrics.set_enabled true;
-  Fmt.pr "%-12s | %10s %12s %12s %14s@." "experiment" "seq" "fixed-chunk"
-    "steal" "steal+collapse";
+  Fmt.pr "%-12s | %10s %12s %12s %14s %10s@." "experiment" "seq" "fixed-chunk"
+    "steal" "steal+collapse" "auto";
   (* Timings aggregate over [time_best]'s reps, and so do the pool
      counters: utilization and imbalance are ratios of the accumulated
      sums, which is what we want reported. *)
-  let timed_pool pool ~collapse
-      (runner : ?pool:Psc.Pool.t -> collapse:bool -> unit -> unit) =
+  let timed_pool pool ?policy ~collapse
+      (runner :
+        ?pool:Psc.Pool.t -> ?policy:Psc.Policy.table -> collapse:bool ->
+        unit -> unit) =
     Psc.Pool.reset_stats pool;
-    let t = time_best (fun () -> runner ~pool ~collapse ()) in
+    let t = time_best (fun () -> runner ~pool ?policy ~collapse ()) in
     (t, Psc.Pool.summary pool)
   in
-  let ab name ws (runner : ?pool:Psc.Pool.t -> collapse:bool -> unit -> unit) =
+  let ab name ws ~auto
+      (runner :
+        ?pool:Psc.Pool.t -> ?policy:Psc.Policy.table -> collapse:bool ->
+        unit -> unit) =
     let t_seq = time_best (fun () -> runner ~collapse:false ()) in
     let t_fixed, sm_fixed = timed_pool pool_fixed ~collapse:false runner in
     let t_steal, sm_steal = timed_pool pool_steal ~collapse:false runner in
     let t_sc, sm_sc = timed_pool pool_steal ~collapse:true runner in
+    (* The fifth column runs under the static cost model's per-nest
+       table, sized to the host (not the benchmark pool): on a small
+       host the table refuses to fork and the row must match the
+       sequential one — that is the claim under test. *)
+    let table : Psc.Policy.table = auto () in
+    let forks =
+      List.exists
+        (fun (_, (d : Psc.Policy.decision)) -> d.Psc.Policy.d_par)
+        table.Psc.Policy.t_entries
+    in
+    let collapses =
+      List.exists
+        (fun (_, (d : Psc.Policy.decision)) -> d.Psc.Policy.d_collapse)
+        table.Psc.Policy.t_entries
+    in
+    let t_auto, sm_auto =
+      if forks then
+        let t, sm = timed_pool pool_steal ~policy:table ~collapse:false runner in
+        (t, Some sm)
+      else (time_best (fun () -> runner ~policy:table ~collapse:false ()), None)
+    in
     record ~name:(name ^ "_seq") ~wall:t_seq ~ws ~pool:1 ~steal:false
-      ~collapse:false ~stats:None;
+      ~collapse:false ~policy:"seq" ~stats:None;
     record ~name:(name ^ "_par_fixed") ~wall:t_fixed ~ws ~pool:ab_pool_size
-      ~steal:false ~collapse:false ~stats:(Some sm_fixed);
+      ~steal:false ~collapse:false ~policy:"fixed" ~stats:(Some sm_fixed);
     record ~name:(name ^ "_par_steal") ~wall:t_steal ~ws ~pool:ab_pool_size
-      ~steal:true ~collapse:false ~stats:(Some sm_steal);
+      ~steal:true ~collapse:false ~policy:"steal" ~stats:(Some sm_steal);
     record ~name:(name ^ "_par_steal_collapse") ~wall:t_sc ~ws
-      ~pool:ab_pool_size ~steal:true ~collapse:true ~stats:(Some sm_sc);
-    Fmt.pr "%-12s | %10.4f %12.4f %12.4f %14.4f@." name t_seq t_fixed t_steal
-      t_sc
+      ~pool:ab_pool_size ~steal:true ~collapse:true ~policy:"steal+collapse"
+      ~stats:(Some sm_sc);
+    record ~name:(name ^ "_auto") ~wall:t_auto ~ws
+      ~pool:(if forks then ab_pool_size else 1)
+      ~steal:forks ~collapse:collapses
+      ~policy:(Psc.Policy.table_summary table) ~stats:sm_auto;
+    Fmt.pr "%-12s | %10.4f %12.4f %12.4f %14.4f %10.4f@." name t_seq t_fixed
+      t_steal t_sc t_auto
   in
   let rel_sizes =
     if quick then [ (16, 10); (32, 20) ] else [ (16, 10); (32, 20); (64, 40) ]
@@ -299,15 +331,19 @@ let part2b () =
       ab
         (Printf.sprintf "fig6_m%d" m)
         (Psc.work_span jacobi ~env)
-        (fun ?pool ~collapse () ->
-          ignore (Psc.run ~check:false ?pool ~collapse jacobi ~inputs));
+        ~auto:(fun () -> Psc.static_policy ~cores:host_cores jacobi ~env)
+        (fun ?pool ?policy ~collapse () ->
+          ignore (Psc.run ~check:false ?pool ?policy ~collapse jacobi ~inputs));
       ab
         (Printf.sprintf "h3_m%d" m)
         (Psc.work_span ~name:hyper_name ~sink:true ~trim:true hyper_project ~env)
-        (fun ?pool ~collapse () ->
+        ~auto:(fun () ->
+          Psc.static_policy ~name:hyper_name ~sink:true ~trim:true
+            ~cores:host_cores hyper_project ~env)
+        (fun ?pool ?policy ~collapse () ->
           ignore
-            (Psc.run ~check:false ?pool ~collapse ~name:hyper_name ~sink:true
-               ~trim:true hyper_project ~inputs)))
+            (Psc.run ~check:false ?pool ?policy ~collapse ~name:hyper_name
+               ~sink:true ~trim:true hyper_project ~inputs)))
     rel_sizes;
   let lcs_project = Psc.load_string Ps_models.Models.lcs in
   let lcs_project, lcs_tr = Psc.hyperplane ~target:"L" lcs_project in
@@ -326,10 +362,13 @@ let part2b () =
         (Printf.sprintf "lcs_n%d" n)
         (Psc.work_span ~name:lcs_name ~sink:true ~trim:true lcs_project
            ~env:[ ("N", n) ])
-        (fun ?pool ~collapse () ->
+        ~auto:(fun () ->
+          Psc.static_policy ~name:lcs_name ~sink:true ~trim:true
+            ~cores:host_cores lcs_project ~env:[ ("N", n) ])
+        (fun ?pool ?policy ~collapse () ->
           ignore
-            (Psc.run ~check:false ?pool ~collapse ~name:lcs_name ~sink:true
-               ~trim:true lcs_project ~inputs)))
+            (Psc.run ~check:false ?pool ?policy ~collapse ~name:lcs_name
+               ~sink:true ~trim:true lcs_project ~inputs)))
     lcs_sizes;
   (* The two new schedule classes of the symbolic distance analysis: a
      constant-stride recurrence runs as DOGROUP(2) (two independent
@@ -345,17 +384,22 @@ let part2b () =
       ab
         (Printf.sprintf "grp_n%d" n)
         (Psc.work_span grp_project ~env:[ ("N", n) ])
-        (fun ?pool ~collapse () ->
+        ~auto:(fun () ->
+          Psc.static_policy ~cores:host_cores grp_project ~env:[ ("N", n) ])
+        (fun ?pool ?policy ~collapse () ->
           ignore
-            (Psc.run ~check:false ?pool ~collapse grp_project
+            (Psc.run ~check:false ?pool ?policy ~collapse grp_project
                ~inputs:[ ("A", a); ("N", Psc.Exec.scalar_int n) ]));
       let k = 7 in
       ab
         (Printf.sprintf "insp_n%d" n)
         (Psc.work_span insp_project ~env:[ ("N", n); ("K", k) ])
-        (fun ?pool ~collapse () ->
+        ~auto:(fun () ->
+          Psc.static_policy ~cores:host_cores insp_project
+            ~env:[ ("N", n); ("K", k) ])
+        (fun ?pool ?policy ~collapse () ->
           ignore
-            (Psc.run ~check:false ?pool ~collapse insp_project
+            (Psc.run ~check:false ?pool ?policy ~collapse insp_project
                ~inputs:
                  [ ("A", a);
                    ("N", Psc.Exec.scalar_int n);

@@ -358,6 +358,66 @@ let default_inputs _t em (scalars : (string * int) list) =
       end)
     em.Psc.Elab.em_params
 
+(* Measure candidate per-nest scheduling policies with the loop-level
+   profiler and print the winning table as JSON — the same table `psc
+   serve` caches per (source, module, flags, host cores), here written
+   to a file the `run --policy cached` path can load back. *)
+let tune_cmd =
+  let cores_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cores" ] ~docv:"N"
+          ~doc:"Tune for a pool of N domains (default: the host's \
+                recommended size).  The table records this so a reader \
+                on a different host can detect staleness (W121).")
+  in
+  let reps_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "reps" ] ~docv:"N"
+          ~doc:"Replay each candidate policy N times and sum the \
+                profiled nest times (default 2).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the tuned policy table to $(docv) instead of \
+                standard output.")
+  in
+  let run file name sink fuse trim inputs cores reps out trace =
+    handle (fun () ->
+        with_trace trace @@ fun () ->
+        let t = load file in
+        print_warnings t;
+        let em = Psc.the_module ?name t in
+        let ins = default_inputs t em inputs in
+        let table =
+          Psc.tune ?name ~sink ~fuse ~trim ?cores ~reps t ~inputs:ins
+            ~env:inputs
+        in
+        let json = Psc.Policy.to_json table in
+        (match out with
+         | Some f ->
+           Out_channel.with_open_bin f (fun oc ->
+               output_string oc json;
+               output_char oc '\n')
+         | None -> print_endline json);
+        Fmt.epr "psc: tuned %s@." (Psc.Policy.table_summary table))
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Profile-guided schedule tuning: replay a module's loop nests \
+          under candidate policies (sequential, fixed chunks, work \
+          stealing, collapsed bands, the static cost model) on the \
+          loop-level profiler, pick the fastest per nest, and print the \
+          winning policy table as JSON for $(b,run --policy cached).")
+    Term.(const run $ file_arg $ module_arg $ sink_arg $ fuse_arg $ trim_arg
+          $ inputs_arg $ cores_arg $ reps_arg $ out_arg $ trace_arg)
+
 let run_cmd =
   let par =
     Arg.(
@@ -389,8 +449,38 @@ let run_cmd =
       & info [ "metrics-json" ]
           ~doc:"After execution, print the metrics registry as a JSON array.")
   in
+  let policy_mode =
+    Arg.(
+      value
+      & opt (enum [ ("static", `Static); ("cached", `Cached); ("off", `Off) ])
+          `Off
+      & info [ "policy" ] ~docv:"MODE"
+          ~doc:
+            "Per-nest scheduling policy: $(b,static) decides each nest \
+             from the cost model (work, span, trip counts — tiny nests \
+             run sequentially), $(b,cached) loads a tuned table from \
+             $(b,--policy-file) (stale tables warn W121 and fall back \
+             to the static model), $(b,off) (default) keeps the global \
+             flags.")
+  in
+  let policy_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "policy-file" ] ~docv:"FILE"
+          ~doc:"Tuned policy table (JSON, as printed by $(b,psc tune)) \
+                for $(b,--policy cached); passing the file alone \
+                implies the mode.")
+  in
+  let tune_flag =
+    Arg.(
+      value & flag
+      & info [ "tune" ]
+          ~doc:"Tune before running: replay the nests under candidate \
+                policies on the profiler and execute with the winner.")
+  in
   let run file name sink fuse trim collapse inputs par no_windows no_steal verify
-      stats metrics_json trace =
+      stats metrics_json policy_mode policy_file tune trace =
     handle (fun () ->
         with_trace trace @@ fun () ->
         if stats || metrics_json then Psc.Metrics.set_enabled true;
@@ -399,9 +489,45 @@ let run_cmd =
         let em = Psc.the_module ?name t in
         if verify then verify_schedule (Psc.schedule ~sink ~fuse ~trim ~collapse em);
         let ins = default_inputs t em inputs in
+        let host_cores =
+          match par with Some n -> max 1 n | None -> Psc.Pool.recommended_size ()
+        in
+        let static_table () =
+          Psc.static_policy ?name ~sink ~fuse ~trim ~cores:host_cores t
+            ~env:inputs
+        in
+        let load_table f =
+          match Psc.Policy.of_json (read_source f) with
+          | Error m ->
+            report Fmt.stderr
+              [ Psc.Diag.diag Psc.Diag.Bad_policy Psc.Loc.dummy "%s: %s" f m ];
+            exit 1
+          | Ok tp ->
+            let sc = Psc.schedule ~sink ~fuse ~trim ~collapse:true em in
+            let diags =
+              Psc.Verify.policy_table ~host_cores tp sc.Psc.sc_flowchart
+            in
+            report Fmt.stderr diags;
+            if Psc.Diag.errors diags <> [] then exit 1;
+            if Psc.Policy.stale tp ~host_cores then static_table () else tp
+        in
+        let policy =
+          if tune then
+            Some
+              (Psc.tune ?name ~sink ~fuse ~trim ~cores:host_cores t ~inputs:ins
+                 ~env:inputs)
+          else
+            match (policy_mode, policy_file) with
+            | `Off, None -> None
+            | `Static, _ -> Some (static_table ())
+            | (`Cached | `Off), Some f -> Some (load_table f)
+            | `Cached, None ->
+              Fmt.epr "psc run: --policy cached requires --policy-file FILE@.";
+              exit 2
+        in
         let exec pool =
           Psc.run ?name ~sink ~fuse ~trim ~collapse
-            ~use_windows:(not no_windows) ?pool t ~inputs:ins
+            ~use_windows:(not no_windows) ?pool ?policy t ~inputs:ins
         in
         (* The pool's per-worker table must be rendered before [with_pool]
            drains the counters into the registry on the way out. *)
@@ -454,7 +580,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Schedule and execute a module on the interpreter substrate.")
     Term.(const run $ file_arg $ module_arg $ sink_arg $ fuse_arg $ trim_arg
           $ collapse_arg $ inputs_arg $ par $ no_windows $ no_steal $ verify_arg
-          $ stats_flag $ metrics_json $ trace_arg)
+          $ stats_flag $ metrics_json $ policy_mode $ policy_file $ tune_flag
+          $ trace_arg)
 
 let eqn_cmd =
   let ps_only =
@@ -737,7 +864,7 @@ let serve_cmd =
        ~doc:
          "Run the compile service: a long-lived process answering \
           newline-delimited JSON requests (compile, schedule, run, emit-c, \
-          lint, stats, shutdown) with pipeline artifacts cached between \
+          lint, tune, stats, shutdown) with pipeline artifacts cached between \
           requests.  SIGTERM drains in-flight work instead of killing it.")
     Term.(const run $ socket_arg $ stdio_arg $ workers_arg $ par_arg
           $ cache_arg $ grace_arg $ trace_arg)
@@ -747,7 +874,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "psc" ~version:"1.0.0" ~doc)
     [ parse_cmd; check_cmd; lint_cmd; graph_cmd; schedule_cmd; transform_cmd;
-      emit_c_cmd; run_cmd; analyze_cmd; eqn_cmd; demo_cmd; trace_check_cmd;
-      fuzz_cmd; serve_cmd ]
+      emit_c_cmd; run_cmd; tune_cmd; analyze_cmd; eqn_cmd; demo_cmd;
+      trace_check_cmd; fuzz_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -38,6 +38,8 @@ type code =
   | Opaque_classifiable
   | Inspector_static
   | Sequential_doall
+  | Policy_stale
+  | Bad_policy
   | Bad_request
   | Deadline_exceeded
   | Server_draining
@@ -71,6 +73,8 @@ let code_id = function
   | Opaque_classifiable -> "W115"
   | Inspector_static -> "W116"
   | Sequential_doall -> "W120"
+  | Policy_stale -> "W121"
+  | Bad_policy -> "E025"
   (* E03x: the compile service (`psc serve`).  These are per-request
      diagnostics — a malformed or expired request is answered, never
      fatal to the server process. *)

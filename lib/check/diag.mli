@@ -63,6 +63,12 @@ type code =
   | Sequential_doall         (** W120: a scheduled DOALL's constant trip count
                                  is below the pool's wake threshold, so it
                                  runs effectively sequentially *)
+  | Policy_stale             (** W121: a cached scheduling-policy table was
+                                 tuned for a different host core count, so the
+                                 run fell back to the static cost model *)
+  | Bad_policy               (** E025: a scheduling-policy table is ill-formed
+                                 for this flowchart (unknown nest key, collapse
+                                 on an unmarked head, or bad chunk bounds) *)
   (* The compile service (E03x).  Per-request diagnostics from
      [psc serve]: the request is answered with the diagnostic, the
      server itself stays up. *)

@@ -529,6 +529,35 @@ let result (r : Schedule.result) =
     r.Schedule.r_flowchart
 
 (* ------------------------------------------------------------------ *)
+(* Scheduling-policy tables.
+
+   A policy is advisory shape, not legality: the interpreter only forks
+   nests the scheduler proved parallel and only flattens bands the
+   Collapse pass marked, whatever the table says.  So the check here is
+   structural well-formedness (E025) plus staleness (W121): a table
+   tuned for a different host core count carries chunk and wake numbers
+   that do not transfer, and the run falls back to the static model. *)
+
+let policy_table ?host_cores (tp : Ps_sched.Policy.table) (fc : Fc.t) :
+    Diag.t list =
+  let loc = Loc.dummy in
+  let bad =
+    List.map
+      (fun m -> Diag.diag Diag.Bad_policy loc "%s" m)
+      (Ps_sched.Policy.validate tp fc)
+  in
+  let stale =
+    match host_cores with
+    | Some cores when Ps_sched.Policy.stale tp ~host_cores:cores ->
+      [ Diag.diag Diag.Policy_stale loc
+          "policy table was tuned for %d cores but this host has %d; falling \
+           back to the static cost model"
+          tp.Ps_sched.Policy.t_host_cores cores ]
+    | _ -> []
+  in
+  Diag.sort (bad @ stale)
+
+(* ------------------------------------------------------------------ *)
 (* Hyperplane derivations (§4): the Lamport inequalities, edge by edge. *)
 
 let transform (tr : Ps_hyper.Transform.t) : Diag.t list =

@@ -48,3 +48,17 @@ val transform : Ps_hyper.Transform.t -> Ps_diag.Diag.t list
     Lamport dependence inequality strictly ([a . d >= 1] edge-by-edge),
     and the coordinate change must be unimodular with a consistent
     inverse (paper §4). *)
+
+val policy_table :
+  ?host_cores:int ->
+  Ps_sched.Policy.table ->
+  Ps_sched.Flowchart.t ->
+  Ps_diag.Diag.t list
+(** Verify a scheduling-policy table against the flowchart it will steer:
+    structural well-formedness (E025 — unknown nest key, collapse on an
+    unmarked band head, bad chunk bounds) plus, when [host_cores] is
+    given, staleness (W121 — the table was tuned for a different core
+    count).  Policies are advisory shape, never legality: the
+    interpreter ignores a flatten request on an unmarked band and only
+    forks nests the scheduler proved parallel, so these diagnostics
+    protect measurements, not results. *)

@@ -31,6 +31,8 @@ module Analysis = Ps_sched.Analysis
 module Fuse = Ps_sched.Fuse
 module Trim = Ps_sched.Trim
 module Collapse = Ps_sched.Collapse
+module Policy = Ps_sched.Policy
+module Costmodel = Ps_sched.Costmodel
 module Imatrix = Ps_hyper.Imatrix
 module Ineq = Ps_hyper.Ineq
 module Solve = Ps_hyper.Solve
@@ -219,18 +221,20 @@ let hyperplane ?name ~target t =
       ({ ast; prog; diagnostics }, tr))
 
 let emit_c ?name ?(sink = false) ?(fuse = false) ?(trim = false)
-    ?(collapse = false) t =
+    ?(collapse = false) ?policy t =
   wrap (fun () ->
       let em = the_module ?name t in
+      let collapse = collapse || policy <> None in
       let sc = schedule ~sink ~fuse ~trim ~collapse em in
-      Emit.emit_module ~windows:sc.sc_windows em sc.sc_flowchart)
+      Emit.emit_module ~windows:sc.sc_windows ?policy em sc.sc_flowchart)
 
 let emit_c_main ?name ?(sink = false) ?(fuse = false) ?(trim = false)
-    ?(collapse = false) ~scalars t =
+    ?(collapse = false) ?policy ~scalars t =
   wrap (fun () ->
       let em = the_module ?name t in
+      let collapse = collapse || policy <> None in
       let sc = schedule ~sink ~fuse ~trim ~collapse em in
-      Emit.emit_main ~windows:sc.sc_windows em sc.sc_flowchart ~scalars)
+      Emit.emit_main ~windows:sc.sc_windows ?policy em sc.sc_flowchart ~scalars)
 
 (* ------------------------------------------------------------------ *)
 (* Verification and lints *)
@@ -257,12 +261,17 @@ let lint t =
 
 let run ?name ?(sink = false) ?(fuse = false) ?(trim = false)
     ?(collapse = false) ?(use_windows = true) ?pool ?(check = true)
-    ?(stats = false) t ~inputs =
+    ?(stats = false) ?policy t ~inputs =
   wrap (fun () ->
       let em = the_module ?name t in
+      (* A policy decides collapse per nest, so bands are always marked
+         under one: an unmarked band could never flatten no matter what
+         the table asks, and marking alone changes nothing. *)
+      let collapse = collapse || policy <> None in
       let sc = schedule ~sink ~fuse ~trim ~collapse em in
       let opts =
         { Exec.default_opts with pool; check; use_windows; collect_stats = stats;
+          policy;
           sched_flags =
             { Exec.sf_sink = sink; sf_fuse = fuse; sf_trim = trim;
               sf_collapse = collapse } }
@@ -277,6 +286,130 @@ let work_span ?name ?(sink = false) ?(fuse = false) ?(trim = false) t ~env =
       let em = the_module ?name t in
       let sc = schedule ~sink ~fuse ~trim em in
       Analysis.of_flowchart ~env sc.sc_flowchart)
+
+(* ------------------------------------------------------------------ *)
+(* Per-nest scheduling policy *)
+
+(* The static cost model's table for a module under concrete scalar
+   inputs.  Bands are always collapse-marked first: the model decides
+   per nest whether flattening pays, and an unmarked band could not
+   flatten at all. *)
+let static_policy ?name ?(sink = false) ?(fuse = false) ?(trim = false)
+    ?overhead ?cores t ~env =
+  wrap (fun () ->
+      let em = the_module ?name t in
+      let sc = schedule ~sink ~fuse ~trim ~collapse:true em in
+      let cores =
+        match cores with Some c -> c | None -> Pool.recommended_size ()
+      in
+      Costmodel.static ?overhead ~env ~cores sc.sc_flowchart)
+
+(* Profile-guided tuning: replay the module under candidate per-nest
+   policies with the loop-level profiler on, and keep, per fork
+   candidate, the policy whose measured inclusive time is smallest.
+   The static model's own choice is one of the candidates, so a tuned
+   table never loses to it on the measured workload.  The result is
+   host-specific (its [t_host_cores] records for which pool width the
+   measurements were taken) and is meant to be cached as a compile
+   artifact keyed by source digest, module, flags, and host_cores. *)
+let tune ?name ?(sink = false) ?(fuse = false) ?(trim = false) ?cores
+    ?(reps = 2) t ~inputs ~env =
+  wrap (fun () ->
+      let em = the_module ?name t in
+      let sc = schedule ~sink ~fuse ~trim ~collapse:true em in
+      let fc = sc.sc_flowchart in
+      let cores =
+        match cores with Some c -> c | None -> Pool.recommended_size ()
+      in
+      let keyed = Policy.index fc in
+      let static_table = Costmodel.static ~env ~cores fc in
+      (* Uniform candidates apply one shape to every nest; collapse is
+         only requested where a band head is actually marked. *)
+      let uniform cname mk =
+        ( cname,
+          { Policy.t_source = Policy.Tuned; t_host_cores = cores;
+            t_entries = List.map (fun (l, k) -> (k, mk l)) keyed } )
+      in
+      let why = "tuned candidate" in
+      let candidates =
+        [ uniform "seq" (fun _ -> Policy.sequential ~why);
+          uniform "fixed" (fun _ -> Policy.parallel ~steal:false ~why ());
+          uniform "steal" (fun _ -> Policy.parallel ~steal:true ~why ());
+          uniform "steal+collapse" (fun (l : Flowchart.loop) ->
+              Policy.parallel ~steal:true ~collapse:l.Flowchart.lp_collapse
+                ~why ());
+          ("static", static_table) ]
+      in
+      let sched_flags =
+        { Exec.sf_sink = sink; sf_fuse = fuse; sf_trim = trim;
+          sf_collapse = true }
+      in
+      (* Inclusive ns per nest key for one candidate table, summed over
+         [reps] runs (each run compiles fresh prof sites; sites named by
+         policy key make the rows attributable). *)
+      let measure pool table =
+        Prof.set_enabled true;
+        for _ = 1 to reps do
+          ignore
+            (Exec.run
+               ~opts:
+                 { Exec.default_opts with pool = Some pool; check = false;
+                   policy = Some table; sched_flags }
+               ~flowchart:fc ~windows:sc.sc_windows ~prog:t.prog em ~inputs)
+        done;
+        let rows = Prof.rows () in
+        Prof.set_enabled false;
+        List.map
+          (fun ((l : Flowchart.loop), key) ->
+            let name = Flowchart.kind_name l.Flowchart.lp_kind ^ " " ^ key in
+            let ns =
+              List.fold_left
+                (fun acc (r : Prof.row) ->
+                  if r.Prof.r_kind = "loop" && String.equal r.Prof.r_name name
+                  then acc + r.Prof.r_ns
+                  else acc)
+                0 rows
+            in
+            (key, ns))
+          keyed
+      in
+      let measured =
+        Pool.with_pool ~steal:true (max 1 cores) (fun pool ->
+            List.map
+              (fun (cname, table) -> (cname, table, measure pool table))
+              candidates)
+      in
+      let entries =
+        List.map
+          (fun (_, key) ->
+            let best =
+              List.fold_left
+                (fun acc (cname, table, times) ->
+                  match (List.assoc_opt key times, Policy.find table key) with
+                  | Some ns, Some d -> (
+                    match acc with
+                    | Some (_, _, best_ns) when best_ns <= ns -> acc
+                    | _ -> Some (cname, d, ns))
+                  | _ -> acc)
+                None measured
+            in
+            match best with
+            | Some (cname, d, ns) ->
+              ( key,
+                { d with
+                  Policy.d_why =
+                    Printf.sprintf "tuned: %s won at %d ns over %d reps" cname
+                      ns reps } )
+            | None -> (
+              (* Never measured (e.g. the nest did not execute): keep
+                 the static model's call. *)
+              match Policy.find static_table key with
+              | Some d -> (key, d)
+              | None -> (key, Policy.sequential ~why:"tuned: unmeasured")))
+          keyed
+      in
+      { Policy.t_source = Policy.Tuned; t_host_cores = cores;
+        t_entries = entries })
 
 (* ------------------------------------------------------------------ *)
 (* Display helpers *)

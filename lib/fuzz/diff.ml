@@ -28,12 +28,14 @@ type path =
                   partition *)
   | Hyper      (* hyperplane-transformed module, sequential *)
   | Hyper_par  (* hyperplane-transformed, pooled + collapsed *)
+  | Auto       (* pooled, nests steered by the static cost model's
+                  per-loop policy table *)
   | Cc         (* emitted C, compiled and executed *)
   | Server     (* a `psc serve --stdio` subprocess, outputs over the wire *)
 
 let all_paths =
   [ Seq; Nowin; Nocheck; Passes; Steal; Collapse; Group; Inspector; Hyper;
-    Hyper_par; Cc; Server ]
+    Hyper_par; Auto; Cc; Server ]
 
 let path_name = function
   | Seq -> "seq"
@@ -46,6 +48,7 @@ let path_name = function
   | Inspector -> "inspector"
   | Hyper -> "hyper"
   | Hyper_par -> "hyper-par"
+  | Auto -> "auto"
   | Cc -> "c"
   | Server -> "server"
 
@@ -60,6 +63,7 @@ let path_of_name = function
   | "inspector" | "inspect" -> Some Inspector
   | "hyper" -> Some Hyper
   | "hyper-par" -> Some Hyper_par
+  | "auto" -> Some Auto
   | "c" | "cc" -> Some Cc
   | "server" -> Some Server
   | _ -> None
@@ -578,6 +582,16 @@ let run_path ~pool tp ~inputs ~scalars (p : path) : outcome =
       interp_outputs (fun () ->
           Psc.run ~name ~sink:true ~trim:true ~collapse:true ~pool tp' ~inputs)
     | exception Psc.Error m -> Trap m)
+  | Auto ->
+    (* The policy table steers chunking / stealing / flattening but must
+       never change results: compare bit for bit against the reference.
+       Sized to the fuzz pool so decisions actually fork here, whatever
+       the host looks like. *)
+    interp_outputs (fun () ->
+        let table =
+          Psc.static_policy ~cores:(Psc.Pool.size pool) tp ~env:scalars
+        in
+        Psc.run ~pool ~policy:table tp ~inputs)
   | Cc -> run_c tp ~scalars
   | Server -> run_server tp ~scalars
 

@@ -18,6 +18,9 @@ type path =
                    g: the runtime inspector re-derives the partition *)
   | Hyper      (** hyperplane-transformed module, sequential *)
   | Hyper_par  (** hyperplane-transformed, pooled + collapsed *)
+  | Auto       (** pooled, nests steered by the static cost model's
+                   per-loop policy table (must be bit-identical: policies
+                   change shape, never results) *)
   | Cc         (** emitted C, compiled and executed *)
   | Server     (** a `psc serve --stdio` subprocess, outputs over the wire *)
 

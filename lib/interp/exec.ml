@@ -55,11 +55,12 @@ type opts = {
   min_par : int;                    (* smallest trip count worth forking *)
   collect_stats : bool;             (* count equation evaluations *)
   sched_flags : sched_flags;        (* passes applied to callee schedules *)
+  policy : Ps_sched.Policy.table option;  (* per-nest schedule shapes *)
 }
 
 let default_opts =
   { pool = None; check = true; use_windows = true; min_par = 4;
-    collect_stats = false; sched_flags = no_sched_flags }
+    collect_stats = false; sched_flags = no_sched_flags; policy = None }
 
 type run_result = {
   outputs : (string * value) list;
@@ -76,7 +77,39 @@ type state = {
   st_windows : Ps_sched.Schedule.window list;
   st_slabs : (string, slab) Hashtbl.t;
   st_evals : int Atomic.t;
+  st_policy : (Ps_sched.Flowchart.loop * Ps_sched.Policy.decision) list;
+      (* The run's policy resolved against this flowchart's own loop
+         records: decisions are looked up by physical identity while
+         compiling, so key matching happens once per run, not per nest. *)
+  st_keys : (Ps_sched.Flowchart.loop * string) list;
+      (* Fork-candidate keys (only filled while profiling): loop prof
+         sites are named by policy key so the tuner can attribute a
+         measured time to the nest it is deciding. *)
 }
+
+let decision_of st (l : Ps_sched.Flowchart.loop) =
+  List.find_map
+    (fun (m, d) -> if m == l then Some d else None)
+    st.st_policy
+
+let par_allowed st l =
+  match decision_of st l with
+  | Some d -> d.Ps_sched.Policy.d_par
+  | None -> true
+
+(* The pool deal for one nest: [parallel_for] with the decision's
+   steal/chunk/wake overrides, or the pool defaults when the nest has no
+   policy entry. *)
+let policy_for st (l : Ps_sched.Flowchart.loop) =
+  match decision_of st l with
+  | None ->
+    fun pool ~lo ~hi body -> Ps_runtime.Pool.parallel_for pool ~lo ~hi body
+  | Some d ->
+    fun pool ~lo ~hi body ->
+      Ps_runtime.Pool.parallel_for ?chunk:d.Ps_sched.Policy.d_chunk_min
+        ~steal:d.Ps_sched.Policy.d_steal
+        ?chunk_max:d.Ps_sched.Policy.d_chunk_max ?wake:d.Ps_sched.Policy.d_wake
+        pool ~lo ~hi body
 
 (* ------------------------------------------------------------------ *)
 (* The schedule memo.
@@ -222,7 +255,9 @@ and call st fname (args : value list) : value list =
     in
     (* Nested module bodies run sequentially: the caller may already be
        inside a parallel region. *)
-    let opts = { st.st_opts with pool = None } in
+    (* Callees run sequentially inside the caller's iterations; a policy
+       is resolved against the caller's flowchart and does not follow. *)
+    let opts = { st.st_opts with pool = None; policy = None } in
     let r =
       run_flowchart ~opts ~prog:st.st_prog callee
         ~flowchart:sched.cs_flowchart ~windows:sched.cs_windows ~inputs
@@ -357,8 +392,14 @@ and compile_desc st benv ~par ~max_slot (d : Ps_sched.Flowchart.descriptor) :
           done
       | Ps_sched.Flowchart.Parallel -> (
         match st.st_opts.pool with
-        | Some pool when par -> compile_parallel_band st benv ~max_slot pool l
+        | Some pool when par && par_allowed st l ->
+          compile_parallel_band st benv ~max_slot pool l
         | _ ->
+          (* A policy that pins this nest sequential pins the whole nest:
+             inner parallel loops carry no key of their own (they were
+             supposed to run inside the workers), so letting them fork
+             here would make "seq" undecidable for the table. *)
+          let par = par && par_allowed st l in
           let body = compile_descs st benv' ~par ~max_slot l.Ps_sched.Flowchart.lp_body in
           fun fr ->
             let lo = lo_f fr and hi = hi_f fr in
@@ -395,11 +436,12 @@ and compile_grouped st benv' ~par ~max_slot ~slot ~lo_f ~hi_f
     (l : Ps_sched.Flowchart.loop) (g_f : Compile.frame -> int) :
     Compile.frame -> unit =
   match st.st_opts.pool with
-  | Some pool when par ->
+  | Some pool when par && par_allowed st l ->
     let body =
       compile_descs st benv' ~par:false ~max_slot l.Ps_sched.Flowchart.lp_body
     in
     let min_par = st.st_opts.min_par in
+    let pfor = policy_for st l in
     fun fr ->
       let g = g_f fr in
       let lo = lo_f fr and hi = hi_f fr in
@@ -409,7 +451,7 @@ and compile_grouped st benv' ~par ~max_slot ~slot ~lo_f ~hi_f
           body fr
         done
       else
-        Ps_runtime.Pool.parallel_for pool ~lo:0 ~hi:(g - 1) (fun clo chi ->
+        pfor pool ~lo:0 ~hi:(g - 1) (fun clo chi ->
             let fr' = Array.copy fr in
             for r = clo to chi do
               let v = ref (lo + r) in
@@ -420,6 +462,7 @@ and compile_grouped st benv' ~par ~max_slot ~slot ~lo_f ~hi_f
               done
             done)
   | _ ->
+    let par = par && par_allowed st l in
     let body =
       compile_descs st benv' ~par ~max_slot l.Ps_sched.Flowchart.lp_body
     in
@@ -450,9 +493,20 @@ and profile_loop st (l : Ps_sched.Flowchart.loop) (f : Compile.frame -> unit) :
     Compile.frame -> unit =
   if not (Prof.enabled ()) then f
   else begin
+    (* Fork candidates are named by their policy key ("DOALL K.I"), so
+       the tuner can attribute a measured inclusive time to the nest it
+       is deciding; other loops keep their own variable. *)
     let name =
       Ps_sched.Flowchart.kind_name l.Ps_sched.Flowchart.lp_kind
-      ^ " " ^ l.Ps_sched.Flowchart.lp_var
+      ^ " "
+      ^
+      match
+        List.find_map
+          (fun (m, k) -> if m == l then Some k else None)
+          st.st_keys
+      with
+      | Some key -> key
+      | None -> l.Ps_sched.Flowchart.lp_var
     in
     let site =
       Prof.register
@@ -491,6 +545,14 @@ and compile_parallel_band st benv ~max_slot pool (l : Ps_sched.Flowchart.loop) :
     Compile.frame -> unit =
   let open Ps_sched.Flowchart in
   let min_par = st.st_opts.min_par in
+  let pfor = policy_for st l in
+  (* A policy decision at the head governs the whole band: whether the
+     marked chain may flatten at all, and the shape of the deal. *)
+  let allow_collapse =
+    match decision_of st l with
+    | Some d -> d.Ps_sched.Policy.d_collapse
+    | None -> true
+  in
   (* The chain of perfectly nested DOALLs headed at [l]: loops marked by
      [Collapse] when [marked], any perfect DOALL nesting otherwise (used
      only to estimate the band's point count). *)
@@ -529,7 +591,7 @@ and compile_parallel_band st benv ~max_slot pool (l : Ps_sched.Flowchart.loop) :
       bl :: rect_prefix (bl.lp_var :: vars) rest
     | _ -> []
   in
-  let marked = chain ~marked:true l in
+  let marked = if allow_collapse then chain ~marked:true l else [ l ] in
   let band =
     match marked with
     | [] | [ _ ] -> `Single
@@ -572,7 +634,7 @@ and compile_parallel_band st benv ~max_slot pool (l : Ps_sched.Flowchart.loop) :
           body fr
         done
       else
-        Ps_runtime.Pool.parallel_for pool ~lo ~hi (fun clo chi ->
+        pfor pool ~lo ~hi (fun clo chi ->
             let fr' = Array.copy fr in
             for v = clo to chi do
               fr'.(slot) <- v;
@@ -626,8 +688,7 @@ and compile_parallel_band st benv ~max_slot pool (l : Ps_sched.Flowchart.loop) :
         in
         if total < min_par then run fr 0 (total - 1)
         else
-          Ps_runtime.Pool.parallel_for pool ~lo:0 ~hi:(total - 1)
-            (fun g_lo g_hi ->
+          pfor pool ~lo:0 ~hi:(total - 1) (fun g_lo g_hi ->
               let fr' = Array.copy fr in
               run fr' g_lo g_hi)
       end
@@ -681,8 +742,7 @@ and compile_parallel_band st benv ~max_slot pool (l : Ps_sched.Flowchart.loop) :
           in
           if total < min_par then run fr 0 (total - 1)
           else
-            Ps_runtime.Pool.parallel_for pool ~lo:0 ~hi:(total - 1)
-              (fun g_lo g_hi ->
+            pfor pool ~lo:0 ~hi:(total - 1) (fun g_lo g_hi ->
                 let fr' = Array.copy fr in
                 run fr' g_lo g_hi)
         end
@@ -861,7 +921,13 @@ and run_flowchart ~opts ~prog (em : Elab.emodule)
       st_opts = opts;
       st_windows = windows;
       st_slabs = Hashtbl.create 16;
-      st_evals = Atomic.make 0 }
+      st_evals = Atomic.make 0;
+      st_policy =
+        (match opts.policy with
+        | Some t -> Ps_sched.Policy.resolve t flowchart
+        | None -> []);
+      st_keys =
+        (if Prof.enabled () then Ps_sched.Policy.index flowchart else []) }
   in
   seed_inputs st inputs;
   (* Compile and execute each top-level descriptor in turn, so that data

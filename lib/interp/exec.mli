@@ -34,10 +34,16 @@ type opts = {
   min_par : int;                    (** smallest trip count worth forking *)
   collect_stats : bool;             (** count equation evaluations *)
   sched_flags : sched_flags;        (** passes applied to callee schedules *)
+  policy : Ps_sched.Policy.table option;
+      (** Per-nest schedule shapes; [None] keeps the pool-global
+          behavior.  A nest whose decision is [d_par = false] compiles
+          sequentially, collapse marks are flattened only where the
+          decision allows, and chunk/steal/wake overrides go to the pool
+          per job.  Policies never change results. *)
 }
 
 val default_opts : opts
-(** Sequential, checked, windowed, no statistics. *)
+(** Sequential, checked, windowed, no statistics, no policy. *)
 
 val sched_cache_stats : unit -> int * int
 (** [(entries, hits)] of the process-wide schedule memo. *)

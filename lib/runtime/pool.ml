@@ -313,7 +313,8 @@ let shutdown pool =
 
 let sequential_for lo hi body = if lo <= hi then body lo hi
 
-let parallel_for ?chunk pool ~lo ~hi (body : int -> int -> unit) =
+let parallel_for ?chunk ?steal ?chunk_max ?wake pool ~lo ~hi
+    (body : int -> int -> unit) =
   if lo > hi then ()
   else if hi = lo then body lo hi
   else if pool.p_size = 1 then body lo hi
@@ -323,6 +324,10 @@ let parallel_for ?chunk pool ~lo ~hi (body : int -> int -> unit) =
     body lo hi
   else begin
     let span = hi - lo + 1 in
+    (* Per-job overrides (a scheduling policy's choices for one nest);
+       the pool-wide configuration is only the default. *)
+    let stealing = match steal with Some s -> s | None -> pool.p_steal in
+    let wake_at = match wake with Some w -> w | None -> wake_threshold in
     (* Captured once per job: flipping the metrics flag mid-flight must
        not leave a half-counted job. *)
     let stats = Metrics.enabled () in
@@ -332,7 +337,7 @@ let parallel_for ?chunk pool ~lo ~hi (body : int -> int -> unit) =
     in
     let active = Atomic.make 0 in
     let job =
-      if pool.p_steal then begin
+      if stealing then begin
         (* One contiguous slice per worker — but never slices smaller
            than the grain; slice [i] owns [lo + i*len .. ...], the last
            slice takes the remainder. *)
@@ -355,7 +360,10 @@ let parallel_for ?chunk pool ~lo ~hi (body : int -> int -> unit) =
              more often than the fixed baseline does. *)
           j_min_chunk =
             (match chunk with Some c -> max 1 c | None -> max 1 (len / 8));
-          j_max_chunk = max slice_grain (len / 4);
+          j_max_chunk =
+            (match chunk_max with
+            | Some c -> max 1 c
+            | None -> max slice_grain (len / 4));
           j_fixed = 0;
           j_stats = stats;
           j_points = points;
@@ -388,7 +396,7 @@ let parallel_for ?chunk pool ~lo ~hi (body : int -> int -> unit) =
        mutex is only touched when somebody is actually parked. *)
     Atomic.set pool.p_job (Some job);
     Atomic.incr pool.p_epoch;
-    if span >= wake_threshold && Atomic.get pool.p_sleepers > 0 then begin
+    if span >= wake_at && Atomic.get pool.p_sleepers > 0 then begin
       Mutex.lock pool.p_mutex;
       Condition.broadcast pool.p_wake;
       Mutex.unlock pool.p_mutex

@@ -30,14 +30,29 @@ val with_pool : ?steal:bool -> int -> (t -> 'a) -> 'a
 (** Run with a temporary pool, shutting it down on exit (also on
     exceptions). *)
 
-val parallel_for : ?chunk:int -> t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+val parallel_for :
+  ?chunk:int ->
+  ?steal:bool ->
+  ?chunk_max:int ->
+  ?wake:int ->
+  t ->
+  lo:int ->
+  hi:int ->
+  (int -> int -> unit) ->
+  unit
 (** [parallel_for pool ~lo ~hi body] runs [body a b] over disjoint chunks
     covering [lo..hi] (inclusive), concurrently.  Empty ranges do
     nothing.  A re-entrant call from inside a running job executes
     inline.  If bodies raise, the remaining iterations are drained
     without executing and the first exception is re-raised at the
     caller.  [chunk] sets the minimum claim size (stealing mode) or the
-    fixed chunk size (baseline mode); at least 1. *)
+    fixed chunk size (baseline mode); at least 1.
+
+    The remaining optionals are per-job overrides for a scheduling
+    policy's choices on one nest, defaulting to the pool-wide
+    configuration: [steal] picks the scheduler for this job only,
+    [chunk_max] caps a guided claim, and [wake] replaces
+    {!wake_threshold} for this job's parked-worker broadcast. *)
 
 val sequential_for : int -> int -> (int -> int -> unit) -> unit
 (** [sequential_for lo hi body] is [body lo hi] when the range is

@@ -11,6 +11,11 @@ exception Unsupported of string
 (** A loop bound could not be evaluated (unbound variable, or a shape
     other than linear / min / max). *)
 
+val eval_bound : (string -> int option) -> Ps_lang.Ast.expr -> int
+(** Evaluate a loop bound (a linear form, or min/max of such) under an
+    environment of input values and enclosing loop variables.
+    @raise Unsupported otherwise. *)
+
 type cost = { work : float; span : float }
 
 val zero : cost

@@ -18,6 +18,7 @@ type artifact =
   | A_project of Psc.t
   | A_sched of Psc.scheduled
   | A_emit of string  (* generated C text *)
+  | A_policy of Psc.Policy.table  (* tuned per-nest scheduling policies *)
 
 type entry = { e_art : artifact; mutable e_tick : int }
 
@@ -57,6 +58,16 @@ let emit_key ~src ~module_ ~flags ~main =
     (match module_ with Some m -> m | None -> "")
     (Psc.Exec.flags_fingerprint flags)
     (if main then "main" else "mod")
+
+(* Tuned policy tables additionally depend on the host that measured
+   them: a table tuned on a 16-core box is advice, not ground truth, on
+   a 2-core one, so it gets its own slot and the reader decides whether
+   to trust it (see W121). *)
+let policy_key ~src ~module_ ~flags ~host_cores =
+  Printf.sprintf "T:%s:%s:%s:%d" (digest src)
+    (match module_ with Some m -> m | None -> "")
+    (Psc.Exec.flags_fingerprint flags)
+    host_cores
 
 let locked t f =
   Mutex.lock t.c_mutex;
@@ -104,6 +115,18 @@ let find_or_build t key build =
           Hashtbl.add t.c_table key { e_art = art; e_tick = t.c_tick }
         end);
     (art, false)
+
+(* [peek t key] looks up without building and without touching the
+   hit/miss counters: the caller treats absence as "no opinion", not a
+   miss worth recording (Run probing for a tuned policy table). *)
+let peek t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.c_table key with
+      | Some e ->
+        t.c_tick <- t.c_tick + 1;
+        e.e_tick <- t.c_tick;
+        Some e.e_art
+      | None -> None)
 
 type stats = { st_entries : int; st_hits : int; st_misses : int; st_evictions : int }
 

@@ -11,6 +11,8 @@ type artifact =
   | A_project of Psc.t          (** a loaded + elaborated source *)
   | A_sched of Psc.scheduled    (** a scheduled module *)
   | A_emit of string            (** generated C text *)
+  | A_policy of Psc.Policy.table
+      (** a tuned per-nest scheduling-policy table *)
 
 type t
 
@@ -36,6 +38,16 @@ val emit_key :
   main:bool ->
   string
 
+val policy_key :
+  src:string ->
+  module_:string option ->
+  flags:Psc.Exec.sched_flags ->
+  host_cores:int ->
+  string
+(** Tuned policy tables are additionally keyed by the core count of the
+    host that measured them; a [Run] only trusts a table whose
+    [host_cores] matches (otherwise W121 + static fallback). *)
+
 val find_or_build : t -> string -> (unit -> artifact) -> artifact * bool
 (** [find_or_build t key build] returns the artifact and whether it came
     from the store.  A hit stamps the entry most-recently-used; a miss
@@ -43,6 +55,11 @@ val find_or_build : t -> string -> (unit -> artifact) -> artifact * bool
     stalest entries while over capacity.  Two racing builds of the same
     key waste one build and keep the first inserted value.  [build] may
     raise; nothing is inserted then. *)
+
+val peek : t -> string -> artifact option
+(** Look up without building and without touching the hit/miss
+    counters — for callers that treat absence as "no opinion" rather
+    than a miss (e.g. [Run] probing for a tuned policy table). *)
 
 type stats = {
   st_entries : int;

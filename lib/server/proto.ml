@@ -10,7 +10,7 @@
 
 module Json = Psc.Trace.Json
 
-type op = Compile | Schedule | Run | Emit_c | Lint | Stats | Shutdown
+type op = Compile | Schedule | Run | Emit_c | Lint | Tune | Stats | Shutdown
 
 let op_name = function
   | Compile -> "compile"
@@ -18,6 +18,7 @@ let op_name = function
   | Run -> "run"
   | Emit_c -> "emit-c"
   | Lint -> "lint"
+  | Tune -> "tune"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
 
@@ -27,6 +28,7 @@ let op_of_name = function
   | "run" -> Some Run
   | "emit-c" -> Some Emit_c
   | "lint" -> Some Lint
+  | "tune" -> Some Tune
   | "stats" -> Some Stats
   | "shutdown" -> Some Shutdown
   | _ -> None

@@ -8,11 +8,11 @@
     the server computed — the differential fuzzer's server path depends
     on this round trip being bit-exact. *)
 
-type op = Compile | Schedule | Run | Emit_c | Lint | Stats | Shutdown
+type op = Compile | Schedule | Run | Emit_c | Lint | Tune | Stats | Shutdown
 
 val op_name : op -> string
 (** The wire name: ["compile"], ["schedule"], ["run"], ["emit-c"],
-    ["lint"], ["stats"], ["shutdown"]. *)
+    ["lint"], ["tune"], ["stats"], ["shutdown"]. *)
 
 val op_of_name : string -> op option
 

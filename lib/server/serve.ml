@@ -129,6 +129,45 @@ let emitted sv ~deadline src (rq : Proto.request) =
   | Cache.A_emit c, hit -> (c, hit)
   | _ -> assert false
 
+(* Tuned policy tables are measured once per (source, module, flags,
+   host core count) and then served from the artifact cache like any
+   other build product.  [Run] only *peeks*: absence of a table is not
+   a miss, it just means the static model (or nothing) steers the
+   nests. *)
+let tuned sv ~deadline src (rq : Proto.request) =
+  let t, _ = project sv ~deadline src in
+  check_deadline deadline;
+  let host_cores = Psc.Pool.recommended_size () in
+  let key =
+    Cache.policy_key ~src ~module_:rq.Proto.rq_module ~flags:rq.Proto.rq_flags
+      ~host_cores
+  in
+  match
+    Cache.find_or_build sv.sv_cache key (fun () ->
+        let f = rq.Proto.rq_flags in
+        let em = Psc.the_module ?name:rq.Proto.rq_module t in
+        let inputs =
+          Ps_fuzz.Diff.default_inputs em ~scalars:rq.Proto.rq_scalars
+        in
+        Cache.A_policy
+          (Psc.tune ?name:rq.Proto.rq_module ~sink:f.Psc.Exec.sf_sink
+             ~fuse:f.Psc.Exec.sf_fuse ~trim:f.Psc.Exec.sf_trim
+             ~cores:host_cores t ~inputs ~env:rq.Proto.rq_scalars))
+  with
+  | Cache.A_policy tp, hit -> (tp, hit)
+  | _ -> assert false
+
+let cached_policy sv src (rq : Proto.request) =
+  let host_cores = Psc.Pool.recommended_size () in
+  let key =
+    Cache.policy_key ~src ~module_:rq.Proto.rq_module ~flags:rq.Proto.rq_flags
+      ~host_cores
+  in
+  match Cache.peek sv.sv_cache key with
+  | Some (Cache.A_policy tp) ->
+    if Psc.Policy.stale tp ~host_cores then None else Some tp
+  | Some _ | None -> None
+
 (* ------------------------------------------------------------------ *)
 (* Operations *)
 
@@ -170,22 +209,34 @@ let dispatch sv ~deadline (rq : Proto.request) : string =
     check_deadline deadline;
     let em = sc.Psc.sc_module in
     let inputs = Ps_fuzz.Diff.default_inputs em ~scalars:rq.Proto.rq_scalars in
+    (* A tuned policy table cached by a prior [tune] of the same
+       (source, module, flags) steers this run's nests; its absence is
+       not a miss.  The staleness guard is belt-and-braces — the cache
+       key already pins the core count. *)
+    let policy = cached_policy sv src rq in
     let opts =
       { Psc.Exec.default_opts with
         pool = sv.sv_pool;
-        sched_flags = rq.Proto.rq_flags }
+        sched_flags = rq.Proto.rq_flags;
+        policy }
     in
     let r =
       Psc.Exec.run ~opts ~flowchart:sc.Psc.sc_flowchart
         ~windows:sc.Psc.sc_windows ~prog:t.Psc.prog em ~inputs
     in
+    let policy_field =
+      match policy with
+      | Some tp -> [ ("policy", Proto.jstr (Psc.Policy.table_summary tp)) ]
+      | None -> []
+    in
     Proto.ok_response ~id ~cached:hit
-      [ ("outputs", Proto.jarr (List.map Proto.output_json r.Psc.Exec.outputs));
-        ("allocated",
-         Proto.jobj
-           (List.map
-              (fun (n, w) -> (n, Proto.jint w))
-              r.Psc.Exec.allocated)) ]
+      ([ ("outputs", Proto.jarr (List.map Proto.output_json r.Psc.Exec.outputs));
+         ("allocated",
+          Proto.jobj
+            (List.map
+               (fun (n, w) -> (n, Proto.jint w))
+               r.Psc.Exec.allocated)) ]
+      @ policy_field)
   | Proto.Emit_c ->
     let src = request_source rq in
     let c, hit = emitted sv ~deadline src rq in
@@ -200,6 +251,12 @@ let dispatch sv ~deadline (rq : Proto.request) : string =
     Proto.ok_response ~id ~cached:false
       [ ("diagnostics", Psc.Diag.render Psc.Diag.Json diags);
         ("summary", Proto.jstr (Psc.Diag.summary diags)) ]
+  | Proto.Tune ->
+    let src = request_source rq in
+    let tp, hit = tuned sv ~deadline src rq in
+    Proto.ok_response ~id ~cached:hit
+      [ ("policy", Psc.Policy.to_json tp);
+        ("summary", Proto.jstr (Psc.Policy.table_summary tp)) ]
   | Proto.Stats ->
     let s = Cache.stats sv.sv_cache in
     Proto.ok_response ~id ~cached:false
