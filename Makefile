@@ -1,11 +1,11 @@
-.PHONY: all build test fuzz-smoke serve-smoke tune-smoke promote bench-quick fmt lint-examples lint-distance trace-demo clean
+.PHONY: all build test fuzz-smoke serve-smoke tune-smoke promote bench-quick bench-serve bench-serve-quick fmt lint-examples lint-distance trace-demo clean
 
 all: build
 
 build:
 	dune build
 
-test: fuzz-smoke serve-smoke lint-distance tune-smoke
+test: fuzz-smoke serve-smoke lint-distance tune-smoke bench-serve-quick
 	dune runtest
 
 # Bounded differential fuzzing pass: every generated module must agree
@@ -41,6 +41,17 @@ promote: build
 # Quick benchmark sweep; writes BENCH_runtime.json (the perf trajectory).
 bench-quick: build
 	dune exec bench/main.exe -- --quick --json
+
+# The server load gate: drive a spawned `psc serve --socket` with
+# concurrent clients over cache-hit and cache-miss workloads; writes
+# BENCH_server.json, whose schema test_bench_server.ml asserts.  The
+# quick variant (1/8/32 clients, few requests) is part of `make test`
+# and of `dune runtest`; the full sweep goes to 1024 clients.
+bench-serve: build
+	dune exec bench/main.exe -- serve
+
+bench-serve-quick: build
+	dune exec bench/main.exe -- serve --quick
 
 # Check dune-file formatting (no ocamlformat in the toolchain, so OCaml
 # sources are exempt).  `make fmt-fix` rewrites in place.

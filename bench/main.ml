@@ -31,6 +31,10 @@ let quick = Array.exists (fun a -> a = "--quick") Sys.argv
    text report; the JSON file records the A/B experiments). *)
 let json_mode = Array.exists (fun a -> a = "--json") Sys.argv
 
+(* serve: the compile-service load gate (Serve_bench) instead of the
+   paper experiments; writes BENCH_server.json. *)
+let serve_mode = Array.exists (fun a -> a = "serve") Sys.argv
+
 (* ------------------------------------------------------------------ *)
 (* Shared setup *)
 
@@ -550,8 +554,11 @@ let part3 () =
     tests
 
 let () =
-  part1 ();
-  part2 ();
-  part2b ();
-  if json_mode then write_json "BENCH_runtime.json" else part3 ();
-  Fmt.pr "@.All paper artifacts regenerated and checked.@."
+  if serve_mode then Serve_bench.run ~quick
+  else begin
+    part1 ();
+    part2 ();
+    part2b ();
+    if json_mode then write_json "BENCH_runtime.json" else part3 ();
+    Fmt.pr "@.All paper artifacts regenerated and checked.@."
+  end

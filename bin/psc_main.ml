@@ -664,31 +664,59 @@ let demo_cmd =
     Term.(const run $ const ())
 
 let trace_check_cmd =
-  let run file =
+  let files_arg =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"Chrome trace-event files.  With several, they are merged \
+                onto one timeline (aligned by each file's recorded \
+                otherData.epoch_us) before validation.")
+  in
+  let merged_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "merged-out" ] ~docv:"FILE"
+          ~doc:"Write the merged timeline to $(docv) as a Chrome \
+                trace-event file (loads in Perfetto).")
+  in
+  let run files merged_out =
     handle (fun () ->
-        let text = read_source file in
-        match Psc.Trace.parse_chrome text with
-        | exception Psc.Trace.Invalid_trace m ->
+        let parsed =
+          List.map
+            (fun file ->
+              match Psc.Trace.parse_chrome_file (read_source file) with
+              | exception Psc.Trace.Invalid_trace m ->
+                Fmt.epr "psc: invalid trace %s: %s@." file m;
+                exit 1
+              | f -> f)
+            files
+        in
+        let events = Psc.Trace.merge parsed in
+        (match merged_out with
+         | Some out -> Psc.Trace.write_events out events
+         | None -> ());
+        match Psc.Trace.validate events with
+        | Ok () ->
+          let uniq f = List.length (List.sort_uniq compare (List.map f events)) in
+          Fmt.pr "trace ok: %d events, %d processes, %d threads@."
+            (List.length events)
+            (uniq (fun e -> e.Psc.Trace.ev_pid))
+            (uniq (fun e -> (e.Psc.Trace.ev_pid, e.Psc.Trace.ev_tid)))
+        | Error m ->
           Fmt.epr "psc: invalid trace: %s@." m;
-          exit 1
-        | events -> (
-          match Psc.Trace.validate events with
-          | Ok () ->
-            Fmt.pr "trace ok: %d events, %d threads@." (List.length events)
-              (List.length
-                 (List.sort_uniq compare
-                    (List.map (fun e -> e.Psc.Trace.ev_tid) events)))
-          | Error m ->
-            Fmt.epr "psc: invalid trace: %s@." m;
-            exit 1))
+          exit 1)
   in
   Cmd.v
     (Cmd.info "trace-check"
        ~doc:
-         "Validate a Chrome trace-event file produced by --trace: every B \
-          span is closed by a matching E and timestamps are monotone per \
-          thread.")
-    Term.(const run $ file_arg)
+         "Validate Chrome trace-event files produced by --trace: every B \
+          span is closed by a matching E, timestamps are monotone per \
+          (process, thread), and no span id is claimed twice.  Several \
+          files — e.g. a client's and a server's trace of the same \
+          requests — are merged onto one timeline first.")
+    Term.(const run $ files_arg $ merged_out_arg)
 
 (* Differential fuzzing: generate random well-typed modules, run them
    through every execution path, compare element-wise; minimize and
@@ -840,7 +868,36 @@ let serve_cmd =
           ~doc:"When draining, wait up to $(docv) for connected clients \
                 to disconnect after their in-flight requests finish.")
   in
-  let run socket stdio workers par cache grace trace =
+  let access_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:"Write one structured JSON line per request to $(docv): op, \
+                source digest, cache hit/miss, queue wait, handler time, \
+                response bytes, deadline margin, error code.  Rejected \
+                requests (E030/E032) are logged too.")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:"Capture the span subtree of any request slower than $(docv) \
+                into a bounded in-memory ring, reported by the stats op \
+                under 'slow'.")
+  in
+  let metrics_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Dump the final metrics registry to $(docv) as JSON on clean \
+                shutdown (including a SIGTERM drain), mirroring run \
+                --metrics-json.")
+  in
+  let run socket stdio workers par cache grace access_log slow_ms metrics_json
+      trace =
     handle (fun () ->
         with_trace trace @@ fun () ->
         let cf =
@@ -848,7 +905,10 @@ let serve_cmd =
             cf_workers = workers;
             cf_pool = par;
             cf_cache = cache;
-            cf_grace_ms = grace }
+            cf_grace_ms = grace;
+            cf_access_log = access_log;
+            cf_slow_ms = slow_ms;
+            cf_metrics_json = metrics_json }
         in
         match (socket, stdio) with
         | None, false ->
@@ -867,7 +927,8 @@ let serve_cmd =
           lint, tune, stats, shutdown) with pipeline artifacts cached between \
           requests.  SIGTERM drains in-flight work instead of killing it.")
     Term.(const run $ socket_arg $ stdio_arg $ workers_arg $ par_arg
-          $ cache_arg $ grace_arg $ trace_arg)
+          $ cache_arg $ grace_arg $ access_log_arg $ slow_ms_arg
+          $ metrics_json_arg $ trace_arg)
 
 let main_cmd =
   let doc = "compiler for the PS nonprocedural dataflow language" in

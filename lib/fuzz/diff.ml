@@ -522,6 +522,11 @@ let value_of_json (j : Json.t) : string * Psc.Value.value =
      | k -> raise (Unsupported_output (name ^ ": array elem " ^ k)))
   | _ -> raise (Unsupported_output name)
 
+(* Each request carries a fresh trace_id; the protocol promises every
+   reply echoes it, so a reply without it is a failure in its own
+   right, not just a missing nicety. *)
+let server_trace_seq = ref 0
+
 let run_server tp ~scalars : outcome =
   Mutex.lock server_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock server_mutex) @@ fun () ->
@@ -529,9 +534,12 @@ let run_server tp ~scalars : outcome =
   | None -> Skip "psc executable not found"
   | Some (ic, oc) -> (
     let src = Psc.Pretty.program_to_string tp.Psc.ast in
+    incr server_trace_seq;
+    let trace_id = Printf.sprintf "fz%d" !server_trace_seq in
     let req =
-      Printf.sprintf "{\"id\":0,\"op\":\"run\",\"source\":\"%s\",\"scalars\":{%s}}"
-        (json_escape src)
+      Printf.sprintf
+        "{\"id\":0,\"op\":\"run\",\"trace_id\":\"%s\",\"source\":\"%s\",\"scalars\":{%s}}"
+        trace_id (json_escape src)
         (String.concat ","
            (List.map (fun (n, v) -> Printf.sprintf "\"%s\":%d" (json_escape n) v) scalars))
     in
@@ -547,6 +555,9 @@ let run_server tp ~scalars : outcome =
     | line -> (
       match Json.parse line with
       | exception Json.Parse_error m -> Trap ("server: bad response: " ^ m)
+      | resp when Json.member "trace_id" resp <> Some (Json.Str trace_id) ->
+        Trap
+          (Printf.sprintf "server: reply did not echo trace_id %S" trace_id)
       | resp -> (
         match Json.member "ok" resp with
         | Some (Json.Bool true) -> (

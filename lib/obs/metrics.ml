@@ -36,7 +36,23 @@ type histogram = {
   h_max : int Atomic.t;
 }
 
-type metric = C of counter | G of gauge | H of histogram
+(* A mergeable quantile sketch: a *windowed* log2 histogram.  The
+   window's buckets answer p50/p90/p99 with one-bucket resolution
+   (relative error < 2x, plenty for latency SLOs), [sk_rotate] starts a
+   fresh window while the all-time count/sum keep accumulating, and
+   [sk_merge_into] folds one sketch into another bucket-wise — the
+   property that lets per-op sketches roll up into an end-to-end one,
+   or per-process sketches into a fleet view. *)
+type sketch = {
+  q_name : string;
+  q_window : int Atomic.t array;  (* current window, log2 buckets *)
+  q_wcount : int Atomic.t;        (* window sample count *)
+  q_wmax : int Atomic.t;          (* window max, exact *)
+  q_count : int Atomic.t;         (* all-time *)
+  q_sum : int Atomic.t;
+}
+
+type metric = C of counter | G of gauge | H of histogram | Q of sketch
 
 let mutex = Mutex.create ()
 
@@ -86,6 +102,20 @@ let histogram name =
       (H h, h))
     (function H h -> Some h | _ -> None)
 
+let sketch name =
+  get_or_create name
+    (fun () ->
+      let q =
+        { q_name = name;
+          q_window = Array.init nbuckets (fun _ -> Atomic.make 0);
+          q_wcount = Atomic.make 0;
+          q_wmax = Atomic.make 0;
+          q_count = Atomic.make 0;
+          q_sum = Atomic.make 0 }
+      in
+      (Q q, q))
+    (function Q q -> Some q | _ -> None)
+
 let incr c = ignore (Atomic.fetch_and_add c.c_v 1)
 
 let add c n = ignore (Atomic.fetch_and_add c.c_v n)
@@ -119,6 +149,70 @@ let observe h v =
   update_min h.h_min v;
   update_max h.h_max v
 
+let sk_observe q v =
+  let v = max 0 v in
+  ignore (Atomic.fetch_and_add q.q_window.(bucket_of v) 1);
+  ignore (Atomic.fetch_and_add q.q_wcount 1);
+  update_max q.q_wmax v;
+  ignore (Atomic.fetch_and_add q.q_count 1);
+  ignore (Atomic.fetch_and_add q.q_sum v)
+
+let sk_rotate q =
+  Array.iter (fun b -> Atomic.set b 0) q.q_window;
+  Atomic.set q.q_wcount 0;
+  Atomic.set q.q_wmax 0
+
+let sk_merge_into ~into src =
+  Array.iteri
+    (fun i b ->
+      let n = Atomic.get b in
+      if n > 0 then ignore (Atomic.fetch_and_add into.q_window.(i) n))
+    src.q_window;
+  ignore (Atomic.fetch_and_add into.q_wcount (Atomic.get src.q_wcount));
+  update_max into.q_wmax (Atomic.get src.q_wmax);
+  ignore (Atomic.fetch_and_add into.q_count (Atomic.get src.q_count));
+  ignore (Atomic.fetch_and_add into.q_sum (Atomic.get src.q_sum))
+
+type quantiles = {
+  qs_count : int;
+  qs_p50 : int;
+  qs_p90 : int;
+  qs_p99 : int;
+  qs_max : int;
+}
+
+(* One coherent pass over a point-in-time copy of the window.  A
+   quantile estimate is the upper bound of the bucket holding the
+   ceil(q * count)-th sample (bucket i covers [2^i, 2^(i+1)), bucket 0
+   covers 0..1), clamped to the exact window max — which both tightens
+   the top bucket and makes p50 <= p90 <= p99 <= max hold by
+   construction. *)
+let sk_quantiles q =
+  let window = Array.map Atomic.get q.q_window in
+  let total = Array.fold_left ( + ) 0 window in
+  let wmax = Atomic.get q.q_wmax in
+  if total = 0 then { qs_count = 0; qs_p50 = 0; qs_p90 = 0; qs_p99 = 0; qs_max = 0 }
+  else begin
+    let at quantile =
+      let rank = max 1 (int_of_float (ceil (quantile *. float_of_int total))) in
+      let rec walk i cum =
+        if i >= nbuckets then wmax
+        else
+          let cum = cum + window.(i) in
+          if cum >= rank then
+            let upper = if i = 0 then 1 else (1 lsl (i + 1)) - 1 in
+            min upper wmax
+          else walk (i + 1) cum
+      in
+      walk 0 0
+    in
+    { qs_count = total;
+      qs_p50 = at 0.50;
+      qs_p90 = at 0.90;
+      qs_p99 = at 0.99;
+      qs_max = wmax }
+  end
+
 type histogram_snapshot = {
   hs_count : int;
   hs_sum : int;
@@ -148,14 +242,25 @@ let reset () =
             Atomic.set h.h_count 0;
             Atomic.set h.h_sum 0;
             Atomic.set h.h_min max_int;
-            Atomic.set h.h_max 0)
+            Atomic.set h.h_max 0
+          | Q q ->
+            Array.iter (fun b -> Atomic.set b 0) q.q_window;
+            Atomic.set q.q_wcount 0;
+            Atomic.set q.q_wmax 0;
+            Atomic.set q.q_count 0;
+            Atomic.set q.q_sum 0)
         registry)
 
 let clear () = with_registry (fun () -> Hashtbl.reset registry)
 
 let sorted_metrics () =
   let all = with_registry (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) registry []) in
-  let name = function C c -> c.c_name | G g -> g.g_name | H h -> h.h_name in
+  let name = function
+    | C c -> c.c_name
+    | G g -> g.g_name
+    | H h -> h.h_name
+    | Q q -> q.q_name
+  in
   List.sort (fun a b -> String.compare (name a) (name b)) all
 
 let find name = with_registry (fun () -> Hashtbl.find_opt registry name)
@@ -177,7 +282,13 @@ let render_text () =
         let s = snapshot h in
         Buffer.add_string b
           (Printf.sprintf "%-32s count=%d sum=%d min=%d max=%d mean=%.1f\n"
-             h.h_name s.hs_count s.hs_sum s.hs_min s.hs_max s.hs_mean))
+             h.h_name s.hs_count s.hs_sum s.hs_min s.hs_max s.hs_mean)
+      | Q q ->
+        let s = sk_quantiles q in
+        Buffer.add_string b
+          (Printf.sprintf "%-32s count=%d p50=%d p90=%d p99=%d max=%d total=%d\n"
+             q.q_name s.qs_count s.qs_p50 s.qs_p90 s.qs_p99 s.qs_max
+             (Atomic.get q.q_count)))
     (sorted_metrics ());
   Buffer.contents b
 
@@ -208,6 +319,12 @@ let render_json () =
       Printf.sprintf
         "{\"name\":\"%s\",\"kind\":\"histogram\",\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"mean\":%.3f}"
         (json_escape h.h_name) s.hs_count s.hs_sum s.hs_min s.hs_max s.hs_mean
+    | Q q ->
+      let s = sk_quantiles q in
+      Printf.sprintf
+        "{\"name\":\"%s\",\"kind\":\"sketch\",\"count\":%d,\"p50\":%d,\"p90\":%d,\"p99\":%d,\"max\":%d,\"total\":%d}"
+        (json_escape q.q_name) s.qs_count s.qs_p50 s.qs_p90 s.qs_p99 s.qs_max
+        (Atomic.get q.q_count)
   in
   "[" ^ String.concat "," (List.map row (sorted_metrics ())) ^ "]"
 

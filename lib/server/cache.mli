@@ -26,6 +26,10 @@ val create : ?capacity:int -> unit -> t
     One letter per artifact kind, then the content digest, then the
     discriminating context. *)
 
+val digest : string -> string
+(** The hex MD5 content digest that prefixes every key — also what the
+    access log reports as a request's ["digest"] field. *)
+
 val project_key : src:string -> string
 
 val sched_key :

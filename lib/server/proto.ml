@@ -44,6 +44,8 @@ type request = {
   rq_scalars : (string * int) list;
   rq_deadline_ms : int option;
   rq_main : bool;  (* emit-c: also emit the main() harness *)
+  rq_trace_id : string option;  (* trace context, echoed in the response *)
+  rq_parent_span : string option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -162,7 +164,9 @@ let parse_request (line : string) : (request, string * string) result =
             rq_flags = flags;
             rq_scalars = scalars;
             rq_deadline_ms = deadline_ms;
-            rq_main = main })
+            rq_main = main;
+            rq_trace_id = str_member "trace_id";
+            rq_parent_span = str_member "parent_span" })
     | Some _ -> Error (id, "field op must be a string"))
   | _ -> Error ("null", "request must be a JSON object")
 
@@ -266,3 +270,17 @@ let error_response ~id (diags : Psc.Diag.t list) =
 
 let error_message ~id msg =
   jobj [ ("id", id); ("ok", jbool false); ("error", jstr msg) ]
+
+(* Stamp the client's trace context onto an already-rendered response
+   line.  Every reply — success, diagnostic failure, deadline, even an
+   E030 for a line that parsed far enough to carry an id — must echo
+   the request's trace_id, so this runs as a post-pass rather than in
+   each response builder. *)
+let with_trace_id ~trace_id response =
+  match trace_id with
+  | None -> response
+  | Some tid ->
+    if String.length response > 0 && response.[0] = '{' then
+      "{" ^ jstr "trace_id" ^ ":" ^ jstr tid ^ ","
+      ^ String.sub response 1 (String.length response - 1)
+    else response

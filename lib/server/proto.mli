@@ -29,6 +29,8 @@ type request = {
   rq_scalars : (string * int) list;(** integer inputs for [run] / [emit-c --main] *)
   rq_deadline_ms : int option;     (** per-request budget *)
   rq_main : bool;                  (** emit-c: also emit the main() harness *)
+  rq_trace_id : string option;     (** the ["trace_id"] member, echoed in every reply *)
+  rq_parent_span : string option;  (** client span id the server's request span is a child of *)
 }
 
 val parse_request : string -> (request, string * string) result
@@ -65,3 +67,9 @@ val error_response : id:string -> Psc.Diag.t list -> string
 val error_message : id:string -> string -> string
 (** A failed request with a bare ["error"] string (compile and runtime
     errors that carry no diagnostic object). *)
+
+val with_trace_id : trace_id:string option -> string -> string
+(** Stamp the request's trace context onto an already-rendered response
+    line: with [Some tid] the object gains a leading ["trace_id"] member;
+    with [None] the line is returned unchanged.  Runs as a post-pass so
+    every reply shape — ok, diagnostics, deadline, E030 — echoes it. *)

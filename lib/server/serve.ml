@@ -21,34 +21,89 @@ type config = {
   cf_pool : int;              (* domain pool size; 0 = sequential *)
   cf_cache : int;             (* artifact cache capacity *)
   cf_grace_ms : int;          (* drain: wait this long for clients to leave *)
+  cf_access_log : string option;  (* one JSON line per request *)
+  cf_slow_ms : int option;    (* capture span subtrees of slower requests *)
+  cf_metrics_json : string option;  (* dump the registry on clean shutdown *)
 }
 
 let default_config =
   { cf_socket = None; cf_workers = 4; cf_pool = 0; cf_cache = 64;
-    cf_grace_ms = 5000 }
+    cf_grace_ms = 5000; cf_access_log = None; cf_slow_ms = None;
+    cf_metrics_json = None }
+
+(* A captured slow request: enough to name the straggler (id, op, the
+   client's trace id) and say where the time went (the span subtree
+   recorded on the handling thread, folded to durations). *)
+type slow_entry = {
+  se_id : string;  (* already-rendered JSON, like rq_id *)
+  se_op : string;
+  se_trace_id : string option;
+  se_total_us : int;
+  se_queue_us : int;
+  se_spans : (string * float) list;  (* (name, duration_us), begin order *)
+}
+
+let slow_capacity = 32
 
 type server = {
+  sv_cf : config;
   sv_cache : Cache.t;
   sv_pool : Psc.Pool.t option;
   sv_workers : Semaphore.Counting.t;
   sv_draining : bool Atomic.t;
   sv_inflight_n : int Atomic.t;
+  sv_inflight_peak : int Atomic.t;
   sv_connections : int Atomic.t;
+  sv_start_ns : int;
+  sv_access : (out_channel * Mutex.t) option;
+  sv_slow : slow_entry list ref;  (* most recent first, <= slow_capacity *)
+  sv_slow_mu : Mutex.t;
   sv_inflight : Psc.Metrics.gauge;
   sv_requests : Psc.Metrics.counter;
   sv_deadline_trips : Psc.Metrics.counter;
+  (* Quantile sketches: handler latency per op, end-to-end latency
+     (queue wait included) and queue wait across all ops.  Held here as
+     well as in the registry so the stats op can enumerate them. *)
+  sv_lat_ops : (string * Psc.Metrics.sketch) list;
+  sv_lat_all : Psc.Metrics.sketch;
+  sv_queue : Psc.Metrics.sketch;
 }
 
+let all_ops =
+  [ Proto.Compile; Proto.Schedule; Proto.Run; Proto.Emit_c; Proto.Lint;
+    Proto.Tune; Proto.Stats; Proto.Shutdown ]
+
 let make_server cf =
-  { sv_cache = Cache.create ~capacity:cf.cf_cache ();
+  { sv_cf = cf;
+    sv_cache = Cache.create ~capacity:cf.cf_cache ();
     sv_pool = (if cf.cf_pool > 0 then Some (Psc.Pool.create cf.cf_pool) else None);
     sv_workers = Semaphore.Counting.make (max 1 cf.cf_workers);
     sv_draining = Atomic.make false;
     sv_inflight_n = Atomic.make 0;
+    sv_inflight_peak = Atomic.make 0;
     sv_connections = Atomic.make 0;
+    sv_start_ns = Psc.Metrics.now_ns ();
+    sv_access =
+      (match cf.cf_access_log with
+       | None -> None
+       | Some path -> Some (open_out path, Mutex.create ()));
+    sv_slow = ref [];
+    sv_slow_mu = Mutex.create ();
     sv_inflight = Psc.Metrics.gauge "server.inflight";
     sv_requests = Psc.Metrics.counter "server.requests";
-    sv_deadline_trips = Psc.Metrics.counter "server.deadline.trips" }
+    sv_deadline_trips = Psc.Metrics.counter "server.deadline.trips";
+    sv_lat_ops =
+      List.map
+        (fun op ->
+          let n = Proto.op_name op in
+          (n, Psc.Metrics.sketch ("server.latency_ns." ^ n)))
+        all_ops;
+    sv_lat_all = Psc.Metrics.sketch "server.latency_ns.all";
+    sv_queue = Psc.Metrics.sketch "server.queue_ns" }
+
+let rec update_peak a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then update_peak a v
 
 (* ------------------------------------------------------------------ *)
 (* Deadlines: cooperative checks between pipeline stages.  A request
@@ -69,17 +124,32 @@ let check_deadline = function
 (* ------------------------------------------------------------------ *)
 (* Pipeline stages through the artifact cache *)
 
-let request_source (rq : Proto.request) =
-  match rq.Proto.rq_source with
-  | None -> Psc.error "missing required field: source (or source_file)"
-  | Some (Proto.Inline s) -> s
-  | Some (Proto.From_file f) -> (
-    try
-      let ic = open_in_bin f in
-      let s = really_input_string ic (in_channel_length ic) in
-      close_in ic;
-      s
-    with Sys_error m -> Psc.error "cannot read source_file: %s" m)
+(* Facts about one request gathered on the way through dispatch, for
+   the access log: whether the primary artifact came from the cache,
+   the source digest, and the error code of a failed answer. *)
+type req_info = {
+  mutable ri_cached : bool;
+  mutable ri_digest : string option;
+  mutable ri_error : string option;
+}
+
+let fresh_info () = { ri_cached = false; ri_digest = None; ri_error = None }
+
+let request_source info (rq : Proto.request) =
+  let src =
+    match rq.Proto.rq_source with
+    | None -> Psc.error "missing required field: source (or source_file)"
+    | Some (Proto.Inline s) -> s
+    | Some (Proto.From_file f) -> (
+      try
+        let ic = open_in_bin f in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      with Sys_error m -> Psc.error "cannot read source_file: %s" m)
+  in
+  info.ri_digest <- Some (Cache.digest src);
+  src
 
 let project sv ~deadline src =
   check_deadline deadline;
@@ -185,18 +255,46 @@ let windows_json (sc : Psc.scheduled) =
              ("window", Proto.jint w.Psc.Schedule.w_size) ])
        sc.Psc.sc_windows)
 
-let dispatch sv ~deadline (rq : Proto.request) : string =
+let quantiles_json q =
+  let s = Psc.Metrics.sk_quantiles q in
+  Proto.jobj
+    [ ("count", Proto.jint s.Psc.Metrics.qs_count);
+      ("p50", Proto.jint s.Psc.Metrics.qs_p50);
+      ("p90", Proto.jint s.Psc.Metrics.qs_p90);
+      ("p99", Proto.jint s.Psc.Metrics.qs_p99);
+      ("max", Proto.jint s.Psc.Metrics.qs_max) ]
+
+let slow_json (e : slow_entry) =
+  Proto.jobj
+    ([ ("id", e.se_id); ("op", Proto.jstr e.se_op) ]
+    @ (match e.se_trace_id with
+       | Some t -> [ ("trace_id", Proto.jstr t) ]
+       | None -> [])
+    @ [ ("total_us", Proto.jint e.se_total_us);
+        ("queue_us", Proto.jint e.se_queue_us);
+        ("spans",
+         Proto.jarr
+           (List.map
+              (fun (n, us) ->
+                Proto.jobj
+                  [ ("name", Proto.jstr n);
+                    ("us", Printf.sprintf "%.1f" us) ])
+              e.se_spans)) ])
+
+let dispatch sv ~deadline ~info (rq : Proto.request) : string =
   let id = rq.Proto.rq_id in
   match rq.Proto.rq_op with
   | Proto.Compile ->
-    let src = request_source rq in
+    let src = request_source info rq in
     let t, hit = project sv ~deadline src in
+    info.ri_cached <- hit;
     Proto.ok_response ~id ~cached:hit
       [ ("modules", Proto.jarr (List.map Proto.jstr (Psc.modules t)));
         ("warnings", Proto.jint (List.length (Psc.warnings t))) ]
   | Proto.Schedule ->
-    let src = request_source rq in
+    let src = request_source info rq in
     let _, sc, hit = scheduled sv ~deadline src rq in
+    info.ri_cached <- hit;
     Proto.ok_response ~id ~cached:hit
       [ ("flowchart", Proto.jstr (Psc.flowchart_string sc));
         ("windows", windows_json sc);
@@ -204,8 +302,9 @@ let dispatch sv ~deadline (rq : Proto.request) : string =
         ("trimmed", Proto.jint sc.Psc.sc_trimmed);
         ("collapsed", Proto.jint sc.Psc.sc_collapsed) ]
   | Proto.Run ->
-    let src = request_source rq in
+    let src = request_source info rq in
     let t, sc, hit = scheduled sv ~deadline src rq in
+    info.ri_cached <- hit;
     check_deadline deadline;
     let em = sc.Psc.sc_module in
     let inputs = Ps_fuzz.Diff.default_inputs em ~scalars:rq.Proto.rq_scalars in
@@ -238,11 +337,12 @@ let dispatch sv ~deadline (rq : Proto.request) : string =
                r.Psc.Exec.allocated)) ]
       @ policy_field)
   | Proto.Emit_c ->
-    let src = request_source rq in
+    let src = request_source info rq in
     let c, hit = emitted sv ~deadline src rq in
+    info.ri_cached <- hit;
     Proto.ok_response ~id ~cached:hit [ ("c", Proto.jstr c) ]
   | Proto.Lint ->
-    let src = request_source rq in
+    let src = request_source info rq in
     check_deadline deadline;
     (* Lenient load: single-assignment errors become diagnostics in the
        answer rather than a failed request. *)
@@ -252,13 +352,15 @@ let dispatch sv ~deadline (rq : Proto.request) : string =
       [ ("diagnostics", Psc.Diag.render Psc.Diag.Json diags);
         ("summary", Proto.jstr (Psc.Diag.summary diags)) ]
   | Proto.Tune ->
-    let src = request_source rq in
+    let src = request_source info rq in
     let tp, hit = tuned sv ~deadline src rq in
+    info.ri_cached <- hit;
     Proto.ok_response ~id ~cached:hit
       [ ("policy", Psc.Policy.to_json tp);
         ("summary", Proto.jstr (Psc.Policy.table_summary tp)) ]
   | Proto.Stats ->
     let s = Cache.stats sv.sv_cache in
+    let slow = Mutex.protect sv.sv_slow_mu (fun () -> !(sv.sv_slow)) in
     Proto.ok_response ~id ~cached:false
       [ ("cache",
          Proto.jobj
@@ -267,66 +369,182 @@ let dispatch sv ~deadline (rq : Proto.request) : string =
              ("misses", Proto.jint s.Cache.st_misses);
              ("evictions", Proto.jint s.Cache.st_evictions) ]);
         ("inflight", Proto.jint (Atomic.get sv.sv_inflight_n));
+        ("inflight_peak", Proto.jint (Atomic.get sv.sv_inflight_peak));
+        ("uptime_ms",
+         Proto.jint ((Psc.Metrics.now_ns () - sv.sv_start_ns) / 1_000_000));
+        ("latency_ns",
+         Proto.jobj
+           (("all", quantiles_json sv.sv_lat_all)
+            :: ("queue", quantiles_json sv.sv_queue)
+            :: List.map (fun (n, q) -> (n, quantiles_json q)) sv.sv_lat_ops));
+        ("slow", Proto.jarr (List.rev_map slow_json slow));
         ("metrics", Psc.Metrics.render_json ()) ]
   | Proto.Shutdown ->
     Atomic.set sv.sv_draining true;
     Proto.ok_response ~id ~cached:false [ ("draining", Proto.jbool true) ]
 
-(* Every error a request can produce, mapped to one answer line. *)
-let answer sv ~deadline (rq : Proto.request) : string =
+(* Every error a request can produce, mapped to one answer line (the
+   access log sees the same classification through [info.ri_error]). *)
+let answer sv ~deadline ~info (rq : Proto.request) : string =
   let id = rq.Proto.rq_id in
-  try dispatch sv ~deadline rq with
+  let fail code m =
+    info.ri_error <- Some code;
+    Proto.error_message ~id m
+  in
+  try dispatch sv ~deadline ~info rq with
   | Deadline ->
     Psc.Metrics.incr sv.sv_deadline_trips;
+    info.ri_error <- Some "E031";
     diag_response ~id Psc.Diag.Deadline_exceeded
       (Printf.sprintf "deadline of %d ms expired"
          (Option.value rq.Proto.rq_deadline_ms ~default:0))
-  | Psc.Error m -> Proto.error_message ~id m
-  | Psc.Exec.Runtime_error m -> Proto.error_message ~id ("runtime error: " ^ m)
-  | Psc.Value.Bounds m ->
-    Proto.error_message ~id ("subscript out of bounds: " ^ m)
-  | Psc.Eval.Runtime_error m -> Proto.error_message ~id ("runtime error: " ^ m)
+  | Psc.Error m -> fail "error" m
+  | Psc.Exec.Runtime_error m -> fail "error" ("runtime error: " ^ m)
+  | Psc.Value.Bounds m -> fail "error" ("subscript out of bounds: " ^ m)
+  | Psc.Eval.Runtime_error m -> fail "error" ("runtime error: " ^ m)
+
+(* One JSON line per request — including rejects, which log with zeroed
+   timings.  The channel mutex keeps concurrent connection threads'
+   lines whole. *)
+let log_access sv ~id ~op ~trace_id ~(info : req_info) ~queue_ns ~handler_ns
+    ~total_ns ~bytes ~deadline_margin_us =
+  match sv.sv_access with
+  | None -> ()
+  | Some (oc, mu) ->
+    let line =
+      Proto.jobj
+        ([ ("ts_us",
+            Printf.sprintf "%.0f" (Unix.gettimeofday () *. 1e6));
+           ("id", id);
+           ("op", Proto.jstr op) ]
+        @ (match trace_id with
+           | Some t -> [ ("trace_id", Proto.jstr t) ]
+           | None -> [])
+        @ (match info.ri_digest with
+           | Some d -> [ ("digest", Proto.jstr d) ]
+           | None -> [])
+        @ [ ("cached", Proto.jbool info.ri_cached);
+            ("queue_us", Proto.jint (queue_ns / 1000));
+            ("handler_us", Proto.jint (handler_ns / 1000));
+            ("total_us", Proto.jint (total_ns / 1000));
+            ("bytes", Proto.jint bytes) ]
+        @ (match deadline_margin_us with
+           | Some m -> [ ("deadline_margin_us", Proto.jint m) ]
+           | None -> [])
+        @ (match info.ri_error with
+           | Some e -> [ ("error", Proto.jstr e) ]
+           | None -> [])
+        @ [ ("ok", Proto.jbool (info.ri_error = None)) ])
+    in
+    Mutex.protect mu (fun () ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+
+let push_slow sv e =
+  Mutex.protect sv.sv_slow_mu (fun () ->
+      let keep =
+        if List.length !(sv.sv_slow) >= slow_capacity then
+          List.filteri (fun i _ -> i < slow_capacity - 1) !(sv.sv_slow)
+        else !(sv.sv_slow)
+      in
+      sv.sv_slow := e :: keep)
 
 (* Handle one request line: parse, gate on draining, bound concurrency,
-   time the answer.  Returns [None] for blank lines. *)
+   time the answer (queue wait and handler time separately), feed the
+   latency sketches and the access log, capture slow span subtrees, and
+   stamp the client's trace context on the reply.  Returns [None] for
+   blank lines. *)
 let handle_line sv (line : string) : string option =
   let line = String.trim line in
   if line = "" then None
   else begin
     Psc.Metrics.incr sv.sv_requests;
+    let t_arrival = Psc.Metrics.now_ns () in
+    let reject ~id ~op ~trace_id ~error resp =
+      let resp = Proto.with_trace_id ~trace_id resp in
+      let info = fresh_info () in
+      info.ri_error <- Some error;
+      log_access sv ~id ~op ~trace_id ~info ~queue_ns:0 ~handler_ns:0
+        ~total_ns:(Psc.Metrics.now_ns () - t_arrival)
+        ~bytes:(String.length resp) ~deadline_margin_us:None;
+      Some resp
+    in
     match Proto.parse_request line with
     | Error (id, msg) ->
-      Some (diag_response ~id Psc.Diag.Bad_request msg)
+      reject ~id ~op:"invalid" ~trace_id:None ~error:"E030"
+        (diag_response ~id Psc.Diag.Bad_request msg)
     | Ok rq ->
       let id = rq.Proto.rq_id in
+      let op = Proto.op_name rq.Proto.rq_op in
+      let trace_id = rq.Proto.rq_trace_id in
       if
         Atomic.get sv.sv_draining
         && rq.Proto.rq_op <> Proto.Shutdown
         && rq.Proto.rq_op <> Proto.Stats
       then
-        Some
+        reject ~id ~op ~trace_id ~error:"E032"
           (diag_response ~id Psc.Diag.Server_draining
              "server is draining; request rejected")
       else begin
         let deadline = deadline_of rq in
+        let info = fresh_info () in
         Semaphore.Counting.acquire sv.sv_workers;
-        ignore (Atomic.fetch_and_add sv.sv_inflight_n 1);
+        let t_start = Psc.Metrics.now_ns () in
+        let n = Atomic.fetch_and_add sv.sv_inflight_n 1 + 1 in
+        update_peak sv.sv_inflight_peak n;
         Psc.Metrics.set sv.sv_inflight (Atomic.get sv.sv_inflight_n);
-        let t0 = Psc.Metrics.now_ns () in
         let finally () =
           ignore (Atomic.fetch_and_add sv.sv_inflight_n (-1));
           Psc.Metrics.set sv.sv_inflight (Atomic.get sv.sv_inflight_n);
-          Semaphore.Counting.release sv.sv_workers;
-          Psc.Metrics.observe
-            (Psc.Metrics.histogram
-               ("server.latency_ns." ^ Proto.op_name rq.Proto.rq_op))
-            (Psc.Metrics.now_ns () - t0)
+          Semaphore.Counting.release sv.sv_workers
         in
         Fun.protect ~finally (fun () ->
-            Some
-              (Psc.Trace.with_span "request"
-                 ~args:[ ("op", Proto.op_name rq.Proto.rq_op) ]
-                 (fun () -> answer sv ~deadline rq)))
+            let run_answer () =
+              let span_args =
+                [ ("op", op); ("sid", Psc.Trace.fresh_span_id ()) ]
+                @ (match trace_id with
+                   | Some t -> [ ("trace_id", t) ]
+                   | None -> [])
+                @ (match rq.Proto.rq_parent_span with
+                   | Some p -> [ ("parent", p) ]
+                   | None -> [])
+              in
+              Psc.Trace.with_span "request" ~args:span_args (fun () ->
+                  answer sv ~deadline ~info rq)
+            in
+            let resp, spans =
+              (* [collect] flips the global not-off switch, so only pay
+                 for it when slow-capture is on. *)
+              match sv.sv_cf.cf_slow_ms with
+              | None -> (run_answer (), [])
+              | Some _ -> Psc.Trace.collect run_answer
+            in
+            let resp = Proto.with_trace_id ~trace_id resp in
+            let t_end = Psc.Metrics.now_ns () in
+            let queue_ns = t_start - t_arrival in
+            let handler_ns = t_end - t_start in
+            let total_ns = t_end - t_arrival in
+            (match List.assoc_opt op sv.sv_lat_ops with
+             | Some q -> Psc.Metrics.sk_observe q handler_ns
+             | None -> ());
+            Psc.Metrics.sk_observe sv.sv_lat_all total_ns;
+            Psc.Metrics.sk_observe sv.sv_queue queue_ns;
+            (match sv.sv_cf.cf_slow_ms with
+             | Some thresh when total_ns >= thresh * 1_000_000 ->
+               push_slow sv
+                 { se_id = id;
+                   se_op = op;
+                   se_trace_id = trace_id;
+                   se_total_us = total_ns / 1000;
+                   se_queue_us = queue_ns / 1000;
+                   se_spans = Psc.Trace.span_durations spans }
+             | _ -> ());
+            log_access sv ~id ~op ~trace_id ~info ~queue_ns ~handler_ns
+              ~total_ns ~bytes:(String.length resp)
+              ~deadline_margin_us:
+                (Option.map (fun d -> (d - t_end) / 1000) deadline);
+            Some resp)
       end
   end
 
@@ -373,7 +591,10 @@ let serve_socket sv cf path =
   (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
   let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind lfd (Unix.ADDR_UNIX path);
-  Unix.listen lfd 64;
+  (* Deep backlog: `bench serve` opens hundreds of connections at
+     once, and a refused connect at that moment is a measurement
+     artifact, not a server property. *)
+  Unix.listen lfd 512;
   let threads = ref [] in
   (* Accept with a poll timeout so the draining flag (set by SIGTERM or
      a shutdown request on any connection) is noticed promptly. *)
@@ -414,7 +635,19 @@ let main cf =
    with Invalid_argument _ -> ());
   Fun.protect
     ~finally:(fun () ->
-      match sv.sv_pool with Some p -> Psc.Pool.shutdown p | None -> ())
+      (match sv.sv_pool with Some p -> Psc.Pool.shutdown p | None -> ());
+      (match sv.sv_access with
+       | Some (oc, mu) -> Mutex.protect mu (fun () -> close_out_noerr oc)
+       | None -> ());
+      (* The registry dump happens after the drain, so a SIGTERM'd
+         server still leaves its final counters behind. *)
+      match cf.cf_metrics_json with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Psc.Metrics.render_json ());
+        output_char oc '\n';
+        close_out oc
+      | None -> ())
     (fun () ->
       match cf.cf_socket with
       | None -> serve_stdio sv

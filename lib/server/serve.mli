@@ -17,10 +17,18 @@ type config = {
   cf_pool : int;              (** domain pool size; 0 = sequential *)
   cf_cache : int;             (** artifact cache capacity *)
   cf_grace_ms : int;          (** drain: wait this long for clients to leave *)
+  cf_access_log : string option;
+      (** write one structured JSON line per request (rejects included) *)
+  cf_slow_ms : int option;
+      (** capture the span subtree of requests slower than this into a
+          bounded ring, visible in the [stats] reply under ["slow"] *)
+  cf_metrics_json : string option;
+      (** dump the final metrics registry here on clean shutdown *)
 }
 
 val default_config : config
-(** stdio, 4 workers, no pool, 64 cached artifacts, 5 s grace. *)
+(** stdio, 4 workers, no pool, 64 cached artifacts, 5 s grace, no
+    access log, no slow capture, no metrics dump. *)
 
 val main : config -> unit
 (** Run the server until it drains: stdio EOF or a [shutdown] request

@@ -153,8 +153,8 @@ let trace_tests =
              0.0 evs));
     t "validate rejects a mismatched End" (fun () ->
         let ev name ph ts =
-          { Trace.ev_name = name; ev_ph = ph; ev_ts = ts; ev_tid = 1;
-            ev_args = [] }
+          { Trace.ev_name = name; ev_ph = ph; ev_ts = ts; ev_pid = 1;
+            ev_tid = 1; ev_args = [] }
         in
         let bad =
           [ ev "a" Trace.Begin 0.0; ev "b" Trace.End 1.0; ev "a" Trace.End 2.0 ]
@@ -168,7 +168,76 @@ let trace_tests =
           [ ev "a" Trace.Begin 5.0; ev "a" Trace.End 1.0 ]
         in
         Alcotest.(check bool) "non-monotone rejected" true
-          (Result.is_error (Trace.validate backwards))) ]
+          (Result.is_error (Trace.validate backwards)));
+    t "events carry the real pid and fresh span ids differ" (fun () ->
+        with_flags @@ fun () ->
+        Trace.set_enabled true;
+        Trace.with_span "me" (fun () -> ());
+        List.iter
+          (fun e ->
+            Alcotest.(check int) "pid" (Unix.getpid ()) e.Trace.ev_pid)
+          (Trace.events ());
+        let a = Trace.fresh_span_id () and b = Trace.fresh_span_id () in
+        Alcotest.(check bool) "distinct sids" true (a <> b);
+        (* Span ids are "pid.counter", so they name this process. *)
+        let pid_prefix = string_of_int (Unix.getpid ()) ^ "." in
+        let n = String.length pid_prefix in
+        Alcotest.(check string) "sid names this process" pid_prefix
+          (String.sub a 0 n));
+    t "collect captures this thread's spans with the store off" (fun () ->
+        with_flags @@ fun () ->
+        Trace.set_enabled false;
+        Trace.reset ();
+        let r, evs =
+          Trace.collect (fun () ->
+              Trace.with_span "captured" (fun () -> 7))
+        in
+        Alcotest.(check int) "value" 7 r;
+        Alcotest.(check (list string)) "captured both ends"
+          [ "captured"; "captured" ] (names_of evs);
+        Alcotest.(check int) "global store untouched" 0
+          (List.length (Trace.events ())));
+    t "merge aligns epochs and the stitched timeline validates" (fun () ->
+        let ev ~pid ~sid name ph ts =
+          { Trace.ev_name = name; ev_ph = ph; ev_ts = ts; ev_pid = pid;
+            ev_tid = 1;
+            ev_args = (match (ph, sid) with
+                       | Trace.Begin, Some s -> [ ("sid", s) ]
+                       | _ -> []) }
+        in
+        (* A client whose request span covers a server handler span
+           recorded 50 us later on the absolute clock. *)
+        let client =
+          [ ev ~pid:10 ~sid:(Some "10.1") "request" Trace.Begin 0.0;
+            ev ~pid:10 ~sid:None "request" Trace.End 100.0 ]
+        in
+        let server =
+          [ ev ~pid:20 ~sid:(Some "20.1") "handle" Trace.Begin 0.0;
+            ev ~pid:20 ~sid:None "handle" Trace.End 20.0 ]
+        in
+        let round epoch evs =
+          Trace.parse_chrome_file (Trace.render_events ~epoch_us:epoch evs)
+        in
+        let fa = round 1_000_000.0 client and fb = round 1_000_050.0 server in
+        Alcotest.(check (float 0.001)) "epoch round-trips" 1_000_050.0
+          fb.Trace.f_epoch_us;
+        let merged = Trace.merge [ fa; fb ] in
+        Alcotest.(check (list string)) "server span lands inside the client's"
+          [ "request"; "handle"; "handle"; "request" ]
+          (names_of merged);
+        (match Trace.validate merged with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "merged trace invalid: %s" m);
+        (* The later process's events were shifted by the epoch delta. *)
+        let handle_b = List.nth merged 1 in
+        Alcotest.(check (float 0.001)) "offset applied" 50.0
+          handle_b.Trace.ev_ts;
+        (* The same process merged twice duplicates its span ids. *)
+        match Trace.validate (Trace.merge [ fa; fa ]) with
+        | Ok () -> Alcotest.fail "duplicate sid across merge not rejected"
+        | Error m ->
+          Alcotest.(check bool) "error is descriptive" true
+            (String.length m > 0)) ]
 
 (* ------------------------------------------------------------------ *)
 (* The metrics registry. *)
@@ -229,6 +298,89 @@ let metrics_tests =
           in
           Alcotest.(check (list string)) "sorted names" [ "t.a"; "t.b" ] names
         | _ -> Alcotest.fail "render_json is not an array") ]
+
+(* ------------------------------------------------------------------ *)
+(* The quantile sketch: the server's latency estimator. *)
+
+let qs q =
+  let s = Metrics.sk_quantiles q in
+  (s.Metrics.qs_count, s.Metrics.qs_p50, s.Metrics.qs_p90, s.Metrics.qs_p99,
+   s.Metrics.qs_max)
+
+let sketch_monotone =
+  QCheck.Test.make ~count:200
+    ~name:"quantiles are monotone and the max is exact"
+    QCheck.(small_list small_nat)
+    (fun samples ->
+      Metrics.clear ();
+      let q = Metrics.sketch "t.prop" in
+      List.iter (Metrics.sk_observe q) samples;
+      let s = Metrics.sk_quantiles q in
+      s.Metrics.qs_count = List.length samples
+      && s.Metrics.qs_p50 <= s.Metrics.qs_p90
+      && s.Metrics.qs_p90 <= s.Metrics.qs_p99
+      && s.Metrics.qs_p99 <= s.Metrics.qs_max
+      && (samples = []
+         || s.Metrics.qs_max = List.fold_left max 0 samples))
+
+let sketch_tests =
+  [ t "an empty window answers all zeros" (fun () ->
+        with_flags @@ fun () ->
+        Metrics.clear ();
+        Alcotest.(check (pair int (pair int (pair int (pair int int)))))
+          "zeros"
+          (0, (0, (0, (0, 0))))
+          (let c, a, b, d, m = qs (Metrics.sketch "t.empty") in
+           (c, (a, (b, (d, m))))));
+    t "a single sample is every quantile" (fun () ->
+        with_flags @@ fun () ->
+        Metrics.clear ();
+        let q = Metrics.sketch "t.one" in
+        Metrics.sk_observe q 100;
+        Alcotest.(check (list int)) "all 100"
+          [ 1; 100; 100; 100; 100 ]
+          (let c, a, b, d, m = qs q in
+           [ c; a; b; d; m ]));
+    t "merging disjoint windows spans both ranges" (fun () ->
+        with_flags @@ fun () ->
+        Metrics.clear ();
+        let low = Metrics.sketch "t.low" and high = Metrics.sketch "t.high" in
+        List.iter (Metrics.sk_observe low) [ 1; 2; 3 ];
+        List.iter (Metrics.sk_observe high) [ 1000; 2000 ];
+        Metrics.sk_merge_into ~into:low high;
+        let c, p50, _, p99, m = qs low in
+        Alcotest.(check int) "counts add" 5 c;
+        (* Rank 3 of 5 lands in the low range (a log2 bucket wide). *)
+        Alcotest.(check bool) "p50 from the low range" true (p50 <= 3);
+        Alcotest.(check int) "p99 clamps to the exact max" 2000 p99;
+        Alcotest.(check int) "max is exact" 2000 m;
+        (* The source sketch is unchanged. *)
+        let ch, _, _, _, mh = qs high in
+        Alcotest.(check int) "src count" 2 ch;
+        Alcotest.(check int) "src max" 2000 mh);
+    t "rotate clears the window but keeps the all-time totals" (fun () ->
+        with_flags @@ fun () ->
+        Metrics.clear ();
+        let q = Metrics.sketch "t.rot" in
+        List.iter (Metrics.sk_observe q) [ 5; 6; 7 ];
+        Metrics.sk_rotate q;
+        let c, _, _, _, m = qs q in
+        Alcotest.(check int) "window empty" 0 c;
+        Alcotest.(check int) "window max cleared" 0 m;
+        let j = Trace.Json.parse (Metrics.render_json ()) in
+        match j with
+        | Trace.Json.Arr [ row ] ->
+          Alcotest.(check (option string)) "kind" (Some "sketch")
+            (match Trace.Json.member "kind" row with
+            | Some (Trace.Json.Str s) -> Some s
+            | _ -> None);
+          Alcotest.(check (option (float 0.001))) "all-time total survives"
+            (Some 3.0)
+            (match Trace.Json.member "total" row with
+            | Some (Trace.Json.Num n) -> Some n
+            | _ -> None)
+        | _ -> Alcotest.fail "expected exactly one metrics row");
+    QCheck_alcotest.to_alcotest sketch_monotone ]
 
 (* ------------------------------------------------------------------ *)
 (* The loop profiler. *)
@@ -360,5 +512,6 @@ let () =
   Alcotest.run "obs"
     [ ("trace", trace_tests);
       ("metrics", metrics_tests);
+      ("sketch", sketch_tests);
       ("prof", prof_tests);
       ("pool_stats", pool_tests) ]

@@ -207,6 +207,196 @@ let stdio_tests =
                   Alcotest.failf "wire value %.17g <> interpreter %.17g" b a)
               want got)) ]
 
+(* --- observability over the wire ------------------------------------ *)
+
+let read_file p =
+  let ic = open_in_bin p in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let obs_tests =
+  [ t "stats reports uptime, the inflight peak and latency quantiles"
+      (fun () ->
+        with_stdio_server (fun ask ->
+            ignore (ask (schedule_req ~id:1 ()));
+            let s = ask "{\"id\":2,\"op\":\"stats\",\"trace_id\":\"tid-1\"}" in
+            (match Json.member "trace_id" s with
+            | Some (Json.Str "tid-1") -> ()
+            | _ -> Alcotest.fail "stats reply did not echo the trace id");
+            Alcotest.(check bool) "uptime counted" true (jnum "uptime_ms" s >= 0);
+            Alcotest.(check bool) "inflight peak at least 1" true
+              (jnum "inflight_peak" s >= 1);
+            match Json.member "latency_ns" s with
+            | Some l ->
+              let quants name =
+                match Json.member name l with
+                | Some q ->
+                  Alcotest.(check bool)
+                    (name ^ " quantiles ordered") true
+                    (jnum "p50" q <= jnum "p90" q
+                    && jnum "p90" q <= jnum "p99" q
+                    && jnum "p99" q <= jnum "max" q)
+                | None -> Alcotest.failf "latency_ns has no %S" name
+              in
+              quants "all";
+              quants "queue";
+              quants "schedule";
+              (match Json.member "schedule" l with
+              | Some q ->
+                Alcotest.(check bool) "the schedule op was measured" true
+                  (jnum "count" q >= 1)
+              | None -> assert false)
+            | None -> Alcotest.fail "stats has no latency_ns"));
+    t "--slow-ms 0 captures every request's span subtree" (fun () ->
+        with_stdio_server ~args:"--slow-ms 0" (fun ask ->
+            ignore (ask (schedule_req ~id:1 ()));
+            let s = ask "{\"id\":2,\"op\":\"stats\"}" in
+            match Json.member "slow" s with
+            | Some (Json.Arr (entry :: _)) ->
+              (match Json.member "op" entry with
+              | Some (Json.Str "schedule") -> ()
+              | _ -> Alcotest.fail "slow entry does not name its op");
+              Alcotest.(check bool) "total recorded" true
+                (jnum "total_us" entry >= 0);
+              (match Json.member "spans" entry with
+              | Some (Json.Arr (sp :: _ as sps)) ->
+                (match Json.member "name" sp with
+                | Some (Json.Str _) -> ()
+                | _ -> Alcotest.fail "span row has no name");
+                Alcotest.(check bool) "the request span is in the subtree"
+                  true
+                  (List.exists
+                     (fun sp ->
+                       Json.member "name" sp
+                       = Some (Json.Str "request"))
+                     sps)
+              | _ -> Alcotest.fail "slow entry has no spans")
+            | Some (Json.Arr []) -> Alcotest.fail "slow ring is empty"
+            | _ -> Alcotest.fail "stats has no slow array"));
+    t "--metrics-json dumps the registry on clean shutdown" (fun () ->
+        let file = Filename.temp_file "psc_metrics" ".json" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+        @@ fun () ->
+        with_stdio_server
+          ~args:(Printf.sprintf "--metrics-json %s" (Filename.quote file))
+          (fun ask -> ignore (ask (schedule_req ~id:1 ())));
+        let j = Json.parse (read_file file) in
+        match j with
+        | Json.Arr rows ->
+          let find name =
+            List.find_opt
+              (fun r -> Json.member "name" r = Some (Json.Str name))
+              rows
+          in
+          (match find "server.requests" with
+          | Some r ->
+            Alcotest.(check bool) "requests counted" true
+              (jnum "value" r >= 1)
+          | None -> Alcotest.fail "no server.requests row");
+          (match find "server.latency_ns.all" with
+          | Some r ->
+            Alcotest.(check (option string)) "latency is a sketch"
+              (Some "sketch")
+              (match Json.member "kind" r with
+              | Some (Json.Str s) -> Some s
+              | _ -> None);
+            Alcotest.(check bool) "latency measured" true
+              (jnum "count" r >= 1)
+          | None -> Alcotest.fail "no server.latency_ns.all row")
+        | _ -> Alcotest.fail "metrics dump is not a JSON array");
+    t "a merged client+server trace validates with one schedule span"
+      (fun () ->
+        let server_trace = Filename.temp_file "ps_server" ".trace.json" in
+        let client_trace = Filename.temp_file "ps_client" ".trace.json" in
+        Fun.protect
+          ~finally:(fun () ->
+            Psc.Trace.set_enabled false;
+            (try Sys.remove server_trace with Sys_error _ -> ());
+            try Sys.remove client_trace with Sys_error _ -> ())
+        @@ fun () ->
+        (* The client side of the distributed trace: each request is a
+           span in this process, and its span id rides the wire as
+           parent_span so the server's request span can point back. *)
+        Psc.Trace.set_enabled true;
+        with_stdio_server
+          ~args:(Printf.sprintf "--trace %s" (Filename.quote server_trace))
+          (fun ask ->
+            let request i =
+              let sid = Psc.Trace.fresh_span_id () in
+              Psc.Trace.with_span "client.request"
+                ~args:[ ("sid", sid); ("trace_id", "mt-1") ]
+                (fun () ->
+                  ask
+                    (Printf.sprintf
+                       "{\"id\":%d,\"op\":\"schedule\",\"trace_id\":\"mt-1\",\"parent_span\":%S,\"source\":%s}"
+                       i sid (jstring jacobi_src)))
+            in
+            let r1 = request 1 in
+            Alcotest.(check bool) "first ok" true (jbool "ok" r1);
+            let r2 = request 2 in
+            Alcotest.(check bool) "repeat is a hit" true (jbool "cached" r2);
+            match Json.member "trace_id" r2 with
+            | Some (Json.Str "mt-1") -> ()
+            | _ -> Alcotest.fail "reply did not echo the trace id");
+        Psc.Trace.write client_trace;
+        Psc.Trace.set_enabled false;
+        let fs = Psc.Trace.parse_chrome_file (read_file server_trace) in
+        let fc = Psc.Trace.parse_chrome_file (read_file client_trace) in
+        let merged = Psc.Trace.merge [ fc; fs ] in
+        (match Psc.Trace.validate merged with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "merged trace invalid: %s" m);
+        let pids =
+          List.sort_uniq compare
+            (List.map (fun e -> e.Psc.Trace.ev_pid) merged)
+        in
+        Alcotest.(check int) "two processes on one timeline" 2
+          (List.length pids);
+        let begins name =
+          List.length
+            (List.filter
+               (fun (e : Psc.Trace.event) ->
+                 e.Psc.Trace.ev_ph = Psc.Trace.Begin
+                 && e.Psc.Trace.ev_name = name)
+               merged)
+        in
+        Alcotest.(check int) "two client request spans" 2
+          (begins "client.request");
+        (* Two schedules crossed the wire but the repeat was a cache
+           hit: exactly one schedule span on the whole timeline. *)
+        Alcotest.(check int) "one schedule span" 1 (begins "schedule");
+        (* The server stamped each request span with the client's
+           parent span id. *)
+        let parent_args =
+          List.filter_map
+            (fun (e : Psc.Trace.event) ->
+              if e.Psc.Trace.ev_ph = Psc.Trace.Begin
+                 && e.Psc.Trace.ev_name = "request"
+              then List.assoc_opt "parent" e.Psc.Trace.ev_args
+              else None)
+            merged
+        in
+        Alcotest.(check int) "both server spans carry a parent" 2
+          (List.length parent_args);
+        let pid_prefix = string_of_int (Unix.getpid ()) ^ "." in
+        List.iter
+          (fun p ->
+            let n = String.length pid_prefix in
+            if String.length p < n || String.sub p 0 n <> pid_prefix then
+              Alcotest.failf "parent %S does not name the client process" p)
+          parent_args;
+        (* The CLI agrees with the library. *)
+        let rc =
+          Sys.command
+            (Printf.sprintf "%s trace-check %s %s >/dev/null 2>&1"
+               (Filename.quote psc_exe)
+               (Filename.quote server_trace)
+               (Filename.quote client_trace))
+        in
+        Alcotest.(check int) "psc trace-check accepts the pair" 0 rc) ]
+
 (* --- trace: a cache hit is schedule-free ---------------------------- *)
 
 let trace_tests =
@@ -255,13 +445,16 @@ let wait_for cond msg =
   in
   go 200 (* up to 10 s *)
 
-let start_socket_server () =
+let start_socket_server ?(extra = []) () =
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "psc_serve_%d.sock" (Unix.getpid ()))
   in
   (try Sys.remove path with Sys_error _ -> ());
-  let argv = [| psc_exe; "serve"; "--socket"; path; "--workers"; "8" |] in
+  let argv =
+    Array.of_list
+      ([ psc_exe; "serve"; "--socket"; path; "--workers"; "8" ] @ extra)
+  in
   let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
   let pid = Unix.create_process psc_exe argv devnull devnull devnull in
   Unix.close devnull;
@@ -326,6 +519,63 @@ let socket_tests =
         Alcotest.(check bool) "hits cover the wave" true
           (cache_stat "hits" s >= 2 * n);
         Alcotest.(check int) "one miss per stage" 2 (cache_stat "misses" s));
+    t "32 concurrent clients each land one JSON access-log line" (fun () ->
+        let log_file = Filename.temp_file "psc_access" ".log" in
+        let pid, path =
+          start_socket_server ~extra:[ "--access-log"; log_file ] ()
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            stop_server pid path;
+            try Sys.remove log_file with Sys_error _ -> ())
+        @@ fun () ->
+        (* One warm-up miss, then a 32-client wave of hits. *)
+        let fd, ic, oc = connect path in
+        ignore (ask_fd ic oc (schedule_req ~id:0 ()));
+        Unix.close fd;
+        let n = 32 in
+        let worker i =
+          let fd, ic, oc = connect path in
+          ignore (ask_fd ic oc (schedule_req ~id:i ()));
+          Unix.close fd
+        in
+        let threads = List.init n (fun i -> Thread.create worker i) in
+        List.iter Thread.join threads;
+        (* Lines are flushed as they are written, but the replies race
+           the log by a hair; wait for the full count. *)
+        let count_lines () =
+          let s = read_file log_file in
+          String.fold_left (fun a c -> if c = '\n' then a + 1 else a) 0 s
+        in
+        wait_for (fun () -> count_lines () >= n + 1) "access log lines";
+        let lines =
+          String.split_on_char '\n' (read_file log_file)
+          |> List.filter (fun l -> l <> "")
+        in
+        Alcotest.(check int) "one line per request" (n + 1)
+          (List.length lines);
+        List.iter
+          (fun line ->
+            let j = parse line in
+            (match Json.member "op" j with
+            | Some (Json.Str "schedule") -> ()
+            | _ -> Alcotest.failf "line does not name its op: %s" line);
+            (match Json.member "digest" j with
+            | Some (Json.Str _) -> ()
+            | _ -> Alcotest.failf "line has no source digest: %s" line);
+            Alcotest.(check bool) "ok" true (jbool "ok" j);
+            if jnum "total_us" j < 0 then
+              Alcotest.failf "negative total_us: %s" line;
+            if jnum "queue_us" j < 0 then
+              Alcotest.failf "negative queue_us: %s" line;
+            if jnum "bytes" j <= 0 then
+              Alcotest.failf "no bytes counted: %s" line)
+          lines;
+        let hits =
+          List.filter (fun l -> jbool "cached" (parse l)) lines
+        in
+        Alcotest.(check int) "the wave is all cache hits" n
+          (List.length hits));
     t "SIGTERM drains: E032 for new work, then a clean exit" (fun () ->
         let pid, path = start_socket_server () in
         let fd, ic, oc = connect path in
@@ -359,4 +609,7 @@ let socket_tests =
 
 let () =
   Alcotest.run "server"
-    [ ("stdio", stdio_tests); ("trace", trace_tests); ("socket", socket_tests) ]
+    [ ("stdio", stdio_tests);
+      ("obs", obs_tests);
+      ("trace", trace_tests);
+      ("socket", socket_tests) ]
