@@ -1,11 +1,11 @@
-.PHONY: all build test fuzz-smoke serve-smoke tune-smoke promote bench-quick bench-serve bench-serve-quick fmt lint-examples lint-distance trace-demo clean
+.PHONY: all build test fuzz-smoke serve-smoke serve-stress tune-smoke promote bench-quick bench-serve bench-serve-quick fmt lint-examples lint-distance trace-demo clean
 
 all: build
 
 build:
 	dune build
 
-test: fuzz-smoke serve-smoke lint-distance tune-smoke bench-serve-quick
+test: fuzz-smoke serve-smoke serve-stress lint-distance tune-smoke bench-serve-quick
 	dune runtest
 
 # Bounded differential fuzzing pass: every generated module must agree
@@ -24,6 +24,14 @@ serve-smoke: build
 	  '{"id":2,"op":"shutdown"}' \
 	  | _build/default/bin/psc_main.exe serve --stdio | grep -q '"ok":true'
 	@echo "serve-smoke: ok"
+
+# The overload/churn smoke: 500 connection open/close cycles leave no
+# per-connection residue, flooding past --max-queue sheds E033 without
+# dropping a connection, and a pipelined burst is answered once per id.
+# Part of `make test`; the cases live in test/test_server.ml.
+serve-stress: build
+	_build/default/test/test_server.exe test stress
+	@echo "serve-stress: ok"
 
 # Tune the headline relaxation nests, replay the tuned tables
 # bit-identically through `run --policy cached`, and assert no bench

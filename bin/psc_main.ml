@@ -861,6 +861,21 @@ let serve_cmd =
           ~doc:"Keep at most N pipeline artifacts (projects, schedules, \
                 emitted C) in the content-addressed cache.")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Stripe the artifact cache across N independently locked \
+                shards, so concurrent requests hit disjoint locks.")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Bound the request queue at N entries.  Requests arriving \
+                past the bound are shed immediately with E033 instead of \
+                buffered unboundedly (stats and shutdown are exempt).")
+  in
   let grace_arg =
     Arg.(
       value & opt int 5000
@@ -896,8 +911,8 @@ let serve_cmd =
                 shutdown (including a SIGTERM drain), mirroring run \
                 --metrics-json.")
   in
-  let run socket stdio workers par cache grace access_log slow_ms metrics_json
-      trace =
+  let run socket stdio workers par cache shards max_queue grace access_log
+      slow_ms metrics_json trace =
     handle (fun () ->
         with_trace trace @@ fun () ->
         let cf =
@@ -905,6 +920,8 @@ let serve_cmd =
             cf_workers = workers;
             cf_pool = par;
             cf_cache = cache;
+            cf_shards = shards;
+            cf_max_queue = max_queue;
             cf_grace_ms = grace;
             cf_access_log = access_log;
             cf_slow_ms = slow_ms;
@@ -927,8 +944,8 @@ let serve_cmd =
           lint, tune, stats, shutdown) with pipeline artifacts cached between \
           requests.  SIGTERM drains in-flight work instead of killing it.")
     Term.(const run $ socket_arg $ stdio_arg $ workers_arg $ par_arg
-          $ cache_arg $ grace_arg $ access_log_arg $ slow_ms_arg
-          $ metrics_json_arg $ trace_arg)
+          $ cache_arg $ shards_arg $ max_queue_arg $ grace_arg
+          $ access_log_arg $ slow_ms_arg $ metrics_json_arg $ trace_arg)
 
 let main_cmd =
   let doc = "compiler for the PS nonprocedural dataflow language" in

@@ -43,6 +43,7 @@ type code =
   | Bad_request
   | Deadline_exceeded
   | Server_draining
+  | Server_overloaded
 
 let code_id = function
   | Undefined_data -> "E001"
@@ -81,6 +82,7 @@ let code_id = function
   | Bad_request -> "E030"
   | Deadline_exceeded -> "E031"
   | Server_draining -> "E032"
+  | Server_overloaded -> "E033"
 
 let code_severity c =
   match (code_id c).[0] with 'E' -> Error | _ -> Warning

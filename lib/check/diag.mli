@@ -78,6 +78,9 @@ type code =
                                  the pipeline finished *)
   | Server_draining          (** E032: the server is draining (SIGTERM or a
                                  shutdown request) and accepts no new work *)
+  | Server_overloaded        (** E033: the bounded request queue is full, so
+                                 the server shed this request instead of
+                                 queueing it unboundedly — retry with backoff *)
 
 val code_id : code -> string
 (** The stable identifier, e.g. ["E010"]. *)

@@ -3,9 +3,12 @@
     Keys are built from the MD5 digest of the source text plus whatever
     narrows the artifact (module name, transformation-flag fingerprint),
     so two requests with the same source and flags share one schedule no
-    matter how the client phrased them.  The store is a mutex-protected
-    hash table with an LRU bound; builds run outside the lock, so a slow
-    schedule never stalls unrelated requests. *)
+    matter how the client phrased them.  The store is lock-striped: the
+    key's digest prefix picks one of N shards, each a mutex-protected
+    hash table with its own LRU tick and capacity slice, so unrelated
+    requests never contend and eviction scans one shard, not the whole
+    store.  Builds run outside any lock, so a slow schedule never stalls
+    unrelated requests. *)
 
 type artifact =
   | A_project of Psc.t          (** a loaded + elaborated source *)
@@ -16,10 +19,14 @@ type artifact =
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** An empty store holding at most [capacity] (default 64, min 1)
-    artifacts, with its hit/miss/eviction counters registered as
-    [server.cache.*] in {!Psc.Metrics}. *)
+val create : ?capacity:int -> ?shards:int -> unit -> t
+(** A store of [shards] (default 8, min 1) lock-striped shards holding
+    at least [capacity] (default 64, min 1) artifacts overall — each
+    shard holds up to ceil(capacity/shards) — with its hit/miss/eviction
+    counters registered as [server.cache.*] in {!Psc.Metrics}. *)
+
+val shards : t -> int
+(** The number of lock stripes the store was created with. *)
 
 (** {2 Key constructors}
 
@@ -28,7 +35,8 @@ val create : ?capacity:int -> unit -> t
 
 val digest : string -> string
 (** The hex MD5 content digest that prefixes every key — also what the
-    access log reports as a request's ["digest"] field. *)
+    access log reports as a request's ["digest"] field, and whose two
+    leading hex digits pick the shard. *)
 
 val project_key : src:string -> string
 
@@ -56,9 +64,12 @@ val find_or_build : t -> string -> (unit -> artifact) -> artifact * bool
 (** [find_or_build t key build] returns the artifact and whether it came
     from the store.  A hit stamps the entry most-recently-used; a miss
     runs [build] outside the lock and inserts the result, evicting the
-    stalest entries while over capacity.  Two racing builds of the same
-    key waste one build and keep the first inserted value.  [build] may
-    raise; nothing is inserted then. *)
+    shard's stalest entries while over its capacity slice.  When two
+    builds of one key race, the loser wastes its build but returns the
+    {e winner's} (first-inserted) artifact flagged as a hit — identical
+    concurrent requests observably converge, and exactly one miss is
+    counted per key actually built.  [build] may raise; nothing is
+    inserted or counted then. *)
 
 val peek : t -> string -> artifact option
 (** Look up without building and without touching the hit/miss

@@ -6,7 +6,15 @@
    "%.17g" strings, never as JSON numbers, so a client that parses them
    with [float_of_string] recovers the exact IEEE double the server
    computed — the differential fuzzer's server path depends on this
-   round trip being bit-exact. *)
+   round trip being bit-exact.
+
+   The protocol is pipelined: a client may write any number of request
+   lines before reading, and the server answers each exactly once — but
+   not necessarily in arrival order, since requests from one connection
+   are handled by concurrent workers.  The "id" member is the
+   correlation handle: every response (success, diagnostic failure,
+   E030/E032/E033 reject) echoes the id of the request it answers, so a
+   pipelining client matches responses by id, never by position. *)
 
 module Json = Psc.Trace.Json
 
@@ -169,6 +177,29 @@ let parse_request (line : string) : (request, string * string) result =
             rq_parent_span = str_member "parent_span" })
     | Some _ -> Error (id, "field op must be a string"))
   | _ -> Error ("null", "request must be a JSON object")
+
+(* The reject paths (overload shedding above all) need the correlation
+   fields of a line without the cost or strictness of building a full
+   request: a request the server is about to shed may name an unknown
+   op or miss its source, yet its E033 answer must still carry the id
+   and trace context the client sent. *)
+let reject_fields (line : string) : string * string * string option =
+  match Json.parse line with
+  | exception Json.Parse_error _ -> ("null", "invalid", None)
+  | Json.Obj _ as j ->
+    let id =
+      match Json.member "id" j with Some v -> render_id v | None -> "null"
+    in
+    let op =
+      match Json.member "op" j with Some (Json.Str s) -> s | _ -> "invalid"
+    in
+    let trace_id =
+      match Json.member "trace_id" j with
+      | Some (Json.Str s) -> Some s
+      | _ -> None
+    in
+    (id, op, trace_id)
+  | _ -> ("null", "invalid", None)
 
 (* ------------------------------------------------------------------ *)
 (* Output values *)

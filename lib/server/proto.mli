@@ -6,7 +6,15 @@
     wire as ["%.17g"] strings, never as JSON numbers, so a client that
     parses them with [float_of_string] recovers the exact IEEE double
     the server computed — the differential fuzzer's server path depends
-    on this round trip being bit-exact. *)
+    on this round trip being bit-exact.
+
+    The protocol is pipelined: a client may write any number of request
+    lines before reading, and the server answers each exactly once —
+    but not necessarily in arrival order, since requests from one
+    connection are handled by concurrent workers.  The ["id"] member is
+    the correlation handle: every response echoes the id of the request
+    it answers, so a pipelining client matches responses by id, never
+    by position. *)
 
 type op = Compile | Schedule | Run | Emit_c | Lint | Tune | Stats | Shutdown
 
@@ -37,6 +45,12 @@ val parse_request : string -> (request, string * string) result
 (** Parse one request line.  On error the first component is still the
     rendered id (when one could be recovered) so the E030 response can
     be correlated with the request that caused it. *)
+
+val reject_fields : string -> string * string * string option
+(** [(id, op, trace_id)] of a raw request line, for reject paths
+    (overload shedding) that must correlate an answer without the cost
+    or strictness of building a full request.  Unrecoverable members
+    degrade to ["null"] / ["invalid"] / [None] rather than failing. *)
 
 (** {2 JSON writer helpers}
 

@@ -2,24 +2,34 @@
    newline-delimited JSON requests over a Unix-domain socket (or stdio
    for tests and one-shot scripting).
 
-   Each connection gets a reader thread; actual request processing is
-   bounded by a counting semaphore, and all requests share one
-   work-stealing domain pool — [Pool.parallel_for] runs re-entrant
-   callers inline, so concurrent DOALLs from different requests never
-   deadlock on the pool.
+   The socket transport is event-driven: a small fixed pool of event
+   threads multiplexes all client sockets with poll(2) (Evpoll),
+   framing request lines and feeding a *bounded* queue drained by a
+   fixed pool of worker threads.  When the queue is full the server
+   sheds load — the request is answered E033 immediately instead of
+   being buffered unboundedly (stats and shutdown bypass the bound:
+   they are cheap, and they are how operators observe and stop an
+   overload).  Responses are staged in per-connection write buffers
+   flushed by the event threads as sockets accept them, so one slow
+   reader never stalls the loop, and connections are pipelined:
+   multiple requests may be in flight per connection, with responses
+   correlated by id rather than by order.
 
    A request never kills the server: malformed JSON, unknown
    operations, compile errors, runtime traps and expired deadlines are
    all answered on the wire (the E03x codes come from the unified
    diagnostics engine).  SIGTERM or a shutdown request flips the
    draining flag — in-flight requests finish and are answered, new ones
-   get E032. *)
+   get E032, and every service thread is joined before the domain pool
+   is shut down. *)
 
 type config = {
   cf_socket : string option;  (* None: serve stdin/stdout *)
-  cf_workers : int;           (* concurrent request bound *)
+  cf_workers : int;           (* worker threads = concurrent request bound *)
   cf_pool : int;              (* domain pool size; 0 = sequential *)
   cf_cache : int;             (* artifact cache capacity *)
+  cf_shards : int;            (* artifact cache lock stripes *)
+  cf_max_queue : int;         (* bounded request queue; past it, E033 *)
   cf_grace_ms : int;          (* drain: wait this long for clients to leave *)
   cf_access_log : string option;  (* one JSON line per request *)
   cf_slow_ms : int option;    (* capture span subtrees of slower requests *)
@@ -28,8 +38,8 @@ type config = {
 
 let default_config =
   { cf_socket = None; cf_workers = 4; cf_pool = 0; cf_cache = 64;
-    cf_grace_ms = 5000; cf_access_log = None; cf_slow_ms = None;
-    cf_metrics_json = None }
+    cf_shards = 8; cf_max_queue = 1024; cf_grace_ms = 5000;
+    cf_access_log = None; cf_slow_ms = None; cf_metrics_json = None }
 
 (* A captured slow request: enough to name the straggler (id, op, the
    client's trace id) and say where the time went (the span subtree
@@ -45,11 +55,85 @@ type slow_entry = {
 
 let slow_capacity = 32
 
+(* ------------------------------------------------------------------ *)
+(* The bounded request queue.
+
+   Event threads push framed lines, worker threads pop them; [active]
+   counts items popped but not yet answered, so the drain logic can ask
+   "is every admitted request finished?" ([idle]) without a separate
+   in-flight gauge.  [try_push] refuses rather than blocks when the
+   queue is full — refusal is what becomes an E033 on the wire. *)
+module Bq = struct
+  type 'a t = {
+    items : 'a Queue.t;
+    max : int;
+    mu : Mutex.t;
+    nonempty : Condition.t;
+    mutable active : int;
+    mutable stopped : bool;
+  }
+
+  let create max =
+    { items = Queue.create ();
+      max;
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      active = 0;
+      stopped = false }
+
+  let push_unlocked q x =
+    Queue.push x q.items;
+    Condition.signal q.nonempty
+
+  let try_push q x =
+    Mutex.protect q.mu (fun () ->
+        if q.stopped || Queue.length q.items >= q.max then false
+        else begin
+          push_unlocked q x;
+          true
+        end)
+
+  (* Past the bound, for the two ops that must survive an overload. *)
+  let push_force q x =
+    Mutex.protect q.mu (fun () ->
+        if q.stopped then false
+        else begin
+          push_unlocked q x;
+          true
+        end)
+
+  let rec pop_unlocked q =
+    if not (Queue.is_empty q.items) then begin
+      q.active <- q.active + 1;
+      Some (Queue.pop q.items)
+    end
+    else if q.stopped then None
+    else begin
+      Condition.wait q.nonempty q.mu;
+      pop_unlocked q
+    end
+
+  let pop q = Mutex.protect q.mu (fun () -> pop_unlocked q)
+
+  let finished q = Mutex.protect q.mu (fun () -> q.active <- q.active - 1)
+
+  let idle q =
+    Mutex.protect q.mu (fun () -> Queue.is_empty q.items && q.active = 0)
+
+  let depth q = Mutex.protect q.mu (fun () -> Queue.length q.items)
+
+  let stop q =
+    Mutex.protect q.mu (fun () ->
+        q.stopped <- true;
+        Condition.broadcast q.nonempty)
+end
+
 type server = {
   sv_cf : config;
   sv_cache : Cache.t;
   sv_pool : Psc.Pool.t option;
   sv_workers : Semaphore.Counting.t;
+  sv_queue : work Bq.t;
   sv_draining : bool Atomic.t;
   sv_inflight_n : int Atomic.t;
   sv_inflight_peak : int Atomic.t;
@@ -61,12 +145,37 @@ type server = {
   sv_inflight : Psc.Metrics.gauge;
   sv_requests : Psc.Metrics.counter;
   sv_deadline_trips : Psc.Metrics.counter;
+  sv_shed : Psc.Metrics.counter;
   (* Quantile sketches: handler latency per op, end-to-end latency
      (queue wait included) and queue wait across all ops.  Held here as
      well as in the registry so the stats op can enumerate them. *)
   sv_lat_ops : (string * Psc.Metrics.sketch) list;
   sv_lat_all : Psc.Metrics.sketch;
-  sv_queue : Psc.Metrics.sketch;
+  sv_queue_lat : Psc.Metrics.sketch;
+}
+
+(* One admitted request: the connection to answer on, the raw line, and
+   when the event thread framed it (so queue wait is measured from
+   admission, not from when a worker got around to parsing). *)
+and work = {
+  wk_conn : conn;
+  wk_line : string;
+  wk_arrival : int;  (* ns *)
+}
+
+(* One client socket, owned by exactly one event thread.  All fd I/O
+   happens on that thread; workers only append to [cn_out] (under
+   [cn_mu]) and wake the owner.  [cn_rbuf]/[cn_wpend]/[cn_woff] are
+   event-thread-private. *)
+and conn = {
+  cn_fd : Unix.file_descr;
+  cn_mu : Mutex.t;
+  cn_out : Buffer.t;         (* responses staged by workers *)
+  mutable cn_closed : bool;  (* set under cn_mu; fd closed by the owner *)
+  cn_rbuf : Buffer.t;        (* partial input line accumulator *)
+  mutable cn_wpend : string; (* in-progress write chunk *)
+  mutable cn_woff : int;
+  cn_wake : unit -> unit;    (* wake the owning event thread *)
 }
 
 let all_ops =
@@ -75,9 +184,10 @@ let all_ops =
 
 let make_server cf =
   { sv_cf = cf;
-    sv_cache = Cache.create ~capacity:cf.cf_cache ();
+    sv_cache = Cache.create ~capacity:cf.cf_cache ~shards:cf.cf_shards ();
     sv_pool = (if cf.cf_pool > 0 then Some (Psc.Pool.create cf.cf_pool) else None);
     sv_workers = Semaphore.Counting.make (max 1 cf.cf_workers);
+    sv_queue = Bq.create (max 1 cf.cf_max_queue);
     sv_draining = Atomic.make false;
     sv_inflight_n = Atomic.make 0;
     sv_inflight_peak = Atomic.make 0;
@@ -92,6 +202,7 @@ let make_server cf =
     sv_inflight = Psc.Metrics.gauge "server.inflight";
     sv_requests = Psc.Metrics.counter "server.requests";
     sv_deadline_trips = Psc.Metrics.counter "server.deadline.trips";
+    sv_shed = Psc.Metrics.counter "server.shed";
     sv_lat_ops =
       List.map
         (fun op ->
@@ -99,7 +210,7 @@ let make_server cf =
           (n, Psc.Metrics.sketch ("server.latency_ns." ^ n)))
         all_ops;
     sv_lat_all = Psc.Metrics.sketch "server.latency_ns.all";
-    sv_queue = Psc.Metrics.sketch "server.queue_ns" }
+    sv_queue_lat = Psc.Metrics.sketch "server.queue_ns" }
 
 let rec update_peak a v =
   let cur = Atomic.get a in
@@ -365,17 +476,22 @@ let dispatch sv ~deadline ~info (rq : Proto.request) : string =
       [ ("cache",
          Proto.jobj
            [ ("entries", Proto.jint s.Cache.st_entries);
+             ("shards", Proto.jint (Cache.shards sv.sv_cache));
              ("hits", Proto.jint s.Cache.st_hits);
              ("misses", Proto.jint s.Cache.st_misses);
              ("evictions", Proto.jint s.Cache.st_evictions) ]);
         ("inflight", Proto.jint (Atomic.get sv.sv_inflight_n));
         ("inflight_peak", Proto.jint (Atomic.get sv.sv_inflight_peak));
+        ("connections", Proto.jint (Atomic.get sv.sv_connections));
+        ("queue_depth", Proto.jint (Bq.depth sv.sv_queue));
+        ("queue_max", Proto.jint sv.sv_queue.Bq.max);
+        ("shed", Proto.jint (Psc.Metrics.counter_value sv.sv_shed));
         ("uptime_ms",
          Proto.jint ((Psc.Metrics.now_ns () - sv.sv_start_ns) / 1_000_000));
         ("latency_ns",
          Proto.jobj
            (("all", quantiles_json sv.sv_lat_all)
-            :: ("queue", quantiles_json sv.sv_queue)
+            :: ("queue", quantiles_json sv.sv_queue_lat)
             :: List.map (fun (n, q) -> (n, quantiles_json q)) sv.sv_lat_ops));
         ("slow", Proto.jarr (List.rev_map slow_json slow));
         ("metrics", Psc.Metrics.render_json ()) ]
@@ -454,13 +570,17 @@ let push_slow sv e =
    time the answer (queue wait and handler time separately), feed the
    latency sketches and the access log, capture slow span subtrees, and
    stamp the client's trace context on the reply.  Returns [None] for
-   blank lines. *)
-let handle_line sv (line : string) : string option =
+   blank lines.  [arrival_ns] is when the transport framed the line —
+   for queued socket requests that predates the worker pickup, so
+   queue_ns measures real queue wait. *)
+let handle_line ?arrival_ns sv (line : string) : string option =
   let line = String.trim line in
   if line = "" then None
   else begin
     Psc.Metrics.incr sv.sv_requests;
-    let t_arrival = Psc.Metrics.now_ns () in
+    let t_arrival =
+      match arrival_ns with Some t -> t | None -> Psc.Metrics.now_ns ()
+    in
     let reject ~id ~op ~trace_id ~error resp =
       let resp = Proto.with_trace_id ~trace_id resp in
       let info = fresh_info () in
@@ -529,7 +649,7 @@ let handle_line sv (line : string) : string option =
              | Some q -> Psc.Metrics.sk_observe q handler_ns
              | None -> ());
             Psc.Metrics.sk_observe sv.sv_lat_all total_ns;
-            Psc.Metrics.sk_observe sv.sv_queue queue_ns;
+            Psc.Metrics.sk_observe sv.sv_queue_lat queue_ns;
             (match sv.sv_cf.cf_slow_ms with
              | Some thresh when total_ns >= thresh * 1_000_000 ->
                push_slow sv
@@ -549,7 +669,9 @@ let handle_line sv (line : string) : string option =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Transports *)
+(* The stdio transport: one synchronous request at a time, for tests
+   and one-shot scripting.  No queue, no shedding — a pipe has exactly
+   one client, and EOF is its hangup. *)
 
 let serve_channel sv ic oc =
   let stop = ref false in
@@ -579,14 +701,282 @@ let serve_stdio sv =
   (* EOF on stdin also drains: nobody can talk to us any more. *)
   Atomic.set sv.sv_draining true
 
-let client_thread sv fd =
-  ignore (Atomic.fetch_and_add sv.sv_connections 1);
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  (try serve_channel sv ic oc with _ -> ());
-  (try Unix.close fd with Unix.Unix_error _ -> ());
-  ignore (Atomic.fetch_and_add sv.sv_connections (-1))
+(* ------------------------------------------------------------------ *)
+(* The socket transport: event threads + bounded queue + workers. *)
 
+(* An event thread: owns a subset of the connections, multiplexed with
+   poll(2).  The self-pipe is its doorbell — workers ring it after
+   staging a response, the accept loop after assigning a connection.
+   [ev_wake_flag] coalesces rings so the pipe never fills. *)
+type ev = {
+  ev_wake_r : Unix.file_descr;
+  ev_wake_w : Unix.file_descr;
+  ev_wake_flag : bool Atomic.t;
+  ev_incoming : Unix.file_descr Queue.t;  (* accepted, not yet adopted *)
+  ev_inc_mu : Mutex.t;
+  mutable ev_conns : conn list;  (* owned by this thread only *)
+  ev_scratch : Bytes.t;          (* read buffer, thread-private *)
+}
+
+let make_ev () =
+  let r, w = Unix.pipe () in
+  Unix.set_nonblock r;
+  Unix.set_nonblock w;
+  { ev_wake_r = r;
+    ev_wake_w = w;
+    ev_wake_flag = Atomic.make false;
+    ev_incoming = Queue.create ();
+    ev_inc_mu = Mutex.create ();
+    ev_conns = [];
+    ev_scratch = Bytes.create 65536 }
+
+let wake_byte = Bytes.make 1 '!'
+
+let ev_wake ev =
+  if Atomic.compare_and_set ev.ev_wake_flag false true then
+    try ignore (Unix.write ev.ev_wake_w wake_byte 0 1)
+    with Unix.Unix_error _ -> ()
+
+let conn_closed c = Mutex.protect c.cn_mu (fun () -> c.cn_closed)
+
+let close_conn sv c =
+  let fresh =
+    Mutex.protect c.cn_mu (fun () ->
+        if c.cn_closed then false
+        else begin
+          c.cn_closed <- true;
+          true
+        end)
+  in
+  if fresh then begin
+    (try Unix.close c.cn_fd with Unix.Unix_error _ -> ());
+    ignore (Atomic.fetch_and_add sv.sv_connections (-1))
+  end
+
+(* Stage a response on the connection's write buffer and ring the
+   owner's doorbell.  Responses for a connection that closed while its
+   request was in flight are dropped — there is nobody to read them. *)
+let conn_send c resp =
+  let staged =
+    Mutex.protect c.cn_mu (fun () ->
+        if c.cn_closed then false
+        else begin
+          Buffer.add_string c.cn_out resp;
+          Buffer.add_char c.cn_out '\n';
+          true
+        end)
+  in
+  if staged then c.cn_wake ()
+
+let conn_pending c =
+  c.cn_woff < String.length c.cn_wpend
+  || Mutex.protect c.cn_mu (fun () -> Buffer.length c.cn_out > 0)
+
+(* Flush as much staged output as the socket accepts right now.  The
+   in-progress chunk is event-thread-private, so a partial write picks
+   up exactly where it left off; workers keep staging into [cn_out]
+   meanwhile without blocking on the socket. *)
+let conn_flush sv c =
+  if c.cn_woff >= String.length c.cn_wpend then begin
+    let chunk =
+      Mutex.protect c.cn_mu (fun () ->
+          if Buffer.length c.cn_out = 0 then ""
+          else begin
+            let s = Buffer.contents c.cn_out in
+            Buffer.clear c.cn_out;
+            s
+          end)
+    in
+    c.cn_wpend <- chunk;
+    c.cn_woff <- 0
+  end;
+  let len = String.length c.cn_wpend - c.cn_woff in
+  if len > 0 then
+    match Unix.write_substring c.cn_fd c.cn_wpend c.cn_woff len with
+    | n -> c.cn_woff <- c.cn_woff + n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> close_conn sv c
+
+(* Overload shedding: the bounded queue refused the line, so answer
+   E033 right here on the event thread — correlated by id, logged, and
+   counted — instead of buffering unboundedly or hanging the client. *)
+let shed sv c line =
+  Psc.Metrics.incr sv.sv_requests;
+  Psc.Metrics.incr sv.sv_shed;
+  let id, op, trace_id = Proto.reject_fields line in
+  let resp =
+    Proto.with_trace_id ~trace_id
+      (diag_response ~id Psc.Diag.Server_overloaded
+         (Printf.sprintf "server overloaded: request queue (max %d) is full"
+            sv.sv_queue.Bq.max))
+  in
+  let info = fresh_info () in
+  info.ri_error <- Some "E033";
+  log_access sv ~id ~op ~trace_id ~info ~queue_ns:0 ~handler_ns:0 ~total_ns:0
+    ~bytes:(String.length resp) ~deadline_margin_us:None;
+  conn_send c resp
+
+(* Admit one framed line: bounded push, with an escape hatch for the
+   two ops that must survive an overload — stats (how operators see it)
+   and shutdown (how they stop it) are cheap and bypass the bound. *)
+let admit sv c line =
+  if String.trim line <> "" then begin
+    let wk = { wk_conn = c; wk_line = line; wk_arrival = Psc.Metrics.now_ns () } in
+    if not (Bq.try_push sv.sv_queue wk) then begin
+      let _, op, _ = Proto.reject_fields line in
+      if
+        (op = "stats" || op = "shutdown")
+        && Bq.push_force sv.sv_queue wk
+      then ()
+      else shed sv c line
+    end
+  end
+
+(* Read whatever the socket has, frame complete lines off the front of
+   the accumulator and admit each.  One read per readiness report keeps
+   a flooding client from starving its neighbours; poll is level
+   triggered, so leftover bytes re-report immediately. *)
+let conn_read sv ev c =
+  match Unix.read c.cn_fd ev.ev_scratch 0 (Bytes.length ev.ev_scratch) with
+  | 0 -> close_conn sv c
+  | n ->
+    Buffer.add_subbytes c.cn_rbuf ev.ev_scratch 0 n;
+    let s = Buffer.contents c.cn_rbuf in
+    (match String.rindex_opt s '\n' with
+     | None -> ()
+     | Some last ->
+       Buffer.clear c.cn_rbuf;
+       Buffer.add_substring c.cn_rbuf s (last + 1)
+         (String.length s - last - 1);
+       List.iter
+         (fun line -> admit sv c line)
+         (String.split_on_char '\n' (String.sub s 0 last)))
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_conn sv c
+
+let drain_wake_pipe ev =
+  Atomic.set ev.ev_wake_flag false;
+  let rec go () =
+    match Unix.read ev.ev_wake_r ev.ev_scratch 0 64 with
+    | n when n > 0 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+(* The event loop.  Draining protocol: once the flag is up, keep
+   serving — queued requests are answered (E032 for new work), write
+   buffers flush — and exit when every owned connection is gone, or
+   when the grace period has passed with the queue idle and all output
+   flushed (then lingering connections are closed).  Every admitted
+   request is answered before its connection is torn down. *)
+let ev_loop sv cf ev () =
+  let grace_deadline = ref None in
+  let running = ref true in
+  while !running do
+    (* Adopt connections the accept loop assigned to this thread. *)
+    let adopted =
+      Mutex.protect ev.ev_inc_mu (fun () ->
+          let xs = List.of_seq (Queue.to_seq ev.ev_incoming) in
+          Queue.clear ev.ev_incoming;
+          xs)
+    in
+    List.iter
+      (fun fd ->
+        let c =
+          { cn_fd = fd;
+            cn_mu = Mutex.create ();
+            cn_out = Buffer.create 256;
+            cn_closed = false;
+            cn_rbuf = Buffer.create 256;
+            cn_wpend = "";
+            cn_woff = 0;
+            cn_wake = (fun () -> ev_wake ev) }
+        in
+        ev.ev_conns <- c :: ev.ev_conns)
+      adopted;
+    ev.ev_conns <- List.filter (fun c -> not (conn_closed c)) ev.ev_conns;
+    let draining = Atomic.get sv.sv_draining in
+    if draining && !grace_deadline = None then
+      grace_deadline :=
+        Some (Psc.Metrics.now_ns () + (cf.cf_grace_ms * 1_000_000));
+    let past_grace =
+      match !grace_deadline with
+      | Some d -> Psc.Metrics.now_ns () >= d
+      | None -> false
+    in
+    let no_incoming =
+      Mutex.protect ev.ev_inc_mu (fun () -> Queue.is_empty ev.ev_incoming)
+    in
+    let work_done =
+      Bq.idle sv.sv_queue
+      && Atomic.get sv.sv_inflight_n = 0
+      && List.for_all (fun c -> not (conn_pending c)) ev.ev_conns
+    in
+    if draining && no_incoming && (ev.ev_conns = [] || (past_grace && work_done))
+    then begin
+      List.iter (close_conn sv) ev.ev_conns;
+      ev.ev_conns <- [];
+      running := false
+    end
+    else begin
+      let conns = Array.of_list ev.ev_conns in
+      let spec =
+        Array.init
+          (Array.length conns + 1)
+          (fun i ->
+            if i = 0 then
+              (ev.ev_wake_r, Evpoll.{ want_read = true; want_write = false })
+            else
+              let c = conns.(i - 1) in
+              ( c.cn_fd,
+                Evpoll.{ want_read = true; want_write = conn_pending c } ))
+      in
+      let ready = Evpoll.poll spec ~timeout_ms:100 in
+      drain_wake_pipe ev;
+      List.iter
+        (fun (i, (r : Evpoll.ready)) ->
+          if i > 0 then begin
+            let c = conns.(i - 1) in
+            if (r.Evpoll.readable || r.Evpoll.errored) && not (conn_closed c)
+            then conn_read sv ev c
+          end)
+        ready;
+      (* Opportunistic flush of everything pending, not just what
+         polled writable: a response staged during the poll is usually
+         writable immediately, and a failed attempt just EAGAINs. *)
+      Array.iter
+        (fun c -> if not (conn_closed c) && conn_pending c then conn_flush sv c)
+        conns
+    end
+  done
+
+(* Workers: pop, answer, stage the response on the connection.  An
+   unexpected exception is answered on the wire and the worker lives
+   on — a request must never take the service down. *)
+let worker_loop sv () =
+  let running = ref true in
+  while !running do
+    match Bq.pop sv.sv_queue with
+    | None -> running := false
+    | Some wk ->
+      (match handle_line ~arrival_ns:wk.wk_arrival sv wk.wk_line with
+      | None -> ()
+      | Some resp -> conn_send wk.wk_conn resp
+      | exception e ->
+        conn_send wk.wk_conn
+          (Proto.error_message ~id:"null"
+             ("internal error: " ^ Printexc.to_string e)));
+      Bq.finished sv.sv_queue
+  done
+
+(* The accept loop runs on the serving thread: poll the listener (with
+   a timeout so SIGTERM-driven draining is noticed promptly), accept in
+   bursts, and deal connections round-robin to the event threads.  On
+   drain: stop listening, then join every event thread, stop the queue,
+   and join every worker — only after all of them are gone does [main]
+   shut the domain pool down, so no request can race a dying pool. *)
 let serve_socket sv cf path =
   (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
   let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -595,35 +985,62 @@ let serve_socket sv cf path =
      once, and a refused connect at that moment is a measurement
      artifact, not a server property. *)
   Unix.listen lfd 512;
-  let threads = ref [] in
-  (* Accept with a poll timeout so the draining flag (set by SIGTERM or
-     a shutdown request on any connection) is noticed promptly. *)
+  Unix.set_nonblock lfd;
+  let n_ev = max 1 (min 4 (Psc.Pool.recommended_size () / 2)) in
+  let evs = Array.init n_ev (fun _ -> make_ev ()) in
+  let ev_threads =
+    Array.map (fun ev -> Thread.create (ev_loop sv cf ev) ()) evs
+  in
+  let workers =
+    Array.init (max 1 cf.cf_workers) (fun _ ->
+        Thread.create (worker_loop sv) ())
+  in
+  let rr = ref 0 in
   while not (Atomic.get sv.sv_draining) do
-    match Unix.select [ lfd ] [] [] 0.1 with
-    | [], _, _ -> ()
-    | _ :: _, _, _ -> (
-      match Unix.accept lfd with
-      | fd, _ -> threads := Thread.create (client_thread sv) fd :: !threads
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    (match
+       Evpoll.poll
+         [| (lfd, Evpoll.{ want_read = true; want_write = false }) |]
+         ~timeout_ms:100
+     with
+    | [] -> ()
+    | _ :: _ ->
+      let accepting = ref true in
+      while !accepting do
+        match Unix.accept lfd with
+        | fd, _ ->
+          Unix.set_nonblock fd;
+          ignore (Atomic.fetch_and_add sv.sv_connections 1);
+          let ev = evs.(!rr mod n_ev) in
+          incr rr;
+          Mutex.protect ev.ev_inc_mu (fun () -> Queue.push fd ev.ev_incoming);
+          ev_wake ev
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+          accepting := false
+        | exception Unix.Unix_error _ -> accepting := false
+      done);
+    ()
   done;
   (try Unix.close lfd with Unix.Unix_error _ -> ());
   (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
-  (* Drain: wait for in-flight requests (always) and connected clients
-     (up to the grace period), so every accepted request is answered. *)
-  let grace_until =
-    Psc.Metrics.now_ns () + (cf.cf_grace_ms * 1_000_000)
-  in
-  let busy () =
-    Atomic.get sv.sv_inflight_n > 0
-    || (Atomic.get sv.sv_connections > 0
-        && Psc.Metrics.now_ns () < grace_until)
-  in
-  while busy () do
-    Thread.delay 0.02
-  done;
-  if Atomic.get sv.sv_connections = 0 then
-    List.iter (fun t -> Thread.join t) !threads
+  (* Drain: event threads finish answering and flushing (bounded by the
+     grace period), then the workers run the queue dry and exit.  Join
+     them all — unconditionally — before returning to [main]'s pool
+     shutdown. *)
+  Array.iter Thread.join ev_threads;
+  Bq.stop sv.sv_queue;
+  Array.iter Thread.join workers;
+  Array.iter
+    (fun ev ->
+      (* Connections accepted but never adopted (the assignment raced
+         the drain): close them now so nothing leaks. *)
+      Mutex.protect ev.ev_inc_mu (fun () ->
+          Queue.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            ev.ev_incoming;
+          Queue.clear ev.ev_incoming);
+      (try Unix.close ev.ev_wake_r with Unix.Unix_error _ -> ());
+      try Unix.close ev.ev_wake_w with Unix.Unix_error _ -> ())
+    evs
 
 let main cf =
   Psc.Metrics.set_enabled true;
@@ -635,6 +1052,9 @@ let main cf =
    with Invalid_argument _ -> ());
   Fun.protect
     ~finally:(fun () ->
+      (* By the time we get here every event and worker thread has been
+         joined (serve_socket) or there never were any (stdio), so the
+         pool has no remaining users. *)
       (match sv.sv_pool with Some p -> Psc.Pool.shutdown p | None -> ());
       (match sv.sv_access with
        | Some (oc, mu) -> Mutex.protect mu (fun () -> close_out_noerr oc)

@@ -2,20 +2,32 @@
     newline-delimited JSON requests ({!Proto}) over a Unix-domain
     socket, or over stdin/stdout for tests and one-shot scripting.
 
-    Each connection gets a reader thread; request processing is bounded
-    by a counting semaphore, and all requests share one work-stealing
-    domain pool.  A request never kills the server: malformed JSON,
-    unknown operations, compile errors, runtime traps and expired
-    deadlines are all answered on the wire with the unified E03x
-    diagnostic codes.  SIGTERM or a [shutdown] request flips the
-    draining flag — in-flight requests finish and are answered, new
-    ones get E032, and the process exits cleanly. *)
+    The socket transport is event-driven: a small fixed pool of event
+    threads multiplexes every client socket with poll(2) ({!Evpoll}),
+    framing request lines into a bounded queue drained by a fixed pool
+    of worker threads.  When the queue is full the server sheds load —
+    the request is answered E033 immediately ([stats] and [shutdown]
+    bypass the bound) — and responses are staged in per-connection
+    write buffers flushed as sockets accept them, so one slow reader
+    never stalls the loop.  Connections are pipelined: responses
+    correlate by id, not by arrival order.
+
+    A request never kills the server: malformed JSON, unknown
+    operations, compile errors, runtime traps and expired deadlines are
+    all answered on the wire with the unified E03x diagnostic codes.
+    SIGTERM or a [shutdown] request flips the draining flag — in-flight
+    requests finish and are answered, new ones get E032, every service
+    thread is joined, and the process exits cleanly. *)
 
 type config = {
   cf_socket : string option;  (** [None]: serve stdin/stdout *)
-  cf_workers : int;           (** concurrent request bound *)
+  cf_workers : int;           (** worker threads = concurrent request bound *)
   cf_pool : int;              (** domain pool size; 0 = sequential *)
   cf_cache : int;             (** artifact cache capacity *)
+  cf_shards : int;            (** artifact cache lock stripes *)
+  cf_max_queue : int;
+      (** bounded request queue depth; requests past it are shed with
+          E033 instead of buffered unboundedly *)
   cf_grace_ms : int;          (** drain: wait this long for clients to leave *)
   cf_access_log : string option;
       (** write one structured JSON line per request (rejects included) *)
@@ -27,11 +39,13 @@ type config = {
 }
 
 val default_config : config
-(** stdio, 4 workers, no pool, 64 cached artifacts, 5 s grace, no
-    access log, no slow capture, no metrics dump. *)
+(** stdio, 4 workers, no pool, 64 cached artifacts in 8 shards, queue
+    of 1024, 5 s grace, no access log, no slow capture, no metrics
+    dump. *)
 
 val main : config -> unit
 (** Run the server until it drains: stdio EOF or a [shutdown] request
     (stdio mode), SIGTERM or a [shutdown] request (socket mode).
     Enables {!Psc.Metrics}, installs the SIGTERM handler, ignores
-    SIGPIPE, and shuts the domain pool down on exit. *)
+    SIGPIPE, and shuts the domain pool down only after every event and
+    worker thread has been joined. *)

@@ -127,6 +127,12 @@ let tests =
               if num (field "errors" r) <> 0.0 then
                 Alcotest.failf "%s: %d errors" name
                   (int_of_float (num (field "errors" r)));
+              (* The quick levels sit far below the bench's queue bound:
+                 any shedding here means backpressure is firing when it
+                 should not. *)
+              if num (field "shed" r) <> 0.0 then
+                Alcotest.failf "%s: %d requests shed" name
+                  (int_of_float (num (field "shed" r)));
               let ratio = num (field "cache_hit_ratio" r) in
               match workload with
               | "hit" ->

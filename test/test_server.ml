@@ -445,7 +445,7 @@ let wait_for cond msg =
   in
   go 200 (* up to 10 s *)
 
-let start_socket_server ?(extra = []) () =
+let start_socket_server ?(workers = 8) ?(extra = []) () =
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "psc_serve_%d.sock" (Unix.getpid ()))
@@ -453,7 +453,9 @@ let start_socket_server ?(extra = []) () =
   (try Sys.remove path with Sys_error _ -> ());
   let argv =
     Array.of_list
-      ([ psc_exe; "serve"; "--socket"; path; "--workers"; "8" ] @ extra)
+      ([ psc_exe; "serve"; "--socket"; path;
+         "--workers"; string_of_int workers ]
+      @ extra)
   in
   let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
   let pid = Unix.create_process psc_exe argv devnull devnull devnull in
@@ -607,9 +609,206 @@ let socket_tests =
         | Unix.WSIGNALED n | Unix.WSTOPPED n ->
           Alcotest.failf "server killed by signal %d" n) ]
 
+(* --- cache unit tests ------------------------------------------------- *)
+
+(* The hit/miss/eviction counters live in the global metrics registry
+   and are shared by every cache instance in the process, so these
+   tests assert deltas, never absolute values. *)
+module Cache = Ps_server.Cache
+
+let cache_tests =
+  [ t "two threads racing one key agree on the winning artifact" (fun () ->
+        let c = Cache.create ~capacity:8 ~shards:4 () in
+        let before = Cache.stats c in
+        let key = Cache.project_key ~src:"race-regression" in
+        (* Both builders spin until the other has started, so the build
+           window genuinely overlaps: both threads miss, both build, and
+           the insert race is decided under the shard lock. *)
+        let started = Atomic.make 0 in
+        let build tag () =
+          Atomic.incr started;
+          let rec sync n =
+            if Atomic.get started < 2 && n > 0 then begin
+              Thread.yield ();
+              sync (n - 1)
+            end
+          in
+          sync 100_000;
+          Cache.A_emit tag
+        in
+        let results = Array.make 2 ("", false) in
+        let worker i =
+          match Cache.find_or_build c key (build (Printf.sprintf "art-%d" i)) with
+          | Cache.A_emit s, hit -> results.(i) <- (s, hit)
+          | _ -> Alcotest.fail "unexpected artifact kind"
+        in
+        let ths = List.init 2 (fun i -> Thread.create worker i) in
+        List.iter Thread.join ths;
+        let a0, _ = results.(0) and a1, _ = results.(1) in
+        Alcotest.(check string) "both threads hold the same artifact" a0 a1;
+        let after = Cache.stats c in
+        Alcotest.(check int) "exactly one miss for the built key" 1
+          (after.Cache.st_misses - before.Cache.st_misses);
+        Alcotest.(check int) "the loser (or late arrival) counts a hit" 1
+          (after.Cache.st_hits - before.Cache.st_hits);
+        Alcotest.(check int) "one entry, not two" 1 after.Cache.st_entries);
+    t "striped eviction keeps the cache bounded per shard" (fun () ->
+        let c = Cache.create ~capacity:8 ~shards:4 () in
+        let before = Cache.stats c in
+        Alcotest.(check int) "shard count" 4 (Cache.shards c);
+        for i = 1 to 64 do
+          ignore
+            (Cache.find_or_build c
+               (Cache.project_key ~src:(Printf.sprintf "evict-%d" i))
+               (fun () -> Cache.A_emit (string_of_int i)))
+        done;
+        let after = Cache.stats c in
+        Alcotest.(check bool) "entries bounded by capacity" true
+          (after.Cache.st_entries <= 8);
+        Alcotest.(check int) "every insert was a miss" 64
+          (after.Cache.st_misses - before.Cache.st_misses);
+        Alcotest.(check bool) "evictions account for the overflow" true
+          (after.Cache.st_evictions - before.Cache.st_evictions >= 56)) ]
+
+(* --- stress: churn, overload shedding, pipelining -------------------- *)
+
+(* Blocking reads below are bounded: a hang here must fail the test,
+   not wedge the suite. *)
+let recv_deadline fd = Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0
+
+let stress_tests =
+  [ t "500 open/close connections leave no residue" (fun () ->
+        let pid, path = start_socket_server () in
+        Fun.protect ~finally:(fun () -> stop_server pid path) @@ fun () ->
+        for i = 1 to 500 do
+          let fd, ic, oc = connect path in
+          recv_deadline fd;
+          (* Every 50th connection does a real round trip so the churn
+             also exercises framing and the response path; the rest
+             just connect and hang up. *)
+          if i mod 50 = 0 then begin
+            let j = parse (ask_fd ic oc (schedule_req ~id:i ())) in
+            Alcotest.(check bool) "churn request ok" true (jbool "ok" j)
+          end;
+          Unix.close fd
+        done;
+        (* The connection gauge must come back down: the event loop
+           reaps closed sockets rather than accreting per-connection
+           state (the old transport leaked one thread handle each). *)
+        let connections () =
+          let fd, ic, oc = connect path in
+          recv_deadline fd;
+          let s = parse (ask_fd ic oc "{\"id\":1,\"op\":\"stats\"}") in
+          Unix.close fd;
+          jnum "connections" s
+        in
+        wait_for (fun () -> connections () <= 2) "connection gauge to settle";
+        (* And the server still does real work. *)
+        let fd, ic, oc = connect path in
+        recv_deadline fd;
+        let j = parse (ask_fd ic oc (schedule_req ~id:9999 ())) in
+        Alcotest.(check bool) "server alive after churn" true (jbool "ok" j);
+        Unix.close fd);
+    t "flooding past --max-queue sheds E033, answers everything, drops no \
+       connection" (fun () ->
+        let log_file = Filename.temp_file "psc_access" ".log" in
+        let pid, path =
+          start_socket_server ~workers:1
+            ~extra:[ "--max-queue"; "1"; "--access-log"; log_file ]
+            ()
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            stop_server pid path;
+            try Sys.remove log_file with Sys_error _ -> ())
+        @@ fun () ->
+        let n = 200 in
+        let fd, ic, oc = connect path in
+        recv_deadline fd;
+        (* One write carrying n unique-source requests: the event
+           thread frames and admits them far faster than the single
+           worker can drain, so with a queue bound of 1 nearly all of
+           them must be shed — and every one must still be answered. *)
+        for i = 0 to n - 1 do
+          output_string oc
+            (Printf.sprintf "{\"id\":%d,\"op\":\"schedule\",\"source\":%s}" i
+               (jstring (Printf.sprintf "(* flood %d *)\n%s" i jacobi_src)));
+          output_char oc '\n'
+        done;
+        flush oc;
+        let seen = Hashtbl.create n in
+        let ok = ref 0 and shed = ref 0 in
+        for _ = 1 to n do
+          let j = parse (input_line ic) in
+          (match Json.member "id" j with
+          | Some (Json.Num f) -> Hashtbl.replace seen (int_of_float f) ()
+          | _ -> Alcotest.fail "flood answer lost its id");
+          if jbool "ok" j then incr ok
+          else begin
+            Alcotest.(check string) "reject code" "E033" (first_code j);
+            incr shed
+          end
+        done;
+        Alcotest.(check int) "every request answered exactly once" n
+          (Hashtbl.length seen);
+        Alcotest.(check bool) "some requests were served" true (!ok >= 1);
+        Alcotest.(check bool) "the flood was shed" true (!shed >= 1);
+        (* The connection survived the overload: stats flows on the
+           same socket (it bypasses the bound) and reports the sheds. *)
+        let s = parse (ask_fd ic oc "{\"id\":999,\"op\":\"stats\"}") in
+        Alcotest.(check bool) "stats counts the sheds" true
+          (jnum "shed" s >= !shed);
+        Alcotest.(check int) "queue bound reported" 1 (jnum "queue_max" s);
+        Unix.close fd;
+        (* The access log saw the rejections too. *)
+        wait_for
+          (fun () ->
+            let lines =
+              String.split_on_char '\n' (read_file log_file)
+              |> List.filter (fun l -> l <> "")
+            in
+            List.length lines >= n)
+          "access log lines";
+        let e033_lines =
+          String.split_on_char '\n' (read_file log_file)
+          |> List.filter (fun l ->
+                 l <> ""
+                 && Json.member "error" (parse l) = Some (Json.Str "E033"))
+        in
+        Alcotest.(check int) "one log line per shed request" !shed
+          (List.length e033_lines));
+    t "a pipelined burst is answered once per id, order free" (fun () ->
+        let pid, path = start_socket_server () in
+        Fun.protect ~finally:(fun () -> stop_server pid path) @@ fun () ->
+        let fd, ic, oc = connect path in
+        recv_deadline fd;
+        (* Warm the cache so the burst is all fast hits. *)
+        ignore (ask_fd ic oc (schedule_req ~id:0 ()));
+        let n = 8 in
+        for i = 1 to n do
+          output_string oc (schedule_req ~id:i ());
+          output_char oc '\n'
+        done;
+        flush oc;
+        let seen = Hashtbl.create n in
+        for _ = 1 to n do
+          let j = parse (input_line ic) in
+          Alcotest.(check bool) "burst answer ok" true (jbool "ok" j);
+          match Json.member "id" j with
+          | Some (Json.Num f) -> Hashtbl.replace seen (int_of_float f) ()
+          | _ -> Alcotest.fail "burst answer lost its id"
+        done;
+        for i = 1 to n do
+          if not (Hashtbl.mem seen i) then
+            Alcotest.failf "id %d was never answered" i
+        done;
+        Unix.close fd) ]
+
 let () =
   Alcotest.run "server"
     [ ("stdio", stdio_tests);
       ("obs", obs_tests);
       ("trace", trace_tests);
-      ("socket", socket_tests) ]
+      ("socket", socket_tests);
+      ("cache", cache_tests);
+      ("stress", stress_tests) ]
